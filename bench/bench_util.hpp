@@ -1,0 +1,36 @@
+// Shared helpers for the experiment harnesses: wall-clock timing and the
+// table format every fig/table binary prints (EXPERIMENTS.md quotes these
+// tables verbatim).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "cm/cost.hpp"
+
+namespace uc::bench {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline double sim_seconds(const cm::CostStats& stats,
+                          const cm::CostModel& model = {}) {
+  return model.cycles_to_seconds(stats.cycles);
+}
+
+inline void header(const char* title, const char* columns) {
+  std::printf("\n=== %s ===\n%s\n", title, columns);
+}
+
+}  // namespace uc::bench

@@ -1,0 +1,72 @@
+// Experiment E4b — the §4 "code optimisations" (constant folding, common
+// subexpression detection): same results, fewer elementary operations per
+// SIMD instruction.
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "support/str.hpp"
+#include "uc/uc.hpp"
+
+namespace {
+
+// A deliberately expression-heavy stencil: the wavefront neighbour
+// subscripts repeat `i - 1` and `j - 1`, and the kernel reuses whole
+// terms, exactly what CSE collapses.
+std::string kernel(std::int64_t n, std::int64_t rounds) {
+  return uc::support::format(
+      "#define N %lld\n"
+      "index_set I:i = {1..N-2}, J:j = I;\n"
+      "index_set T:t = {1..%lld};\n"
+      "int u[N][N], v[N][N];\n"
+      "void main() {\n"
+      "  par (I, J) u[i][j] = i * (2 + 3) + j * (10 - 3);\n"
+      "  seq (T)\n"
+      "    par (I, J)\n"
+      "      v[i][j] = (u[i-1][j-1] + u[i-1][j-1]) * (4 - 2)\n"
+      "              + (u[i-1][j] + u[i][j-1]) * (u[i-1][j] + u[i][j-1])\n"
+      "              + (3 * 3 - 2 * 4) * u[i-1][j-1]\n"
+      "              + (1 + 1 + 1 + 1 - 4) * u[i][j-1];\n"
+      "}\n",
+      static_cast<long long>(n), static_cast<long long>(rounds));
+}
+
+}  // namespace
+
+int main() {
+  using namespace uc;
+  bench::header(
+      "Code optimisations (paper 4): constant folding + CSE",
+      "config                          sim(s)      vs none   v[5][5]");
+
+  const auto src = kernel(64, 16);
+  struct Config {
+    const char* name;
+    bool fold;
+    bool cse;
+  };
+  const Config configs[] = {
+      {"no folding, no CSE", false, false},
+      {"constant folding only", true, false},
+      {"CSE only", false, true},
+      {"folding + CSE (default)", true, true},
+  };
+
+  double baseline = 0;
+  for (const auto& cfg : configs) {
+    CompileOptions copts;
+    copts.fold_constants = cfg.fold;
+    vm::ExecOptions eopts;
+    eopts.common_subexpression_elimination = cfg.cse;
+    auto program = Program::compile("k.uc", src, copts);
+    auto result = program.run({}, eopts);
+    const double s = bench::sim_seconds(result.stats());
+    if (baseline == 0) baseline = s;
+    std::printf("%-28s %10.5f %10.2fx %9lld\n", cfg.name, s, baseline / s,
+                static_cast<long long>(
+                    result.global_element("v", {5, 5}).as_int()));
+  }
+  std::printf(
+      "\nshape check: every configuration computes identical values; the "
+      "optimisations only shave elementary operations per instruction.\n");
+  return 0;
+}

@@ -1,0 +1,9 @@
+/* The smallest interesting UC program: a parallel sum. */
+index_set I:i = {0..99};
+int a[100], total;
+
+void main() {
+  par (I) a[i] = i + 1;
+  total = $+(I; a[i]);
+  print("sum of 1..100 =", total);
+}

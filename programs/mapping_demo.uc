@@ -1,0 +1,15 @@
+/* Separable data mappings (paper 4): the map section changes placement,
+   never results.  Run with and without --no-mappings and compare --stats. */
+#define N 64
+index_set I:i = {0..N-1};
+index_set T:t = {1..16};
+int a[N], b[N];
+
+map (I) { permute (I) b[N-1-i] :- a[i]; }
+
+void main() {
+  par (I) { a[i] = 0; b[i] = i * i; }
+  seq (T)
+    par (I) a[i] = a[i] + b[N-1-i];
+  print("a[0] =", a[0], " a[N-1] =", a[N-1]);
+}

@@ -1,0 +1,10 @@
+/* Matrix product via Cartesian par + reduction (paper 3.4). */
+#define N 4
+index_set I:i = {0..N-1}, J:j = I, K:k = I;
+int a[N][N], b[N][N], c[N][N];
+
+void main() {
+  par (I, J) { a[i][j] = i + j; b[i][j] = (i == j) ? 2 : 0; }
+  par (I, J) c[i][j] = $+(K; a[i][k] * b[k][j]);
+  print("c[1][2]", c[1][2], "c[3][3]", c[3][3]);
+}

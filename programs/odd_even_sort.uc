@@ -1,0 +1,12 @@
+/* Paper 3.7 odd-even transposition sort via *oneof. */
+#define N 8
+int x[N];
+index_set I:i = {0..N-2};
+
+void main() {
+  x[0]=8; x[1]=6; x[2]=7; x[3]=5; x[4]=3; x[5]=0; x[6]=9; x[7]=1;
+  *oneof (I)
+    st (i%2==0 && x[i]>x[i+1]) swap(x[i], x[i+1]);
+    st (i%2!=0 && x[i]>x[i+1]) swap(x[i], x[i+1]);
+  print(x[0], x[1], x[2], x[3], x[4], x[5], x[6], x[7]);
+}

@@ -1,0 +1,13 @@
+/* Paper Fig 2: prefix sums via *par in log N iterations. */
+#define N 16
+index_set I:i = {0..N-1};
+int a[N], cnt[N];
+
+void main() {
+  par (I) { a[i] = i; cnt[i] = 0; }
+  *par (I) st (i >= power2(cnt[i]))
+  { a[i] = a[i] + a[i - power2(cnt[i])];
+    cnt[i] = cnt[i] + 1;
+  }
+  print("psum[5]", a[5], "psum[15]", a[15]);
+}

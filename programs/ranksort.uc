@@ -1,0 +1,15 @@
+/* Paper 3.4 ranksort; distinct keys assumed. */
+#define N 8
+index_set I:i = {0..N-1}, J:j = I;
+int a[N];
+
+void main() {
+  a[0]=50; a[1]=30; a[2]=90; a[3]=10;
+  a[4]=70; a[5]=20; a[6]=80; a[7]=40;
+  par (I)
+  { int rank;
+    rank = $+(J st (a[j] < a[i]) 1);
+    a[rank] = a[i];
+  }
+  print(a[0], a[1], a[2], a[3], a[4], a[5], a[6], a[7]);
+}

@@ -1,0 +1,24 @@
+/* Every reduction operator over one small array (paper Fig 1 extended). */
+index_set I:i = {0..9}, J:j = I;
+int a[10];
+int s, p, mn, mx, alltrue, anybig, x, first, last;
+
+void main() {
+  a[0]=3; a[1]=1; a[2]=4; a[3]=1; a[4]=5;
+  a[5]=9; a[6]=2; a[7]=6; a[8]=5; a[9]=3;
+
+  s  = $+(I; a[i]);
+  p  = $*(I st (a[i] <= 3) a[i]);
+  mn = $<(I; a[i]);
+  mx = $>(I; a[i]);
+  alltrue = $&&(I; a[i] > 0);
+  anybig  = $||(I; a[i] > 8);
+  x  = $^(I; a[i]);
+  first = $<(I st (a[i]==mn) i);
+  last  = $>(I st (a[i] == $>(J; a[j])) i);
+
+  print("sum", s, "prod<=3", p);
+  print("min", mn, "max", mx);
+  print("all>0", alltrue, "any>8", anybig, "xor", x);
+  print("first-min", first, "last-max", last);
+}

@@ -1,0 +1,17 @@
+/* All-pairs shortest path with O(N^2) parallelism (paper Fig 4). */
+#define N 8
+index_set I:i = {0..N-1}, J:j = I, K:k = I;
+int d[N][N];
+
+void main() {
+  srand(11);
+  par (I, J) st (i==j) d[i][j] = 0;
+    others d[i][j] = rand() % N + 1;
+
+  seq (K)
+    par (I, J)
+      st (d[i][k] + d[k][j] < d[i][j])
+        d[i][j] = d[i][k] + d[k][j];
+
+  print("d[0][N-1] =", d[0][N-1]);
+}

@@ -1,0 +1,14 @@
+/* Array slices as arguments (paper 3). */
+#define N 4
+int rowsum(int v[], int n) {
+  int acc; acc = 0;
+  for (int k = 0; k < n; k++) acc = acc + v[k];
+  return acc;
+}
+index_set I:i = {0..N-1}, J:j = I;
+int m[N][N];
+
+void main() {
+  par (I, J) m[i][j] = 10*i + j;
+  print("row0", rowsum(m[0], N), "row3", rowsum(m[3], N));
+}

@@ -1,0 +1,11 @@
+/* The wavefront equations, solved declaratively (paper 3.6). */
+#define N 8
+index_set I:i = {0..N-1}, J:j = I;
+int a[N][N];
+
+void main() {
+  solve (I, J)
+    a[i][j] = (i==0 || j==0) ? 1
+      : a[i-1][j] + a[i-1][j-1] + a[i][j-1];
+  print("a[N-1][N-1] =", a[N-1][N-1]);
+}

@@ -1,0 +1,39 @@
+#include "cm/context.hpp"
+
+namespace uc::cm {
+
+ContextStack::ContextStack(const Geometry* geom) : geom_(geom) {
+  if (geom_ == nullptr) {
+    throw support::ApiError("ContextStack requires a geometry");
+  }
+  stack_.emplace_back(static_cast<std::size_t>(geom_->size()), 1);
+}
+
+void ContextStack::where_else() {
+  if (stack_.size() < 2) {
+    throw support::ApiError("where_else: no enclosing where");
+  }
+  const auto& top = stack_.back();
+  const auto& below = stack_[stack_.size() - 2];
+  std::vector<std::uint8_t> next(top.size());
+  for (std::size_t vp = 0; vp < top.size(); ++vp) {
+    next[vp] = below[vp] != 0 && top[vp] == 0 ? 1 : 0;
+  }
+  stack_.pop_back();
+  stack_.push_back(std::move(next));
+}
+
+void ContextStack::end() {
+  if (stack_.size() <= 1) {
+    throw support::ApiError("ContextStack::end: stack underflow");
+  }
+  stack_.pop_back();
+}
+
+std::int64_t ContextStack::active_count() const {
+  std::int64_t n = 0;
+  for (auto b : current()) n += b != 0 ? 1 : 0;
+  return n;
+}
+
+}  // namespace uc::cm

@@ -1,0 +1,55 @@
+// Context (activity) flags: the CM's mechanism for conditional execution.
+// A ContextStack holds a stack of per-VP masks for one geometry; `where`
+// pushes the conjunction of the current mask and a new condition, `end`
+// pops.  Instructions executed under a context still occupy the whole VP
+// set for a cycle (SIMD), which is why the Machine charges by set size, not
+// by active count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cm/geometry.hpp"
+#include "support/error.hpp"
+
+namespace uc::cm {
+
+class ContextStack {
+ public:
+  explicit ContextStack(const Geometry* geom);
+
+  const Geometry& geometry() const { return *geom_; }
+
+  // Push a mask equal to (current mask AND pred(vp)) for every VP.
+  template <typename Pred>
+  void where(Pred&& pred) {
+    const auto& top = current();
+    std::vector<std::uint8_t> next(top.size());
+    for (std::size_t vp = 0; vp < top.size(); ++vp) {
+      next[vp] = top[vp] != 0 && pred(static_cast<VpIndex>(vp)) ? 1 : 0;
+    }
+    stack_.push_back(std::move(next));
+  }
+
+  // Push the complement of the top mask relative to the one below it
+  // (the `else` of the most recent where).
+  void where_else();
+
+  void end();
+
+  bool is_active(VpIndex vp) const {
+    return current()[static_cast<std::size_t>(vp)] != 0;
+  }
+  std::int64_t active_count() const;
+  bool any_active() const { return active_count() > 0; }
+
+  std::size_t depth() const { return stack_.size(); }
+
+  const std::vector<std::uint8_t>& current() const { return stack_.back(); }
+
+ private:
+  const Geometry* geom_;
+  std::vector<std::vector<std::uint8_t>> stack_;
+};
+
+}  // namespace uc::cm

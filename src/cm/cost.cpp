@@ -1,0 +1,31 @@
+#include "cm/cost.hpp"
+
+#include <sstream>
+
+namespace uc::cm {
+
+CostStats& CostStats::operator+=(const CostStats& o) {
+  cycles += o.cycles;
+  vector_ops += o.vector_ops;
+  news_ops += o.news_ops;
+  router_ops += o.router_ops;
+  router_messages += o.router_messages;
+  reductions += o.reductions;
+  global_ors += o.global_ors;
+  broadcasts += o.broadcasts;
+  frontend_ops += o.frontend_ops;
+  return *this;
+}
+
+std::string CostStats::to_string(const CostModel& model) const {
+  std::ostringstream os;
+  os << "cycles=" << cycles << " (" << model.cycles_to_seconds(cycles)
+     << " s @" << model.clock_hz / 1e6 << "MHz)"
+     << " vector_ops=" << vector_ops << " news_ops=" << news_ops
+     << " router_ops=" << router_ops << " router_msgs=" << router_messages
+     << " reductions=" << reductions << " global_ors=" << global_ors
+     << " broadcasts=" << broadcasts << " frontend_ops=" << frontend_ops;
+  return os.str();
+}
+
+}  // namespace uc::cm

@@ -1,0 +1,64 @@
+// Cost model for the simulated Connection Machine (CM-2 style).
+//
+// The paper's performance results hinge on *which* operations a program
+// issues: front-end scalar work, SIMD vector instructions over a set of
+// virtual processors (VPs), NEWS-grid neighbour communication, general
+// router communication, log-depth scans/reductions, and global-OR.  We
+// charge each category in machine cycles.  A VP set larger than the number
+// of physical processors is time-sliced, multiplying per-VP work by the VP
+// ratio — exactly the CM-2's virtual-processor mechanism.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace uc::cm {
+
+struct CostModel {
+  // Machine configuration.
+  std::uint64_t physical_processors = 16384;  // a 16K CM-2, as in the paper
+  double clock_hz = 7.0e6;                    // CM-2 ran at ~7 MHz
+
+  // Per-operation cycle costs.
+  std::uint64_t issue_overhead = 30;  // front end -> sequencer -> broadcast
+  std::uint64_t alu_op = 4;           // one elementwise op, per VP time-slice
+  std::uint64_t mem_op = 4;           // local memory read/write, per slice
+  std::uint64_t news_op = 12;         // NEWS-grid neighbour access, per slice
+  std::uint64_t router_op = 600;      // general router delivery, per wave
+  std::uint64_t scan_step = 20;       // one step of a log-depth scan/reduce
+  std::uint64_t global_or_op = 12;    // wired global-OR (cheap hardware)
+  std::uint64_t broadcast_op = 15;    // front end broadcast to all VPs
+  std::uint64_t frontend_op = 2;      // scalar op on the front end (Sun-4)
+
+  // Number of time slices needed to run one SIMD instruction on a VP set of
+  // size n: ceil(n / physical_processors), at least 1.
+  std::uint64_t vp_ratio(std::uint64_t n) const {
+    if (n == 0) return 1;
+    return (n + physical_processors - 1) / physical_processors;
+  }
+
+  double cycles_to_seconds(std::uint64_t cycles) const {
+    return static_cast<double>(cycles) / clock_hz;
+  }
+};
+
+// Aggregate counters.  Charged once per issued instruction by the issuing
+// thread (the data-parallel *host* execution inside an instruction is
+// parallel, but instruction issue is serial, as on the real front end).
+struct CostStats {
+  std::uint64_t cycles = 0;
+
+  std::uint64_t vector_ops = 0;     // SIMD elementwise instructions issued
+  std::uint64_t news_ops = 0;       // instructions that used NEWS access
+  std::uint64_t router_ops = 0;     // instructions that used the router
+  std::uint64_t router_messages = 0;  // individual messages through the router
+  std::uint64_t reductions = 0;     // reduce/scan instructions
+  std::uint64_t global_ors = 0;
+  std::uint64_t broadcasts = 0;
+  std::uint64_t frontend_ops = 0;   // scalar front-end operations
+
+  CostStats& operator+=(const CostStats& o);
+  std::string to_string(const CostModel& model) const;
+};
+
+}  // namespace uc::cm

@@ -1,0 +1,29 @@
+#include "cm/field.hpp"
+
+namespace uc::cm {
+
+const char* elem_type_name(ElemType t) {
+  switch (t) {
+    case ElemType::kInt:
+      return "int";
+    case ElemType::kFloat:
+      return "float";
+  }
+  return "?";
+}
+
+Field::Field(const Geometry* geom, std::string name, ElemType type)
+    : geom_(geom), name_(std::move(name)), type_(type) {
+  if (geom_ == nullptr) {
+    throw support::ApiError("Field requires a geometry");
+  }
+  data_.assign(static_cast<std::size_t>(geom_->size()), 0);
+  defined_.assign(static_cast<std::size_t>(geom_->size()), 0);
+}
+
+void Field::fill(Bits value) {
+  data_.assign(data_.size(), value);
+  defined_.assign(defined_.size(), 1);
+}
+
+}  // namespace uc::cm

@@ -1,0 +1,70 @@
+// A Field is one word of memory per virtual processor in a geometry — the
+// CM analogue of an array distributed across the machine.  Storage is raw
+// 64-bit payloads (the VM bit-casts int64 / double in and out) plus a
+// per-element "defined" flag used by the solve construct's general
+// lowering (undefined until first assignment).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cm/geometry.hpp"
+#include "support/error.hpp"
+
+namespace uc::cm {
+
+using Bits = std::uint64_t;
+
+enum class ElemType : std::uint8_t { kInt, kFloat };
+
+const char* elem_type_name(ElemType t);
+
+class Field {
+ public:
+  Field(const Geometry* geom, std::string name, ElemType type);
+
+  const Geometry& geometry() const { return *geom_; }
+  const std::string& name() const { return name_; }
+  ElemType type() const { return type_; }
+  std::int64_t size() const { return static_cast<std::int64_t>(data_.size()); }
+
+  Bits get(VpIndex vp) const {
+    check(vp);
+    return data_[static_cast<std::size_t>(vp)];
+  }
+  void set(VpIndex vp, Bits value) {
+    check(vp);
+    data_[static_cast<std::size_t>(vp)] = value;
+    defined_[static_cast<std::size_t>(vp)] = 1;
+  }
+
+  bool is_defined(VpIndex vp) const {
+    check(vp);
+    return defined_[static_cast<std::size_t>(vp)] != 0;
+  }
+  void clear_defined() { defined_.assign(defined_.size(), 0); }
+  void clear_defined_at(VpIndex vp) {
+    check(vp);
+    defined_[static_cast<std::size_t>(vp)] = 0;
+  }
+  void fill(Bits value);
+
+  std::vector<Bits>& raw() { return data_; }
+  const std::vector<Bits>& raw() const { return data_; }
+
+ private:
+  void check(VpIndex vp) const {
+    if (vp < 0 || vp >= size()) {
+      throw support::ApiError("Field '" + name_ + "': VP index out of range");
+    }
+  }
+
+  const Geometry* geom_;
+  std::string name_;
+  ElemType type_;
+  std::vector<Bits> data_;
+  std::vector<std::uint8_t> defined_;
+};
+
+}  // namespace uc::cm

@@ -1,0 +1,128 @@
+#include "cm/machine.hpp"
+
+#include <bit>
+
+#include "support/str.hpp"
+
+namespace uc::cm {
+
+Machine::Machine(MachineOptions options)
+    : options_(options),
+      pool_(std::make_unique<ThreadPool>(options.host_threads)),
+      rng_(options.seed) {}
+
+GeomId Machine::create_geometry(std::vector<std::int64_t> dims) {
+  geometries_.push_back(std::make_unique<Geometry>(std::move(dims)));
+  return GeomId{static_cast<std::int32_t>(geometries_.size() - 1)};
+}
+
+const Geometry& Machine::geometry(GeomId id) const {
+  if (id.index < 0 || static_cast<std::size_t>(id.index) >= geometries_.size()) {
+    throw support::ApiError("Machine::geometry: bad id");
+  }
+  return *geometries_[static_cast<std::size_t>(id.index)];
+}
+
+FieldId Machine::allocate_field(GeomId geom, std::string name, ElemType type) {
+  const Geometry* g = &geometry(geom);
+  auto field = std::make_unique<Field>(g, std::move(name), type);
+  if (!free_field_slots_.empty()) {
+    auto slot = free_field_slots_.back();
+    free_field_slots_.pop_back();
+    fields_[static_cast<std::size_t>(slot)] = std::move(field);
+    return FieldId{slot};
+  }
+  fields_.push_back(std::move(field));
+  return FieldId{static_cast<std::int32_t>(fields_.size() - 1)};
+}
+
+Field& Machine::field(FieldId id) {
+  if (id.index < 0 || static_cast<std::size_t>(id.index) >= fields_.size() ||
+      fields_[static_cast<std::size_t>(id.index)] == nullptr) {
+    throw support::ApiError("Machine::field: bad id");
+  }
+  return *fields_[static_cast<std::size_t>(id.index)];
+}
+
+const Field& Machine::field(FieldId id) const {
+  return const_cast<Machine*>(this)->field(id);
+}
+
+void Machine::free_field(FieldId id) {
+  field(id);  // validate
+  fields_[static_cast<std::size_t>(id.index)].reset();
+  free_field_slots_.push_back(id.index);
+}
+
+void Machine::charge_frontend(std::uint64_t n_ops) {
+  trace(support::format("fe-op            count=%llu",
+                        static_cast<unsigned long long>(n_ops)));
+  stats_.frontend_ops += n_ops;
+  stats_.cycles += options_.cost.frontend_op * n_ops;
+}
+
+void Machine::charge_vector_op(std::int64_t vp_set_size, std::uint64_t n_ops) {
+  trace(support::format("cm:alu           vp-set=%lld ops=%llu",
+                        static_cast<long long>(vp_set_size),
+                        static_cast<unsigned long long>(n_ops)));
+  const auto vpr = options_.cost.vp_ratio(static_cast<std::uint64_t>(vp_set_size));
+  stats_.vector_ops += 1;
+  stats_.cycles += options_.cost.issue_overhead +
+                   options_.cost.alu_op * n_ops * vpr;
+}
+
+void Machine::charge_news(std::int64_t vp_set_size, std::uint64_t hops) {
+  trace(support::format("cm:get-news      vp-set=%lld hops=%llu",
+                        static_cast<long long>(vp_set_size),
+                        static_cast<unsigned long long>(hops)));
+  const auto vpr = options_.cost.vp_ratio(static_cast<std::uint64_t>(vp_set_size));
+  stats_.news_ops += 1;
+  stats_.cycles += options_.cost.news_op * (hops == 0 ? 1 : hops) * vpr;
+}
+
+void Machine::charge_router(std::int64_t vp_set_size,
+                            std::uint64_t n_messages) {
+  trace(support::format("cm:send-general  vp-set=%lld msgs=%llu",
+                        static_cast<long long>(vp_set_size),
+                        static_cast<unsigned long long>(n_messages)));
+  (void)vp_set_size;
+  stats_.router_ops += 1;
+  stats_.router_messages += n_messages;
+  // Messages are delivered in waves of at most P; an instruction that
+  // injects more than P messages takes proportionally longer.
+  const auto waves =
+      (n_messages + options_.cost.physical_processors - 1) /
+      options_.cost.physical_processors;
+  stats_.cycles += options_.cost.router_op * (waves == 0 ? 1 : waves);
+}
+
+void Machine::charge_reduce(std::int64_t vp_set_size, std::int64_t n_elems) {
+  trace(support::format("cm:scan          vp-set=%lld elems=%lld",
+                        static_cast<long long>(vp_set_size),
+                        static_cast<long long>(n_elems)));
+  const auto vpr = options_.cost.vp_ratio(static_cast<std::uint64_t>(vp_set_size));
+  stats_.reductions += 1;
+  std::uint64_t depth = 1;
+  if (n_elems > 1) {
+    depth = static_cast<std::uint64_t>(
+        std::bit_width(static_cast<std::uint64_t>(n_elems - 1)));
+  }
+  stats_.cycles += options_.cost.issue_overhead +
+                   options_.cost.scan_step * depth * vpr;
+}
+
+void Machine::charge_global_or() {
+  trace("cm:global-logior");
+  stats_.global_ors += 1;
+  stats_.cycles += options_.cost.global_or_op;
+}
+
+void Machine::charge_broadcast(std::int64_t vp_set_size) {
+  trace(support::format("cm:broadcast     vp-set=%lld",
+                        static_cast<long long>(vp_set_size)));
+  const auto vpr = options_.cost.vp_ratio(static_cast<std::uint64_t>(vp_set_size));
+  stats_.broadcasts += 1;
+  stats_.cycles += options_.cost.broadcast_op * vpr;
+}
+
+}  // namespace uc::cm

@@ -1,0 +1,104 @@
+// The simulated Connection Machine.  Owns geometries (VP sets), fields
+// (per-VP memory), the host thread pool that stands in for the physical
+// processor array, the deterministic RNG, and all cost accounting.
+//
+// Cost charging contract: charge_* methods are called once per issued
+// instruction, from the issuing thread only (instruction issue is serial on
+// the real front end too).  Elementwise host work *within* an instruction
+// may run on the pool.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cm/cost.hpp"
+#include "cm/field.hpp"
+#include "cm/geometry.hpp"
+#include "cm/thread_pool.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace uc::cm {
+
+struct GeomId {
+  std::int32_t index = -1;
+  friend bool operator==(GeomId, GeomId) = default;
+};
+struct FieldId {
+  std::int32_t index = -1;
+  friend bool operator==(FieldId, FieldId) = default;
+};
+
+struct MachineOptions {
+  CostModel cost;
+  unsigned host_threads = 1;   // threads in the data-parallel host runtime
+  std::uint64_t seed = 1;      // RNG seed (rand() in UC programs, oneof picks)
+  // Record a Paris-style instruction trace (the CM-2 assembly interface the
+  // paper's compiler was being retargeted to, §5).  One line per issued
+  // machine instruction; costs memory, off by default.
+  bool record_paris_trace = false;
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineOptions options = {});
+
+  const CostModel& cost_model() const { return options_.cost; }
+  const MachineOptions& options() const { return options_; }
+
+  GeomId create_geometry(std::vector<std::int64_t> dims);
+  const Geometry& geometry(GeomId id) const;
+
+  FieldId allocate_field(GeomId geom, std::string name, ElemType type);
+  Field& field(FieldId id);
+  const Field& field(FieldId id) const;
+  void free_field(FieldId id);
+
+  ThreadPool& pool() { return *pool_; }
+  support::SplitMix64& rng() { return rng_; }
+
+  const CostStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CostStats{}; }
+
+  // The Paris-style trace (empty unless options.record_paris_trace).
+  const std::vector<std::string>& paris_trace() const { return trace_; }
+  void clear_paris_trace() { trace_.clear(); }
+
+  // ---- Cost charging (once per issued instruction) ----
+
+  // Scalar work on the front end.
+  void charge_frontend(std::uint64_t n_ops = 1);
+  // One SIMD elementwise instruction over a VP set of the given size;
+  // n_ops elementary ALU/memory steps per VP.
+  void charge_vector_op(std::int64_t vp_set_size, std::uint64_t n_ops = 1);
+  // One instruction whose operand arrives over the NEWS grid, `hops` grid
+  // steps away (|delta| in the shifted-access pattern).
+  void charge_news(std::int64_t vp_set_size, std::uint64_t hops = 1);
+  // One instruction using the general router, delivering n_messages.
+  // Delivery happens in waves of at most `physical_processors` messages.
+  void charge_router(std::int64_t vp_set_size, std::uint64_t n_messages);
+  // One log-depth reduce/scan instruction over n_elems operands living in a
+  // VP set of the given size.
+  void charge_reduce(std::int64_t vp_set_size, std::int64_t n_elems);
+  // Global-OR over the current context (hardware wired-OR).
+  void charge_global_or();
+  // Front-end broadcast of a scalar to a VP set.
+  void charge_broadcast(std::int64_t vp_set_size);
+
+ private:
+  MachineOptions options_;
+  std::vector<std::unique_ptr<Geometry>> geometries_;
+  std::vector<std::unique_ptr<Field>> fields_;  // slot reuse after free
+  std::vector<std::int32_t> free_field_slots_;
+  std::unique_ptr<ThreadPool> pool_;
+  support::SplitMix64 rng_;
+  CostStats stats_;
+  std::vector<std::string> trace_;
+  void trace(std::string line) {
+    if (options_.record_paris_trace) trace_.push_back(std::move(line));
+  }
+};
+
+}  // namespace uc::cm

@@ -1,0 +1,210 @@
+#include "cm/ops.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace uc::cm {
+
+namespace {
+
+// UC's INF constant (paper §3.2): min/max identities.
+constexpr std::int64_t kIntInf = std::numeric_limits<std::int64_t>::max();
+constexpr double kFloatInf = std::numeric_limits<double>::infinity();
+
+void check_same_geometry(const Field& a, const Field& b, const char* what) {
+  if (!(a.geometry() == b.geometry())) {
+    throw support::ApiError(std::string(what) +
+                            ": fields live in different geometries");
+  }
+}
+
+}  // namespace
+
+void elementwise(Machine& m, const ContextStack& ctx, Field& dst,
+                 const std::function<Bits(VpIndex)>& fn,
+                 std::uint64_t n_ops) {
+  const auto& geom = dst.geometry();
+  if (!(geom == ctx.geometry())) {
+    throw support::ApiError("elementwise: context/field geometry mismatch");
+  }
+  m.charge_vector_op(geom.size(), n_ops);
+  auto& raw = dst.raw();
+  const auto& mask = ctx.current();
+  m.pool().parallel_for(0, geom.size(), [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t vp = b; vp < e; ++vp) {
+      if (mask[static_cast<std::size_t>(vp)] != 0) {
+        raw[static_cast<std::size_t>(vp)] = fn(vp);
+      }
+    }
+  });
+}
+
+void news_shift(Machine& m, const ContextStack& ctx, Field& dst,
+                const Field& src, std::size_t axis, std::int64_t delta) {
+  check_same_geometry(dst, src, "news_shift");
+  const auto& geom = dst.geometry();
+  m.charge_news(geom.size(),
+                static_cast<std::uint64_t>(delta < 0 ? -delta : delta));
+  const auto& mask = ctx.current();
+  const auto& src_raw = src.raw();
+  // Copy source first: dst may alias src (in-place shifts are legal).
+  std::vector<Bits> snapshot(src_raw.begin(), src_raw.end());
+  auto& out = dst.raw();
+  m.pool().parallel_for(0, geom.size(), [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t vp = b; vp < e; ++vp) {
+      if (mask[static_cast<std::size_t>(vp)] == 0) continue;
+      auto nb = geom.neighbor(vp, axis, delta);
+      if (nb) out[static_cast<std::size_t>(vp)] =
+          snapshot[static_cast<std::size_t>(*nb)];
+    }
+  });
+}
+
+void router_get(Machine& m, const ContextStack& ctx, Field& dst,
+                const Field& src,
+                const std::function<std::optional<VpIndex>(VpIndex)>& addr) {
+  const auto& geom = dst.geometry();
+  if (!(geom == ctx.geometry())) {
+    throw support::ApiError("router_get: context/field geometry mismatch");
+  }
+  const auto& mask = ctx.current();
+  const auto& src_raw = src.raw();
+  std::vector<Bits> snapshot(src_raw.begin(), src_raw.end());
+  auto& out = dst.raw();
+  std::int64_t messages = 0;
+  // Count messages serially first (cheap), then fetch in parallel.
+  for (std::int64_t vp = 0; vp < geom.size(); ++vp) {
+    if (mask[static_cast<std::size_t>(vp)] != 0 && addr(vp)) ++messages;
+  }
+  m.charge_router(geom.size(), static_cast<std::uint64_t>(messages));
+  m.pool().parallel_for(0, geom.size(), [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t vp = b; vp < e; ++vp) {
+      if (mask[static_cast<std::size_t>(vp)] == 0) continue;
+      auto a = addr(vp);
+      if (!a) continue;
+      if (*a < 0 || *a >= src.size()) {
+        throw support::UcRuntimeError("router_get: address out of range");
+      }
+      out[static_cast<std::size_t>(vp)] = snapshot[static_cast<std::size_t>(*a)];
+    }
+  });
+}
+
+Bits reduce_identity(ReduceOp op, ElemType type) {
+  const bool f = type == ElemType::kFloat;
+  switch (op) {
+    case ReduceOp::kAdd:
+      return f ? from_float(0.0) : from_int(0);
+    case ReduceOp::kMul:
+      return f ? from_float(1.0) : from_int(1);
+    case ReduceOp::kMax:
+      return f ? from_float(-kFloatInf) : from_int(-kIntInf);
+    case ReduceOp::kMin:
+      return f ? from_float(kFloatInf) : from_int(kIntInf);
+    case ReduceOp::kAnd:
+      return from_int(1);
+    case ReduceOp::kOr:
+      return from_int(0);
+    case ReduceOp::kXor:
+      return from_int(0);
+  }
+  return 0;
+}
+
+Bits apply_reduce_op(ReduceOp op, ElemType type, Bits a, Bits b) {
+  if (type == ElemType::kFloat) {
+    const double x = as_float(a);
+    const double y = as_float(b);
+    switch (op) {
+      case ReduceOp::kAdd:
+        return from_float(x + y);
+      case ReduceOp::kMul:
+        return from_float(x * y);
+      case ReduceOp::kMax:
+        return from_float(std::max(x, y));
+      case ReduceOp::kMin:
+        return from_float(std::min(x, y));
+      case ReduceOp::kAnd:
+        return from_int((x != 0.0 && y != 0.0) ? 1 : 0);
+      case ReduceOp::kOr:
+        return from_int((x != 0.0 || y != 0.0) ? 1 : 0);
+      case ReduceOp::kXor:
+        return from_int(((x != 0.0) != (y != 0.0)) ? 1 : 0);
+    }
+  } else {
+    const std::int64_t x = as_int(a);
+    const std::int64_t y = as_int(b);
+    switch (op) {
+      case ReduceOp::kAdd:
+        return from_int(x + y);
+      case ReduceOp::kMul:
+        return from_int(x * y);
+      case ReduceOp::kMax:
+        return from_int(std::max(x, y));
+      case ReduceOp::kMin:
+        return from_int(std::min(x, y));
+      case ReduceOp::kAnd:
+        return from_int((x != 0 && y != 0) ? 1 : 0);
+      case ReduceOp::kOr:
+        return from_int((x != 0 || y != 0) ? 1 : 0);
+      case ReduceOp::kXor:
+        return from_int(x ^ y);
+    }
+  }
+  return 0;
+}
+
+Bits reduce(Machine& m, const ContextStack& ctx, const Field& src,
+            ReduceOp op) {
+  const auto& geom = src.geometry();
+  if (!(geom == ctx.geometry())) {
+    throw support::ApiError("reduce: context/field geometry mismatch");
+  }
+  const auto& mask = ctx.current();
+  const auto n_active = ctx.active_count();
+  m.charge_reduce(geom.size(), n_active);
+  Bits acc = reduce_identity(op, src.type());
+  const auto& raw = src.raw();
+  for (std::int64_t vp = 0; vp < geom.size(); ++vp) {
+    if (mask[static_cast<std::size_t>(vp)] != 0) {
+      acc = apply_reduce_op(op, src.type(), acc,
+                            raw[static_cast<std::size_t>(vp)]);
+    }
+  }
+  return acc;
+}
+
+void scan(Machine& m, const ContextStack& ctx, Field& dst, const Field& src,
+          ReduceOp op) {
+  check_same_geometry(dst, src, "scan");
+  const auto& geom = src.geometry();
+  const auto& mask = ctx.current();
+  m.charge_reduce(geom.size(), ctx.active_count());
+  Bits acc = reduce_identity(op, src.type());
+  const auto& in = src.raw();
+  auto& out = dst.raw();
+  for (std::int64_t vp = 0; vp < geom.size(); ++vp) {
+    if (mask[static_cast<std::size_t>(vp)] == 0) continue;
+    acc = apply_reduce_op(op, src.type(), acc, in[static_cast<std::size_t>(vp)]);
+    out[static_cast<std::size_t>(vp)] = acc;
+  }
+}
+
+bool global_or(Machine& m, const ContextStack& ctx) {
+  m.charge_global_or();
+  return ctx.any_active();
+}
+
+void broadcast(Machine& m, const ContextStack& ctx, Field& dst, Bits value) {
+  const auto& geom = dst.geometry();
+  m.charge_broadcast(geom.size());
+  const auto& mask = ctx.current();
+  auto& out = dst.raw();
+  for (std::int64_t vp = 0; vp < geom.size(); ++vp) {
+    if (mask[static_cast<std::size_t>(vp)] != 0) {
+      out[static_cast<std::size_t>(vp)] = value;
+    }
+  }
+}
+
+}  // namespace uc::cm

@@ -1,0 +1,72 @@
+// Functional vector primitives over fields: elementwise map, NEWS shift,
+// router get/send, reduce and scan.  These both *do* the work (on the host,
+// possibly via the thread pool) and *charge* the machine's cost model, so
+// the same primitive serves correctness tests and the performance
+// experiments.  The UC VM and the C* baseline DSL are built on these.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cm/context.hpp"
+#include "cm/field.hpp"
+#include "cm/machine.hpp"
+
+namespace uc::cm {
+
+// Typed views: the CM stores raw bits; these helpers bit-cast.
+inline std::int64_t as_int(Bits b) { return std::bit_cast<std::int64_t>(b); }
+inline double as_float(Bits b) { return std::bit_cast<double>(b); }
+inline Bits from_int(std::int64_t v) { return std::bit_cast<Bits>(v); }
+inline Bits from_float(double v) { return std::bit_cast<Bits>(v); }
+
+// Elementwise: dst[vp] = fn(vp) for every VP active in ctx.  One SIMD
+// instruction; host work parallelised on the machine's pool.
+void elementwise(Machine& m, const ContextStack& ctx, Field& dst,
+                 const std::function<Bits(VpIndex)>& fn,
+                 std::uint64_t n_ops = 1);
+
+// NEWS shift: dst[vp] = src[vp + delta along axis], for active VPs whose
+// source exists; inactive/edge VPs keep their old dst value.  Charges one
+// NEWS instruction with |delta| hops.
+void news_shift(Machine& m, const ContextStack& ctx, Field& dst,
+                const Field& src, std::size_t axis, std::int64_t delta);
+
+// Router get: dst[vp] = src[addr(vp)] for active VPs (addr returns the
+// source VP, nullopt to skip).  Charges one router instruction with one
+// message per active fetch.
+void router_get(Machine& m, const ContextStack& ctx, Field& dst,
+                const Field& src, const std::function<std::optional<VpIndex>(VpIndex)>& addr);
+
+// Reduction operators supported by the hardware scan network.
+enum class ReduceOp : std::uint8_t { kAdd, kMul, kMax, kMin, kAnd, kOr, kXor };
+
+// Reduce the active elements of src to a single value, returned to the
+// front end.  `identity` is returned for an empty active set.  Charges one
+// log-depth reduce.  Operates on the *typed* interpretation given by
+// src.type().
+Bits reduce(Machine& m, const ContextStack& ctx, const Field& src,
+            ReduceOp op);
+
+// Inclusive prefix scan along the (flattened) VP order of the active
+// elements; inactive positions are left untouched in dst.
+void scan(Machine& m, const ContextStack& ctx, Field& dst, const Field& src,
+          ReduceOp op);
+
+// Global-OR of the current context: "is any VP active?".
+bool global_or(Machine& m, const ContextStack& ctx);
+
+// Broadcast a scalar from the front end into dst for active VPs.
+void broadcast(Machine& m, const ContextStack& ctx, Field& dst, Bits value);
+
+// Identity element of op for the given element type (matches the table in
+// paper §3.2; INF is modelled as int64/double max).
+Bits reduce_identity(ReduceOp op, ElemType type);
+
+// Apply op to two typed payloads.
+Bits apply_reduce_op(ReduceOp op, ElemType type, Bits a, Bits b);
+
+}  // namespace uc::cm

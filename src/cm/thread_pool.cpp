@@ -1,0 +1,100 @@
+#include "cm/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace uc::cm {
+
+ThreadPool::ThreadPool(unsigned thread_count) {
+  if (thread_count == 0) {
+    thread_count = std::max(1u, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in parallel_for, so spawn one fewer.
+  for (unsigned i = 1; i < thread_count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    quit_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& fn,
+    std::int64_t min_grain) {
+  if (begin >= end) return;
+  const std::int64_t n = end - begin;
+  if (workers_.empty() || n <= min_grain) {
+    fn(begin, end);
+    return;
+  }
+  // Aim for a few chunks per worker so stragglers re-balance.
+  const auto nthreads = static_cast<std::int64_t>(workers_.size()) + 1;
+  std::int64_t grain = std::max<std::int64_t>(min_grain, n / (nthreads * 4));
+
+  std::unique_lock<std::mutex> lock(mu_);
+  job_.fn = &fn;
+  job_.end = end;
+  job_.grain = grain;
+  job_.next = begin;
+  job_.outstanding = 0;
+  job_.error = nullptr;
+  ++job_.epoch;
+  lock.unlock();
+  work_cv_.notify_all();
+
+  lock.lock();
+  run_chunks(lock);
+  done_cv_.wait(lock, [this] {
+    return job_.next >= job_.end && job_.outstanding == 0;
+  });
+  job_.fn = nullptr;
+  auto error = job_.error;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::run_chunks(std::unique_lock<std::mutex>& lock) {
+  while (job_.fn != nullptr && job_.next < job_.end) {
+    const std::int64_t chunk_begin = job_.next;
+    const std::int64_t chunk_end =
+        std::min(job_.end, chunk_begin + job_.grain);
+    job_.next = chunk_end;
+    ++job_.outstanding;
+    const auto* fn = job_.fn;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      (*fn)(chunk_begin, chunk_end);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error && !job_.error) job_.error = error;
+    --job_.outstanding;
+    if (job_.next >= job_.end && job_.outstanding == 0) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return quit_ || (job_.fn != nullptr && job_.next < job_.end &&
+                       job_.epoch != seen_epoch);
+    });
+    if (quit_) return;
+    seen_epoch = job_.epoch;
+    run_chunks(lock);
+  }
+}
+
+}  // namespace uc::cm

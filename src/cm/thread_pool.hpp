@@ -1,0 +1,68 @@
+// A small fixed-size thread pool with a chunked parallel_for.  This is the
+// threaded data-parallel runtime that stands in for the CM-2's physical
+// processor array: elementwise (per-VP) host work inside one simulated SIMD
+// instruction is split into chunks and executed by the workers.
+//
+// Design notes (following the structured-parallelism idiom of the OpenMP
+// examples and the C++ Core Guidelines CP rules):
+//   * parallel_for is a fork-join region: it returns only when every chunk
+//     has finished, so callers never see torn state;
+//   * worker threads are joined in the destructor (RAII, no detached
+//     threads);
+//   * with thread_count <= 1 the loop runs inline, which keeps the pool
+//     usable on single-core machines with zero overhead;
+//   * exceptions thrown by chunk bodies are captured and rethrown on the
+//     calling thread (first one wins).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace uc::cm {
+
+class ThreadPool {
+ public:
+  // thread_count == 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned thread_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned thread_count() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  // Calls fn(begin, end) on subranges covering [begin, end).  Blocks until
+  // all subranges complete.  The caller's thread participates.
+  void parallel_for(std::int64_t begin, std::int64_t end,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn,
+                    std::int64_t min_grain = 1024);
+
+ private:
+  struct Job {
+    const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+    std::int64_t end = 0;
+    std::int64_t grain = 1;
+    std::int64_t next = 0;        // next unclaimed chunk start
+    std::int64_t outstanding = 0; // chunks claimed but not finished
+    std::uint64_t epoch = 0;
+    std::exception_ptr error;
+  };
+
+  void worker_loop();
+  // Claims and runs chunks of the current job until none remain.
+  void run_chunks(std::unique_lock<std::mutex>& lock);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signalled when a job is posted / quit
+  std::condition_variable done_cv_;  // signalled when a job fully drains
+  Job job_;
+  bool quit_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace uc::cm

@@ -1,0 +1,28 @@
+// C*-style code emission — the artefact the paper's prototype compiler
+// produced (§5: "The UC compiler generates C* target code").
+//
+// The emitter performs the structural translation the paper describes:
+//   * every distinct global-array shape becomes a C* `domain` whose
+//     instances carry one member per UC array of that shape plus their
+//     grid coordinates (compare Appendix Figs 9/10);
+//   * `par` constructs become domain-parallel blocks (`[domain D].{...}`)
+//     with `st` predicates as `where` conditions;
+//   * `seq` becomes a front-end `for` loop;
+//   * min/max reductions inside parallel assignments become the C* `<?=` /
+//     `>?=` combine operators where the pattern allows, and explicit
+//     accumulation loops otherwise;
+//   * `*par` becomes a `do { ... } while (|| active)` loop.
+//
+// The output is documentation-faithful C* (golden-tested), not input to a
+// real TMC compiler — DESIGN.md §2 records this substitution.
+#pragma once
+
+#include <string>
+
+#include "uclang/frontend.hpp"
+
+namespace uc::codegen {
+
+std::string emit_cstar(const lang::CompilationUnit& unit);
+
+}  // namespace uc::codegen

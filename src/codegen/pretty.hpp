@@ -1,0 +1,16 @@
+// UC source printer: renders an AST back to UC source text.  Used to make
+// transform passes observable (golden tests print the rewritten tree) and
+// for round-trip testing of the parser.
+#pragma once
+
+#include <string>
+
+#include "uclang/ast.hpp"
+
+namespace uc::codegen {
+
+std::string print_program(const lang::Program& program);
+std::string print_stmt(const lang::Stmt& stmt, int indent = 0);
+std::string print_expr(const lang::Expr& expr);
+
+}  // namespace uc::codegen

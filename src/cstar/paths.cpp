@@ -1,0 +1,87 @@
+#include "cstar/paths.hpp"
+
+#include <bit>
+
+#include "cstar/domain.hpp"
+
+namespace uc::cstar {
+
+namespace {
+
+std::int64_t ceil_log2(std::int64_t n) {
+  if (n <= 1) return 1;
+  return static_cast<std::int64_t>(
+      std::bit_width(static_cast<std::uint64_t>(n - 1)));
+}
+
+void load_matrix(Domain& path, FieldHandle len,
+                 const std::vector<std::int64_t>& initial, std::int64_t n) {
+  // The appendix's PATH::init() runs as one parallel statement; here the
+  // values come from the caller instead of rand().
+  path.parallel(2, [&](Elem& e) {
+    e.set(len, initial[static_cast<std::size_t>(e.at(0) * n + e.at(1))]);
+  });
+}
+
+std::vector<std::int64_t> dump_matrix(Domain& path, FieldHandle len,
+                                      std::int64_t n) {
+  std::vector<std::int64_t> out(static_cast<std::size_t>(n * n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      out[static_cast<std::size_t>(i * n + j)] = path.read(len, {i, j});
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> shortest_path_on2(
+    cm::Machine& machine, std::int64_t n,
+    const std::vector<std::int64_t>& initial) {
+  Domain path(machine, "PATH", {n, n});
+  auto len = path.add_field("len");
+  load_matrix(path, len, initial, n);
+
+  // void main() { [domain PATH].{ int k; for (k=0; k<N; k++)
+  //   len <?= path[i][k].len + path[k][j].len; } }
+  for (std::int64_t k = 0; k < n; ++k) {
+    machine.charge_frontend(2);  // loop bookkeeping on the front end
+    path.parallel(3, [&](Elem& e) {
+      const auto i = e.at(0);
+      const auto j = e.at(1);
+      e.min_assign(len, e.get(len, {i, k}) + e.get(len, {k, j}));
+    });
+  }
+  return dump_matrix(path, len, n);
+}
+
+std::vector<std::int64_t> shortest_path_on3(
+    cm::Machine& machine, std::int64_t n,
+    const std::vector<std::int64_t>& initial) {
+  Domain path(machine, "PATH", {n, n});
+  auto len = path.add_field("len");
+  load_matrix(path, len, initial, n);
+
+  // domain XMED[N][N][N]: instance (i,j,k) relaxes path (i,j) via k.  The
+  // C* program must declare the full 3-D domain to get O(N^3) parallelism
+  // (the §5 point about explicit, static parallelism declarations).
+  Domain xmed(machine, "XMED", {n, n, n});
+  (void)xmed.add_field("scratch");
+
+  const auto rounds = ceil_log2(n);
+  for (std::int64_t r = 0; r < rounds; ++r) {
+    machine.charge_frontend(2);
+    xmed.parallel(3, [&](Elem& e) {
+      const auto i = e.at(0);
+      const auto j = e.at(1);
+      const auto k = e.at(2);
+      const auto via =
+          e.get_from(path, len, {i, k}) + e.get_from(path, len, {k, j});
+      e.send_min_to(path, len, {i, j}, via);
+    });
+  }
+  return dump_matrix(path, len, n);
+}
+
+}  // namespace uc::cstar

@@ -1,0 +1,27 @@
+// The paper's Appendix C* programs (Figs 9 and 10) expressed in the
+// embedded C* DSL — the baselines for experiments E1/E2 (Figs 6-7).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cm/machine.hpp"
+
+namespace uc::cstar {
+
+// Fig 9: domain PATH[N][N], N relaxation rounds of
+//   path[i][j].len <?= path[i][k].len + path[k][j].len
+// with the front end stepping k.  `initial` is the row-major N×N distance
+// matrix.  Returns the final matrix; costs accrue on `machine`.
+std::vector<std::int64_t> shortest_path_on2(
+    cm::Machine& machine, std::int64_t n,
+    const std::vector<std::int64_t>& initial);
+
+// Fig 10: domain XMED[N][N][N] evaluates all intermediate nodes at once;
+// ceil(log2 N) rounds of min-plus squaring (matching the UC Fig 5
+// program), with XMED instances reading PATH and min-combining back.
+std::vector<std::int64_t> shortest_path_on3(
+    cm::Machine& machine, std::int64_t n,
+    const std::vector<std::int64_t>& initial);
+
+}  // namespace uc::cstar

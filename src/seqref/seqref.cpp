@@ -1,0 +1,181 @@
+#include "seqref/seqref.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace uc::seqref {
+
+std::uint64_t floyd_warshall(std::vector<std::int64_t>& dist,
+                             std::int64_t n) {
+  std::uint64_t ops = 0;
+  for (std::int64_t k = 0; k < n; ++k) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        const auto via = dist[static_cast<std::size_t>(i * n + k)] +
+                         dist[static_cast<std::size_t>(k * n + j)];
+        auto& d = dist[static_cast<std::size_t>(i * n + j)];
+        if (via < d) d = via;
+        ops += 3;  // add, compare, conditional store
+      }
+    }
+  }
+  return ops;
+}
+
+std::uint64_t min_plus_closure(std::vector<std::int64_t>& dist,
+                               std::int64_t n) {
+  std::uint64_t ops = 0;
+  std::int64_t rounds = 1;
+  while ((std::int64_t{1} << rounds) < n) ++rounds;
+  std::vector<std::int64_t> next(dist.size());
+  for (std::int64_t r = 0; r < rounds; ++r) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        std::int64_t best = dist[static_cast<std::size_t>(i * n + j)];
+        for (std::int64_t k = 0; k < n; ++k) {
+          best = std::min(best, dist[static_cast<std::size_t>(i * n + k)] +
+                                    dist[static_cast<std::size_t>(k * n + j)]);
+          ops += 2;
+        }
+        next[static_cast<std::size_t>(i * n + j)] = best;
+      }
+    }
+    dist.swap(next);
+  }
+  return ops;
+}
+
+std::vector<std::int64_t> random_digraph(std::int64_t n,
+                                         support::SplitMix64& rng) {
+  std::vector<std::int64_t> dist(static_cast<std::size_t>(n * n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      dist[static_cast<std::size_t>(i * n + j)] =
+          i == j ? 0
+                 : static_cast<std::int64_t>(
+                       rng.next_below(static_cast<std::uint64_t>(n))) +
+                       1;
+    }
+  }
+  return dist;
+}
+
+std::vector<std::int64_t> grid_bfs(std::int64_t rows, std::int64_t cols,
+                                   const std::vector<std::uint8_t>& wall,
+                                   std::int64_t inf, std::uint64_t* ops) {
+  std::vector<std::int64_t> dist(static_cast<std::size_t>(rows * cols), inf);
+  std::uint64_t n_ops = 0;
+  std::deque<std::int64_t> queue;
+  if (!wall.empty() && wall[0] == 0) {
+    dist[0] = 0;
+    queue.push_back(0);
+  }
+  const std::int64_t dr[4] = {1, -1, 0, 0};
+  const std::int64_t dc[4] = {0, 0, 1, -1};
+  while (!queue.empty()) {
+    const auto cur = queue.front();
+    queue.pop_front();
+    const auto r = cur / cols;
+    const auto c = cur % cols;
+    for (int k = 0; k < 4; ++k) {
+      const auto nr = r + dr[k];
+      const auto nc = c + dc[k];
+      n_ops += 4;
+      if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) continue;
+      const auto ni = nr * cols + nc;
+      if (wall[static_cast<std::size_t>(ni)] != 0) continue;
+      if (dist[static_cast<std::size_t>(ni)] != inf) continue;
+      dist[static_cast<std::size_t>(ni)] =
+          dist[static_cast<std::size_t>(cur)] + 1;
+      queue.push_back(ni);
+    }
+  }
+  if (ops != nullptr) *ops = n_ops;
+  return dist;
+}
+
+std::vector<std::int64_t> grid_relax_sequential(
+    std::int64_t rows, std::int64_t cols,
+    const std::vector<std::uint8_t>& wall, std::int64_t inf,
+    std::uint64_t* ops) {
+  std::vector<std::int64_t> dist(static_cast<std::size_t>(rows * cols), inf);
+  dist[0] = 0;
+  std::uint64_t n_ops = 0;
+  bool changed = true;
+  std::vector<std::int64_t> next(dist);
+  while (changed) {
+    changed = false;
+    for (std::int64_t r = 0; r < rows; ++r) {
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const auto idx = static_cast<std::size_t>(r * cols + c);
+        n_ops += 6;  // four neighbour reads, min chain, store
+        if (idx == 0 || wall[idx] != 0) {
+          next[idx] = wall[idx] != 0 ? inf : dist[idx];
+          continue;
+        }
+        std::int64_t best = inf;
+        auto consider = [&](std::int64_t rr, std::int64_t cc) {
+          if (rr < 0 || rr >= rows || cc < 0 || cc >= cols) return;
+          const auto ni = static_cast<std::size_t>(rr * cols + cc);
+          if (wall[ni] != 0) return;
+          best = std::min(best, dist[ni]);
+        };
+        consider(r - 1, c);
+        consider(r + 1, c);
+        consider(r, c - 1);
+        consider(r, c + 1);
+        const auto v = std::min(inf, best == inf ? inf : best + 1);
+        next[idx] = v;
+        if (v != dist[idx]) changed = true;
+      }
+    }
+    dist.swap(next);
+  }
+  if (ops != nullptr) *ops = n_ops;
+  return dist;
+}
+
+std::vector<std::uint8_t> paper_obstacle(std::int64_t rows,
+                                         std::int64_t cols) {
+  std::vector<std::uint8_t> wall(static_cast<std::size_t>(rows * cols), 0);
+  for (std::int64_t i = 0; i < rows; ++i) {
+    for (std::int64_t j = 0; j < cols; ++j) {
+      const bool on_band = i + j == rows - 1 &&
+                           std::abs(i - rows / 2) <= rows / 4 && j != 0;
+      if (on_band) wall[static_cast<std::size_t>(i * cols + j)] = 1;
+    }
+  }
+  return wall;
+}
+
+std::vector<std::int64_t> prefix_sums(const std::vector<std::int64_t>& in) {
+  std::vector<std::int64_t> out(in.size());
+  std::int64_t acc = 0;
+  for (std::size_t k = 0; k < in.size(); ++k) {
+    acc += in[k];
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<std::int64_t> sorted(std::vector<std::int64_t> in) {
+  std::sort(in.begin(), in.end());
+  return in;
+}
+
+std::vector<std::int64_t> wavefront(std::int64_t n) {
+  std::vector<std::int64_t> a(static_cast<std::size_t>(n * n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      a[static_cast<std::size_t>(i * n + j)] =
+          (i == 0 || j == 0)
+              ? 1
+              : a[static_cast<std::size_t>((i - 1) * n + j)] +
+                    a[static_cast<std::size_t>((i - 1) * n + j - 1)] +
+                    a[static_cast<std::size_t>(i * n + j - 1)];
+    }
+  }
+  return a;
+}
+
+}  // namespace uc::seqref

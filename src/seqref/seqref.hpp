@@ -1,0 +1,57 @@
+// Sequential reference implementations (DESIGN.md S8).  These play two
+// roles: correctness oracles for the UC VM's parallel algorithms, and the
+// "sequential C on the front end" baselines of the paper's Fig 8.
+//
+// For Fig 8's cost axis they also report a front-end operation count (one
+// per elementary operation executed) so benches can express the baseline
+// in the same cost units as the simulated CM.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace uc::seqref {
+
+// All-pairs shortest path, Floyd–Warshall.  dist is row-major n×n,
+// modified in place.  Returns the number of elementary operations.
+std::uint64_t floyd_warshall(std::vector<std::int64_t>& dist, std::int64_t n);
+
+// All-pairs shortest path by repeated min-plus squaring (the O(N^3)
+// algorithm's sequential shape): ceil(log2 n) squarings.
+std::uint64_t min_plus_closure(std::vector<std::int64_t>& dist,
+                               std::int64_t n);
+
+// The paper Fig 4 edge-weight initialisation: d[i][i]=0, d[i][j] in 1..n.
+std::vector<std::int64_t> random_digraph(std::int64_t n,
+                                         support::SplitMix64& rng);
+
+// Grid shortest path with obstacles (Fig 8/11): BFS from (0,0) over a
+// rows×cols grid; cells with wall=true are disconnected.  Unreachable
+// cells get `inf`.  Returns elementary-operation count via out param.
+std::vector<std::int64_t> grid_bfs(std::int64_t rows, std::int64_t cols,
+                                   const std::vector<std::uint8_t>& wall,
+                                   std::int64_t inf, std::uint64_t* ops);
+
+// The iterative relaxation the paper's parallel program performs, executed
+// sequentially (the honest "same algorithm, one CPU" baseline): each sweep
+// updates every cell from its four neighbours until a fixed point.
+std::vector<std::int64_t> grid_relax_sequential(
+    std::int64_t rows, std::int64_t cols,
+    const std::vector<std::uint8_t>& wall, std::int64_t inf,
+    std::uint64_t* ops);
+
+// Fig 11's obstacle: the anti-diagonal band i+j == rows-1 with
+// |i - rows/2| <= rows/4, leaving column 0 open.
+std::vector<std::uint8_t> paper_obstacle(std::int64_t rows,
+                                         std::int64_t cols);
+
+// Prefix sums and sorts (oracles for Figs 2/3 and §3.4/§3.7).
+std::vector<std::int64_t> prefix_sums(const std::vector<std::int64_t>& in);
+std::vector<std::int64_t> sorted(std::vector<std::int64_t> in);
+
+// Wavefront matrix (oracle for the §3.6 solve example).
+std::vector<std::int64_t> wavefront(std::int64_t n);
+
+}  // namespace uc::seqref

@@ -1,0 +1,61 @@
+#include "support/diag.hpp"
+
+#include <sstream>
+
+namespace uc::support {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void DiagnosticEngine::report(Severity sev, SourceRange range,
+                              std::string message) {
+  if (sev == Severity::kError) ++error_count_;
+  diags_.push_back(Diagnostic{sev, range, std::move(message)});
+}
+
+std::string DiagnosticEngine::render(const Diagnostic& d) const {
+  std::ostringstream os;
+  if (file_ != nullptr) {
+    auto lc = file_->line_col(d.range.begin);
+    os << file_->name() << ':' << lc.line << ':' << lc.col << ": ";
+    os << severity_name(d.severity) << ": " << d.message << '\n';
+    auto line = file_->line_text(lc.line);
+    os << "  " << line << '\n';
+    os << "  ";
+    for (std::uint32_t i = 1; i < lc.col; ++i) {
+      os << (i - 1 < line.size() && line[i - 1] == '\t' ? '\t' : ' ');
+    }
+    os << '^';
+    // Extend the caret across the range if it stays on one line.
+    auto lc_end = file_->line_col(d.range.end);
+    if (lc_end.line == lc.line && lc_end.col > lc.col + 1) {
+      for (std::uint32_t i = lc.col + 1; i < lc_end.col; ++i) os << '~';
+    }
+    os << '\n';
+  } else {
+    os << severity_name(d.severity) << ": " << d.message << '\n';
+  }
+  return os.str();
+}
+
+std::string DiagnosticEngine::render_all() const {
+  std::string out;
+  for (const auto& d : diags_) out += render(d);
+  return out;
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  error_count_ = 0;
+}
+
+}  // namespace uc::support

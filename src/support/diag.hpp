@@ -1,0 +1,56 @@
+// Diagnostic engine: collects errors/warnings/notes with source ranges and
+// renders them with a caret line, clang-style.  Front-end phases share one
+// engine so a driver can report everything found in a single run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/source.hpp"
+
+namespace uc::support {
+
+enum class Severity { kNote, kWarning, kError };
+
+const char* severity_name(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceRange range;
+  std::string message;
+};
+
+class DiagnosticEngine {
+ public:
+  explicit DiagnosticEngine(const SourceFile* file = nullptr) : file_(file) {}
+
+  void attach(const SourceFile* file) { file_ = file; }
+
+  void report(Severity sev, SourceRange range, std::string message);
+  void error(SourceRange range, std::string message) {
+    report(Severity::kError, range, std::move(message));
+  }
+  void warning(SourceRange range, std::string message) {
+    report(Severity::kWarning, range, std::move(message));
+  }
+  void note(SourceRange range, std::string message) {
+    report(Severity::kNote, range, std::move(message));
+  }
+
+  bool has_errors() const { return error_count_ > 0; }
+  std::size_t error_count() const { return error_count_; }
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+  // Render one diagnostic (or all of them) as human-readable text.
+  std::string render(const Diagnostic& d) const;
+  std::string render_all() const;
+
+  void clear();
+
+ private:
+  const SourceFile* file_;
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+};
+
+}  // namespace uc::support

@@ -1,0 +1,33 @@
+// Exception types used across the library.  Compile-time problems are
+// reported through DiagnosticEngine; these exceptions cover programmer
+// misuse of the C++ API and runtime failures of executing UC programs
+// (e.g. the single-value rule for parallel assignment).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace uc::support {
+
+// Misuse of the library API (bad geometry, field shape mismatch, ...).
+class ApiError : public std::logic_error {
+ public:
+  explicit ApiError(const std::string& what) : std::logic_error(what) {}
+};
+
+// A UC program failed at runtime (conflicting parallel writes, bad
+// subscripts, division by zero, ...).
+class UcRuntimeError : public std::runtime_error {
+ public:
+  explicit UcRuntimeError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+// A UC program failed to compile; carries the rendered diagnostics.
+class UcCompileError : public std::runtime_error {
+ public:
+  explicit UcCompileError(const std::string& rendered)
+      : std::runtime_error(rendered) {}
+};
+
+}  // namespace uc::support

@@ -1,0 +1,38 @@
+#include "support/source.hpp"
+
+#include <algorithm>
+
+namespace uc::support {
+
+SourceFile::SourceFile(std::string name, std::string text)
+    : name_(std::move(name)), text_(std::move(text)) {
+  line_starts_.push_back(0);
+  for (std::uint32_t i = 0; i < text_.size(); ++i) {
+    if (text_[i] == '\n') line_starts_.push_back(i + 1);
+  }
+}
+
+LineCol SourceFile::line_col(SourceLoc loc) const {
+  auto off = std::min<std::uint32_t>(loc.offset,
+                                     static_cast<std::uint32_t>(text_.size()));
+  auto it = std::upper_bound(line_starts_.begin(), line_starts_.end(), off);
+  auto line = static_cast<std::uint32_t>(it - line_starts_.begin());  // 1-based
+  auto start = line_starts_[line - 1];
+  return LineCol{line, off - start + 1};
+}
+
+std::string_view SourceFile::line_text(std::uint32_t line) const {
+  if (line == 0 || line > line_starts_.size()) return {};
+  auto start = line_starts_[line - 1];
+  auto end = line < line_starts_.size()
+                 ? line_starts_[line] - 1  // strip '\n'
+                 : static_cast<std::uint32_t>(text_.size());
+  if (end < start) end = start;
+  return std::string_view(text_).substr(start, end - start);
+}
+
+std::uint32_t SourceFile::line_count() const {
+  return static_cast<std::uint32_t>(line_starts_.size());
+}
+
+}  // namespace uc::support

@@ -1,0 +1,55 @@
+// Source-location bookkeeping shared by the lexer, parser, semantic
+// analysis and diagnostics.  A SourceLoc is a byte offset into a named
+// buffer; SourceFile converts offsets to line/column on demand.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace uc::support {
+
+struct SourceLoc {
+  std::uint32_t offset = 0;  // byte offset into the owning buffer
+
+  friend bool operator==(SourceLoc, SourceLoc) = default;
+  friend auto operator<=>(SourceLoc, SourceLoc) = default;
+};
+
+struct SourceRange {
+  SourceLoc begin;
+  SourceLoc end;  // one past the last byte
+
+  friend bool operator==(SourceRange, SourceRange) = default;
+};
+
+struct LineCol {
+  std::uint32_t line = 1;  // 1-based
+  std::uint32_t col = 1;   // 1-based, in bytes
+
+  friend bool operator==(LineCol, LineCol) = default;
+};
+
+// An immutable named source buffer with lazy line-start indexing.
+class SourceFile {
+ public:
+  SourceFile(std::string name, std::string text);
+
+  const std::string& name() const { return name_; }
+  std::string_view text() const { return text_; }
+
+  LineCol line_col(SourceLoc loc) const;
+
+  // The full text of the (1-based) line, without the trailing newline.
+  std::string_view line_text(std::uint32_t line) const;
+
+  std::uint32_t line_count() const;
+
+ private:
+  std::string name_;
+  std::string text_;
+  std::vector<std::uint32_t> line_starts_;  // offset of each line's first byte
+};
+
+}  // namespace uc::support

@@ -1,0 +1,353 @@
+#include "uc/paper_programs.hpp"
+
+#include <bit>
+
+#include "support/str.hpp"
+
+namespace uc::papers {
+
+using support::format;
+
+namespace {
+
+// Initialisation shared by the shortest-path programs: d[i][i] = 0 and
+// d[i][j] = rand()%N + 1 otherwise (paper Fig 4).
+std::string sp_init(std::int64_t n, std::uint64_t seed) {
+  return format(
+      "#define N %lld\n"
+      "index_set I:i = {0..N-1}, J:j = I, K:k = I;\n"
+      "int d[N][N];\n"
+      "void init() {\n"
+      "  srand(%llu);\n"
+      "  par (I, J) st (i==j) d[i][j] = 0;\n"
+      "    others d[i][j] = rand() %% N + 1;\n"
+      "}\n",
+      static_cast<long long>(n), static_cast<unsigned long long>(seed));
+}
+
+std::int64_t ceil_log2(std::int64_t n) {
+  if (n <= 1) return 1;
+  return static_cast<std::int64_t>(
+      std::bit_width(static_cast<std::uint64_t>(n - 1)));
+}
+
+}  // namespace
+
+std::string shortest_path_on2(std::int64_t n, std::uint64_t seed) {
+  return sp_init(n, seed) +
+         "void main() {\n"
+         "  init();\n"
+         "  seq (K)\n"
+         "    par (I, J)\n"
+         "      st (d[i][k] + d[k][j] < d[i][j])\n"
+         "        d[i][j] = d[i][k] + d[k][j];\n"
+         "}\n";
+}
+
+std::string shortest_path_on3(std::int64_t n, std::uint64_t seed) {
+  return sp_init(n, seed) +
+         format("index_set L:l = {0..%lld};\n",
+                static_cast<long long>(ceil_log2(n) - 1)) +
+         "void main() {\n"
+         "  init();\n"
+         "  seq (L)\n"
+         "    par (I, J)\n"
+         "      d[i][j] = $<(K; d[i][k] + d[k][j]);\n"
+         "}\n";
+}
+
+std::string shortest_path_star_solve(std::int64_t n, std::uint64_t seed) {
+  return sp_init(n, seed) +
+         "void main() {\n"
+         "  init();\n"
+         "  *solve (I, J)\n"
+         "    d[i][j] = $<(K; d[i][k] + d[k][j]);\n"
+         "}\n";
+}
+
+std::string grid_shortest_path(std::int64_t rows, std::int64_t cols,
+                               bool with_obstacle) {
+  // Cells hold the distance to the goal G at (0,0); obstacle cells hold
+  // WALL and are disconnected.  The paper's obstacle (Fig 11) is the
+  // anti-diagonal band |i - R/2| <= R/4 of i+j == R-1; we leave the j==0
+  // column open so the far side stays reachable.
+  std::string src = format(
+      "#define R %lld\n"
+      "#define C %lld\n"
+      "#define WALL (0 - 2)\n"
+      "index_set I:i = {0..R-1}, J:j = {0..C-1};\n"
+      "index_set D:dir = {0..3};\n"
+      "int d[R][C];\n",
+      static_cast<long long>(rows), static_cast<long long>(cols));
+  if (with_obstacle) {
+    src +=
+        "void init() {\n"
+        "  par (I, J)\n"
+        "    st (i+j == R-1 && abs(i - R/2) <= R/4 && j != 0)\n"
+        "      d[i][j] = WALL;\n"
+        "    others d[i][j] = INF;\n"
+        "  d[0][0] = 0;\n"
+        "}\n";
+  } else {
+    src +=
+        "void init() {\n"
+        "  par (I, J) d[i][j] = INF;\n"
+        "  d[0][0] = 0;\n"
+        "}\n";
+  }
+  // min(INF, 1 + ...) clamps unreachable cells at INF so the fixed point
+  // exists even when the obstacle seals off part of the grid.
+  src +=
+      "void main() {\n"
+      "  init();\n"
+      "  *solve (I, J)\n"
+      "    st (d[i][j] != WALL && !(i==0 && j==0))\n"
+      "      d[i][j] = min(INF, 1 + $<(D\n"
+      "        st (i + (dir==0) - (dir==1) >= 0 &&\n"
+      "            i + (dir==0) - (dir==1) <= R-1 &&\n"
+      "            j + (dir==2) - (dir==3) >= 0 &&\n"
+      "            j + (dir==2) - (dir==3) <= C-1 &&\n"
+      "            d[i + (dir==0) - (dir==1)][j + (dir==2) - (dir==3)]\n"
+      "              != WALL)\n"
+      "          d[i + (dir==0) - (dir==1)][j + (dir==2) - (dir==3)]));\n"
+      "}\n";
+  return src;
+}
+
+std::string prefix_sums_star_par(std::int64_t n) {
+  return format(
+      "#define N %lld\n"
+      "index_set I:i = {0..N-1};\n"
+      "int a[N], cnt[N];\n"
+      "void main() {\n"
+      "  par (I) { a[i] = i; cnt[i] = 0; }\n"
+      "  *par (I) st (i >= power2(cnt[i]))\n"
+      "  { a[i] = a[i] + a[i - power2(cnt[i])];\n"
+      "    cnt[i] = cnt[i] + 1;\n"
+      "  }\n"
+      "}\n",
+      static_cast<long long>(n));
+}
+
+std::string prefix_sums_seq_par(std::int64_t n) {
+  return format(
+      "#define N %lld\n"
+      "#define LOGN %lld\n"
+      "index_set I:i = {0..N-1}, J:j = {0..LOGN-1};\n"
+      "int a[N];\n"
+      "void main() {\n"
+      "  par (I)\n"
+      "  { a[i] = i;\n"
+      "    seq (J) st (i - power2(j) >= 0)\n"
+      "      a[i] = a[i] + a[i - power2(j)];\n"
+      "  }\n"
+      "}\n",
+      static_cast<long long>(n), static_cast<long long>(ceil_log2(n)));
+}
+
+std::string ranksort(std::int64_t n, std::uint64_t seed) {
+  return format(
+      "#define N %lld\n"
+      "index_set I:i = {0..N-1}, J:j = I;\n"
+      "int a[N];\n"
+      "void main() {\n"
+      "  srand(%llu);\n"
+      // Distinct keys (paper assumes distinctness): value = perm via
+      // multiplicative hash of i over 2N then tie-broken by i.
+      "  par (I) a[i] = (i * 2654435761) %% (8 * N) * N + i;\n"
+      "  par (I)\n"
+      "  { int rank;\n"
+      "    rank = $+(J st (a[j] < a[i]) 1);\n"
+      "    a[rank] = a[i];\n"
+      "  }\n"
+      "}\n",
+      static_cast<long long>(n), static_cast<unsigned long long>(seed));
+}
+
+std::string odd_even_sort(std::int64_t n, std::uint64_t seed) {
+  return format(
+      "#define N %lld\n"
+      "int x[N];\n"
+      "index_set I:i = {0..N-2}, ALL:q = {0..N-1};\n"
+      "void main() {\n"
+      "  srand(%llu);\n"
+      "  par (ALL) x[q] = (q * 2654435761) %% (8 * N);\n"
+      "  *oneof (I)\n"
+      "    st (i%%2==0 && x[i]>x[i+1]) swap(x[i], x[i+1]);\n"
+      "    st (i%%2!=0 && x[i]>x[i+1]) swap(x[i], x[i+1]);\n"
+      "}\n",
+      static_cast<long long>(n), static_cast<unsigned long long>(seed));
+}
+
+std::string wavefront(std::int64_t n) {
+  return format(
+      "#define N %lld\n"
+      "index_set I:i = {0..N-1}, J:j = I;\n"
+      "int a[N][N];\n"
+      "void main() {\n"
+      "  solve (I, J)\n"
+      "    a[i][j] = (i==0 || j==0) ? 1\n"
+      "      : a[i-1][j] + a[i-1][j-1] + a[i][j-1];\n"
+      "}\n",
+      static_cast<long long>(n));
+}
+
+std::string histogram(std::int64_t n_samples) {
+  return format(
+      "#define N %lld\n"
+      "int samples[N];\n"
+      "int count[10];\n"
+      "index_set I:i = {0..N-1}, J:j = {0..9};\n"
+      "void main() {\n"
+      "  par (I) samples[i] = rand() %% 10;\n"
+      "  par (J)\n"
+      "    count[j] = $+(I st (samples[i]==j) 1);\n"
+      "}\n",
+      static_cast<long long>(n_samples));
+}
+
+std::string shifted_sum(std::int64_t n, std::int64_t rounds, bool with_map) {
+  std::string src = format(
+      "#define N %lld\n"
+      "index_set I:i = {0..N-1};\n"
+      "index_set T:t = {0..%lld};\n"
+      "int a[N], b[N];\n",
+      static_cast<long long>(n), static_cast<long long>(rounds - 1));
+  if (with_map) {
+    // Paper §4: map the (i+1)-th element of b onto the processor holding
+    // the i-th element of a, turning a[i] = a[i] + b[i+1] into a local op.
+    src += "map (I) { permute (I) b[i+1] :- a[i]; }\n";
+  }
+  src +=
+      "void main() {\n"
+      "  par (I) { a[i] = i; b[i] = 2 * i; }\n"
+      "  seq (T)\n"
+      "    par (I) st (i < N-1) a[i] = a[i] + b[i+1];\n"
+      "}\n";
+  return src;
+}
+
+std::string reversal(std::int64_t n, std::int64_t rounds, bool with_map) {
+  std::string src = format(
+      "#define N %lld\n"
+      "index_set I:i = {0..N-1};\n"
+      "index_set T:t = {0..%lld};\n"
+      "int a[N], b[N];\n",
+      static_cast<long long>(n), static_cast<long long>(rounds - 1));
+  if (with_map) {
+    src += "map (I) { permute (I) b[N-1-i] :- a[i]; }\n";
+  }
+  src +=
+      "void main() {\n"
+      "  par (I) { a[i] = 0; b[i] = i * i; }\n"
+      "  seq (T)\n"
+      "    par (I) a[i] = a[i] + b[N-1-i];\n"
+      "}\n";
+  return src;
+}
+
+std::string fold_combine(std::int64_t n, std::int64_t rounds, bool with_map) {
+  std::string src = format(
+      "#define N %lld\n"
+      "index_set I:i = {0..N-1}, H:h = {0..N/2-1};\n"
+      "index_set T:t = {0..%lld};\n"
+      "int a[N], out[N];\n",
+      static_cast<long long>(n), static_cast<long long>(rounds - 1));
+  if (with_map) {
+    // Fold the upper half of `a` back onto the lower half's processors so
+    // a[h] and a[N-1-h] are co-resident.
+    src += "map (H) { fold (H) a[N-1-h] :- a[h]; }\n";
+  }
+  src +=
+      "void main() {\n"
+      "  par (I) a[i] = i + 1;\n"
+      "  seq (T)\n"
+      "    par (H) out[h] = a[h] + a[N-1-h];\n"
+      "}\n";
+  return src;
+}
+
+std::string copy_broadcast(std::int64_t n, std::int64_t rounds,
+                           bool with_map) {
+  std::string src = format(
+      "#define N %lld\n"
+      "index_set I:i = {0..N-1}, J:j = I;\n"
+      "index_set T:t = {0..%lld};\n"
+      "int v[N], m[N][N];\n",
+      static_cast<long long>(n), static_cast<long long>(rounds - 1));
+  if (with_map) {
+    // Replicate v along J so every (i,j) reads v[j] locally.
+    src += "map (I) { copy (J) v; }\n";
+  }
+  src +=
+      "void main() {\n"
+      "  par (I) v[i] = i * 3;\n"
+      "  seq (T)\n"
+      "    par (I, J) m[i][j] = m[i][j] + v[j];\n"
+      "}\n";
+  return src;
+}
+
+std::string grid_dynamic_obstacle(std::int64_t rows, std::int64_t cols) {
+  // Two obstacle positions: the Fig 11 anti-diagonal band, then the same
+  // band shifted one diagonal away from the goal.  relax() is an ordinary
+  // UC function containing the parallel fixed-point computation.
+  return format(
+             "#define R %lld\n"
+             "#define C %lld\n"
+             "#define WALL (0 - 2)\n"
+             "index_set I:i = {0..R-1}, J:j = {0..C-1};\n"
+             "index_set D:dir = {0..3};\n"
+             "int d[R][C];\n",
+             static_cast<long long>(rows), static_cast<long long>(cols)) +
+         "void relax() {\n"
+         "  *solve (I, J)\n"
+         "    st (d[i][j] != WALL && !(i==0 && j==0))\n"
+         "      d[i][j] = min(INF, 1 + $<(D\n"
+         "        st (i + (dir==0) - (dir==1) >= 0 &&\n"
+         "            i + (dir==0) - (dir==1) <= R-1 &&\n"
+         "            j + (dir==2) - (dir==3) >= 0 &&\n"
+         "            j + (dir==2) - (dir==3) <= C-1 &&\n"
+         "            d[i + (dir==0) - (dir==1)][j + (dir==2) - (dir==3)]\n"
+         "              != WALL)\n"
+         "          d[i + (dir==0) - (dir==1)][j + (dir==2) - (dir==3)]));\n"
+         "}\n"
+         "void place(int band) {\n"
+         "  par (I, J)\n"
+         "    st (i+j == band && abs(i - R/2) <= R/4 && j != 0)\n"
+         "      d[i][j] = WALL;\n"
+         "    others d[i][j] = INF;\n"
+         "  d[0][0] = 0;\n"
+         "}\n"
+         "void main() {\n"
+         "  place(R-1);\n"
+         "  relax();\n"
+         "  /* the obstacle moves; all non-wall distances are recomputed */\n"
+         "  place(R);\n"
+         "  relax();\n"
+         "}\n";
+}
+
+std::string jacobi(std::int64_t n, std::int64_t iters) {
+  return format(
+             "#define N %lld\n"
+             "index_set I:i = {0..N-1}, J:j = I;\n"
+             "index_set T:t = {1..%lld};\n"
+             "float u[N][N], v[N][N];\n",
+             static_cast<long long>(n), static_cast<long long>(iters)) +
+         "void main() {\n"
+         "  par (I, J)\n"
+         "    st (i==0 || i==N-1 || j==0 || j==N-1)\n"
+         "      u[i][j] = (i * 10.0 + j) / N;\n"
+         "    others u[i][j] = 0.0;\n"
+         "  par (I, J) v[i][j] = u[i][j];\n"
+         "  seq (T) {\n"
+         "    par (I, J) st (i>0 && i<N-1 && j>0 && j<N-1)\n"
+         "      v[i][j] = 0.25 * (u[i-1][j] + u[i+1][j]\n"
+         "                        + u[i][j-1] + u[i][j+1]);\n"
+         "    par (I, J) u[i][j] = v[i][j];\n"
+         "  }\n"
+         "}\n";
+}
+
+}  // namespace uc::papers

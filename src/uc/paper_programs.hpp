@@ -1,0 +1,80 @@
+// The UC programs from the paper, parameterised by problem size.  These
+// are shared by the test suite (correctness against sequential
+// references), the examples and the benchmark harness (Figs 6-8).
+//
+// Sources follow the paper's figures:
+//   Fig 1  — reductions showcase
+//   Fig 2  — *par prefix sums          Fig 3 — seq/par partial sums
+//   Fig 4  — shortest path, O(N^2) parallelism
+//   Fig 5  — shortest path, O(N^3) parallelism
+//   §3.6   — wavefront via solve; *solve shortest path
+//   §3.7   — odd-even transposition sort via *oneof
+//   Fig 11 — grid shortest path with an obstacle (goal at (0,0))
+//   §4     — digit histogram (processor optimisation example)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace uc::papers {
+
+// Fig 4.  Random edge weights in 1..N (seeded via srand(seed)); d[i][i]=0.
+std::string shortest_path_on2(std::int64_t n, std::uint64_t seed = 11);
+
+// Fig 5.  Same initialisation; log2(n) rounds of min-plus squaring.
+std::string shortest_path_on3(std::int64_t n, std::uint64_t seed = 11);
+
+// §3.6.  Same problem expressed with *solve (fixed point).
+std::string shortest_path_star_solve(std::int64_t n, std::uint64_t seed = 11);
+
+// Fig 11.  rows×cols grid, goal at (0,0), diagonal wall with a gap; the
+// iterative relaxation runs to a fixed point.  Unreachable cells keep INF.
+std::string grid_shortest_path(std::int64_t rows, std::int64_t cols,
+                               bool with_obstacle = true);
+
+// Fig 2 (prefix sums via *par) over n elements, a[i] initialised to i.
+std::string prefix_sums_star_par(std::int64_t n);
+
+// Fig 3 (partial sums via seq nested in par).
+std::string prefix_sums_seq_par(std::int64_t n);
+
+// §3.4 ranksort of n distinct pseudo-random integers.
+std::string ranksort(std::int64_t n, std::uint64_t seed = 13);
+
+// §3.7 odd-even transposition sort.
+std::string odd_even_sort(std::int64_t n, std::uint64_t seed = 13);
+
+// §3.6 wavefront matrix (solve).
+std::string wavefront(std::int64_t n);
+
+// §4 digit histogram: count[j] = $+(I st (samples[i]==j) 1).
+std::string histogram(std::int64_t n_samples);
+
+// §4 mapping example: a[i] = a[i] + b[i+1] repeated `rounds` times, with
+// or without the permute map section that co-locates b[i+1] with a[i].
+std::string shifted_sum(std::int64_t n, std::int64_t rounds, bool with_map);
+
+// Reversal kernel a[i] = b[N-1-i], with or without a permute mapping.
+std::string reversal(std::int64_t n, std::int64_t rounds, bool with_map);
+
+// fold demo: a[i] = a[i] + a[N-1-i], with or without the fold mapping.
+std::string fold_combine(std::int64_t n, std::int64_t rounds, bool with_map);
+
+// copy demo: every row sums a shared vector v (broadcast-heavy), with or
+// without `copy (I) v;`.
+std::string copy_broadcast(std::int64_t n, std::int64_t rounds,
+                           bool with_map);
+
+// §5 extension — "obstacles may also be moved dynamically": two-phase grid
+// shortest path; the wall moves one diagonal down between phases and the
+// distances are recomputed (the relaxation lives in a helper function,
+// showing UC functions may contain parallel constructs when called from
+// the front end).
+std::string grid_dynamic_obstacle(std::int64_t rows, std::int64_t cols);
+
+// §5 extension — the numerical workload class the paper reports as "in
+// progress" (CFD/Jacobi): `iters` sweeps of 5-point Jacobi relaxation on
+// an n×n float grid with fixed boundary u = (10 i + j) / n.
+std::string jacobi(std::int64_t n, std::int64_t iters);
+
+}  // namespace uc::papers

@@ -1,0 +1,72 @@
+#include "uc/uc.hpp"
+
+#include "codegen/cstar_emit.hpp"
+#include "codegen/pretty.hpp"
+#include "support/error.hpp"
+#include "xform/const_fold.hpp"
+#include "xform/map_rewrite.hpp"
+#include "xform/solve_lower.hpp"
+
+namespace uc {
+
+Program::Program(std::unique_ptr<lang::CompilationUnit> unit)
+    : unit_(std::move(unit)) {}
+
+Program::Program(Program&&) noexcept = default;
+Program& Program::operator=(Program&&) noexcept = default;
+Program::~Program() = default;
+
+Program Program::compile(std::string name, std::string source,
+                         CompileOptions options) {
+  auto unit = lang::compile(std::move(name), std::move(source));
+  if (!unit->ok()) {
+    throw support::UcCompileError(unit->diags.render_all());
+  }
+  bool changed = false;
+  if (options.fold_constants) {
+    changed |= xform::fold_constants(*unit->program) > 0;
+  }
+  if (options.rewrite_permutes) {
+    changed |=
+        xform::rewrite_affine_permutes(*unit->program).rewritten_mappings > 0;
+  }
+  if (options.lower_solve) {
+    changed |= xform::lower_solves(*unit->program).lowered > 0;
+  }
+  if (changed) {
+    lang::reanalyze(*unit);
+    if (!unit->ok()) {
+      throw support::UcCompileError(
+          "internal error: transformed program fails semantic analysis:\n" +
+          unit->diags.render_all());
+    }
+  }
+  return Program(std::move(unit));
+}
+
+std::string Program::check(std::string name, std::string source) {
+  auto unit = lang::compile(std::move(name), std::move(source));
+  return unit->ok() ? std::string() : unit->diags.render_all();
+}
+
+vm::RunResult Program::run(cm::MachineOptions machine_options,
+                           vm::ExecOptions exec_options) const {
+  cm::Machine machine(machine_options);
+  return run_on(machine, exec_options);
+}
+
+vm::RunResult Program::run_on(cm::Machine& machine,
+                              vm::ExecOptions exec_options) const {
+  vm::Interp interp(*unit_, machine, exec_options);
+  return interp.run();
+}
+
+std::string Program::to_uc_source() const {
+  return codegen::print_program(*unit_->program);
+}
+
+std::string Program::to_cstar_source() const {
+  return codegen::emit_cstar(*unit_);
+}
+
+}  // namespace uc

@@ -1,0 +1,74 @@
+// Public entry point of the UC-on-CM library.
+//
+//   #include "uc/uc.hpp"
+//
+//   auto program = uc::Program::compile("demo.uc", source);
+//   auto result  = program.run();                 // fresh simulated CM-2
+//   result.output();                              // print() output
+//   result.global_scalar("s").as_int();           // inspect globals
+//   result.stats().cycles;                        // simulated machine time
+//
+// Compilation runs the full front end (preprocess, lex, parse, sema) plus
+// the optional optimisation passes of the paper's §4 (constant folding,
+// affine permute rewriting) and the §3.6 solve lowering.  Execution runs
+// the analysed program on the simulated Connection Machine (see
+// cm::MachineOptions for machine size / seed / host threads and
+// vm::ExecOptions for optimisation toggles).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cm/machine.hpp"
+#include "uclang/frontend.hpp"
+#include "ucvm/interp.hpp"
+
+namespace uc {
+
+struct CompileOptions {
+  // §4 "code optimisations": fold constant subexpressions.
+  bool fold_constants = true;
+  // §3.6: lower non-starred `solve` to the guarded *par form at the source
+  // level (constructs the lowering cannot express fall back to the VM's
+  // built-in solve).
+  bool lower_solve = false;
+  // §4 "communication optimisations": rewrite affine 1-D permute mappings
+  // into subscript shifts.
+  bool rewrite_permutes = false;
+};
+
+class Program {
+ public:
+  // Throws support::UcCompileError (message = rendered diagnostics) when
+  // the source does not compile.
+  static Program compile(std::string name, std::string source,
+                         CompileOptions options = {});
+
+  // Returns the rendered diagnostics for a source, empty when it is
+  // error-free — for tooling that wants errors without exceptions.
+  static std::string check(std::string name, std::string source);
+
+  Program(Program&&) noexcept;
+  Program& operator=(Program&&) noexcept;
+  ~Program();
+
+  // Runs main() on a fresh simulated machine.
+  vm::RunResult run(cm::MachineOptions machine_options = {},
+                    vm::ExecOptions exec_options = {}) const;
+  // Runs on an existing machine (stats accumulate there).
+  vm::RunResult run_on(cm::Machine& machine,
+                       vm::ExecOptions exec_options = {}) const;
+
+  // The canonical UC rendering of the (possibly transformed) program.
+  std::string to_uc_source() const;
+  // The C*-style emission (what the paper's compiler targeted, §5).
+  std::string to_cstar_source() const;
+
+  const lang::CompilationUnit& unit() const { return *unit_; }
+
+ private:
+  explicit Program(std::unique_ptr<lang::CompilationUnit> unit);
+  std::unique_ptr<lang::CompilationUnit> unit_;
+};
+
+}  // namespace uc

@@ -1,0 +1,359 @@
+#include "uclang/ast.hpp"
+
+namespace uc::lang {
+
+const char* scalar_kind_name(ScalarKind k) {
+  switch (k) {
+    case ScalarKind::kVoid: return "void";
+    case ScalarKind::kInt: return "int";
+    case ScalarKind::kFloat: return "float";
+    case ScalarKind::kChar: return "char";
+    case ScalarKind::kBool: return "bool";
+  }
+  return "?";
+}
+
+std::string Type::to_string() const {
+  std::string s = scalar_kind_name(scalar);
+  for (auto d : dims) {
+    s += '[';
+    s += std::to_string(d);
+    s += ']';
+  }
+  return s;
+}
+
+const char* unary_op_spelling(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNeg: return "-";
+    case UnaryOp::kNot: return "!";
+    case UnaryOp::kBitNot: return "~";
+    case UnaryOp::kPlus: return "+";
+  }
+  return "?";
+}
+
+const char* binary_op_spelling(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kLogAnd: return "&&";
+    case BinaryOp::kLogOr: return "||";
+    case BinaryOp::kBitAnd: return "&";
+    case BinaryOp::kBitOr: return "|";
+    case BinaryOp::kBitXor: return "^";
+    case BinaryOp::kShl: return "<<";
+    case BinaryOp::kShr: return ">>";
+  }
+  return "?";
+}
+
+const char* assign_op_spelling(AssignOp op) {
+  switch (op) {
+    case AssignOp::kAssign: return "=";
+    case AssignOp::kAdd: return "+=";
+    case AssignOp::kSub: return "-=";
+    case AssignOp::kMul: return "*=";
+    case AssignOp::kDiv: return "/=";
+    case AssignOp::kMod: return "%=";
+  }
+  return "?";
+}
+
+const char* reduce_kind_spelling(ReduceKind k) {
+  switch (k) {
+    case ReduceKind::kAdd: return "$+";
+    case ReduceKind::kMul: return "$*";
+    case ReduceKind::kAnd: return "$&&";
+    case ReduceKind::kOr: return "$||";
+    case ReduceKind::kXor: return "$^";
+    case ReduceKind::kMax: return "$>";
+    case ReduceKind::kMin: return "$<";
+    case ReduceKind::kArb: return "$,";
+  }
+  return "?";
+}
+
+const char* uc_op_spelling(UcOp op) {
+  switch (op) {
+    case UcOp::kPar: return "par";
+    case UcOp::kSeq: return "seq";
+    case UcOp::kSolve: return "solve";
+    case UcOp::kOneof: return "oneof";
+  }
+  return "?";
+}
+
+const char* map_kind_spelling(MapKind k) {
+  switch (k) {
+    case MapKind::kPermute: return "permute";
+    case MapKind::kFold: return "fold";
+    case MapKind::kCopy: return "copy";
+  }
+  return "?";
+}
+
+FuncDecl* Program::find_function(std::string_view name) const {
+  for (const auto& item : items) {
+    if (item.func && item.func->name == name) return item.func.get();
+  }
+  return nullptr;
+}
+
+ExprPtr clone_expr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kIntLit: {
+      auto out = std::make_unique<IntLitExpr>();
+      out->value = static_cast<const IntLitExpr&>(e).value;
+      out->range = e.range;
+      return out;
+    }
+    case ExprKind::kFloatLit: {
+      auto out = std::make_unique<FloatLitExpr>();
+      out->value = static_cast<const FloatLitExpr&>(e).value;
+      out->range = e.range;
+      return out;
+    }
+    case ExprKind::kStringLit: {
+      auto out = std::make_unique<StringLitExpr>();
+      out->value = static_cast<const StringLitExpr&>(e).value;
+      out->range = e.range;
+      return out;
+    }
+    case ExprKind::kIdent: {
+      auto out = std::make_unique<IdentExpr>();
+      out->name = static_cast<const IdentExpr&>(e).name;
+      out->range = e.range;
+      return out;
+    }
+    case ExprKind::kSubscript: {
+      const auto& s = static_cast<const SubscriptExpr&>(e);
+      auto out = std::make_unique<SubscriptExpr>();
+      out->base = clone_expr(*s.base);
+      for (const auto& idx : s.indices) out->indices.push_back(clone_expr(*idx));
+      out->range = e.range;
+      return out;
+    }
+    case ExprKind::kCall: {
+      const auto& c = static_cast<const CallExpr&>(e);
+      auto out = std::make_unique<CallExpr>();
+      out->callee = c.callee;
+      for (const auto& a : c.args) out->args.push_back(clone_expr(*a));
+      out->range = e.range;
+      return out;
+    }
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      auto out = std::make_unique<UnaryExpr>();
+      out->op = u.op;
+      out->operand = clone_expr(*u.operand);
+      out->range = e.range;
+      return out;
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      auto out = std::make_unique<BinaryExpr>();
+      out->op = b.op;
+      out->lhs = clone_expr(*b.lhs);
+      out->rhs = clone_expr(*b.rhs);
+      out->range = e.range;
+      return out;
+    }
+    case ExprKind::kAssign: {
+      const auto& a = static_cast<const AssignExpr&>(e);
+      auto out = std::make_unique<AssignExpr>();
+      out->op = a.op;
+      out->lhs = clone_expr(*a.lhs);
+      out->rhs = clone_expr(*a.rhs);
+      out->range = e.range;
+      return out;
+    }
+    case ExprKind::kTernary: {
+      const auto& t = static_cast<const TernaryExpr&>(e);
+      auto out = std::make_unique<TernaryExpr>();
+      out->cond = clone_expr(*t.cond);
+      out->then_expr = clone_expr(*t.then_expr);
+      out->else_expr = clone_expr(*t.else_expr);
+      out->range = e.range;
+      return out;
+    }
+    case ExprKind::kReduce: {
+      const auto& r = static_cast<const ReduceExpr&>(e);
+      auto out = std::make_unique<ReduceExpr>();
+      out->op = r.op;
+      out->index_sets = r.index_sets;
+      for (const auto& arm : r.arms) {
+        ReduceArm copy;
+        if (arm.pred) copy.pred = clone_expr(*arm.pred);
+        copy.value = clone_expr(*arm.value);
+        out->arms.push_back(std::move(copy));
+      }
+      if (r.others) out->others = clone_expr(*r.others);
+      out->range = e.range;
+      return out;
+    }
+    case ExprKind::kIncDec: {
+      const auto& i = static_cast<const IncDecExpr&>(e);
+      auto out = std::make_unique<IncDecExpr>();
+      out->is_increment = i.is_increment;
+      out->is_prefix = i.is_prefix;
+      out->operand = clone_expr(*i.operand);
+      out->range = e.range;
+      return out;
+    }
+  }
+  return nullptr;
+}
+
+StmtPtr clone_stmt(const Stmt& s) {
+  switch (s.kind) {
+    case StmtKind::kEmpty: {
+      auto out = std::make_unique<EmptyStmt>();
+      out->range = s.range;
+      return out;
+    }
+    case StmtKind::kExpr: {
+      auto out = std::make_unique<ExprStmt>();
+      out->expr = clone_expr(*static_cast<const ExprStmt&>(s).expr);
+      out->range = s.range;
+      return out;
+    }
+    case StmtKind::kCompound: {
+      auto out = std::make_unique<CompoundStmt>();
+      for (const auto& child : static_cast<const CompoundStmt&>(s).body) {
+        out->body.push_back(clone_stmt(*child));
+      }
+      out->range = s.range;
+      return out;
+    }
+    case StmtKind::kIf: {
+      const auto& i = static_cast<const IfStmt&>(s);
+      auto out = std::make_unique<IfStmt>();
+      out->cond = clone_expr(*i.cond);
+      out->then_stmt = clone_stmt(*i.then_stmt);
+      if (i.else_stmt) out->else_stmt = clone_stmt(*i.else_stmt);
+      out->range = s.range;
+      return out;
+    }
+    case StmtKind::kWhile: {
+      const auto& w = static_cast<const WhileStmt&>(s);
+      auto out = std::make_unique<WhileStmt>();
+      out->cond = clone_expr(*w.cond);
+      out->body = clone_stmt(*w.body);
+      out->range = s.range;
+      return out;
+    }
+    case StmtKind::kFor: {
+      const auto& f = static_cast<const ForStmt&>(s);
+      auto out = std::make_unique<ForStmt>();
+      if (f.init) out->init = clone_stmt(*f.init);
+      if (f.cond) out->cond = clone_expr(*f.cond);
+      if (f.step) out->step = clone_expr(*f.step);
+      out->body = clone_stmt(*f.body);
+      out->range = s.range;
+      return out;
+    }
+    case StmtKind::kReturn: {
+      const auto& r = static_cast<const ReturnStmt&>(s);
+      auto out = std::make_unique<ReturnStmt>();
+      if (r.value) out->value = clone_expr(*r.value);
+      out->range = s.range;
+      return out;
+    }
+    case StmtKind::kBreak: {
+      auto out = std::make_unique<BreakStmt>();
+      out->range = s.range;
+      return out;
+    }
+    case StmtKind::kContinue: {
+      auto out = std::make_unique<ContinueStmt>();
+      out->range = s.range;
+      return out;
+    }
+    case StmtKind::kVarDecl: {
+      const auto& d = static_cast<const VarDeclStmt&>(s);
+      auto out = std::make_unique<VarDeclStmt>();
+      out->scalar = d.scalar;
+      out->is_const = d.is_const;
+      for (const auto& dec : d.declarators) {
+        VarDeclarator copy;
+        copy.name = dec.name;
+        copy.range = dec.range;
+        for (const auto& dim : dec.dim_exprs) {
+          copy.dim_exprs.push_back(clone_expr(*dim));
+        }
+        if (dec.init) copy.init = clone_expr(*dec.init);
+        out->declarators.push_back(std::move(copy));
+      }
+      out->range = s.range;
+      return out;
+    }
+    case StmtKind::kIndexSetDecl: {
+      const auto& d = static_cast<const IndexSetDeclStmt&>(s);
+      auto out = std::make_unique<IndexSetDeclStmt>();
+      for (const auto& def : d.defs) {
+        IndexSetDef copy;
+        copy.set_name = def.set_name;
+        copy.elem_name = def.elem_name;
+        copy.range = def.range;
+        copy.alias = def.alias;
+        if (def.range_lo) copy.range_lo = clone_expr(*def.range_lo);
+        if (def.range_hi) copy.range_hi = clone_expr(*def.range_hi);
+        for (const auto& v : def.listed) copy.listed.push_back(clone_expr(*v));
+        out->defs.push_back(std::move(copy));
+      }
+      out->range = s.range;
+      return out;
+    }
+    case StmtKind::kUcConstruct: {
+      const auto& u = static_cast<const UcConstructStmt&>(s);
+      auto out = std::make_unique<UcConstructStmt>();
+      out->op = u.op;
+      out->starred = u.starred;
+      out->index_sets = u.index_sets;
+      for (const auto& block : u.blocks) {
+        ScBlock copy;
+        if (block.pred) copy.pred = clone_expr(*block.pred);
+        copy.body = clone_stmt(*block.body);
+        out->blocks.push_back(std::move(copy));
+      }
+      if (u.others) out->others = clone_stmt(*u.others);
+      out->range = s.range;
+      return out;
+    }
+    case StmtKind::kMapSection: {
+      const auto& m = static_cast<const MapSectionStmt&>(s);
+      auto out = std::make_unique<MapSectionStmt>();
+      out->index_sets = m.index_sets;
+      for (const auto& mapping : m.mappings) {
+        Mapping copy;
+        copy.kind = mapping.kind;
+        copy.range = mapping.range;
+        copy.index_sets = mapping.index_sets;
+        copy.target_array = mapping.target_array;
+        copy.source_array = mapping.source_array;
+        for (const auto& sub : mapping.target_subscripts) {
+          copy.target_subscripts.push_back(clone_expr(*sub));
+        }
+        for (const auto& sub : mapping.source_subscripts) {
+          copy.source_subscripts.push_back(clone_expr(*sub));
+        }
+        out->mappings.push_back(std::move(copy));
+      }
+      out->range = s.range;
+      return out;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace uc::lang

@@ -1,0 +1,811 @@
+#include "uclang/parser.hpp"
+
+#include <limits>
+
+namespace uc::lang {
+
+namespace {
+
+ScalarKind scalar_kind_for(TokenKind k) {
+  switch (k) {
+    case TokenKind::kKwInt: return ScalarKind::kInt;
+    case TokenKind::kKwFloat: return ScalarKind::kFloat;
+    case TokenKind::kKwDouble: return ScalarKind::kFloat;  // one float type
+    case TokenKind::kKwChar: return ScalarKind::kChar;
+    case TokenKind::kKwBool: return ScalarKind::kBool;
+    case TokenKind::kKwVoid: return ScalarKind::kVoid;
+    default: return ScalarKind::kInt;
+  }
+}
+
+ReduceKind reduce_kind_for(TokenKind k) {
+  switch (k) {
+    case TokenKind::kRedAdd: return ReduceKind::kAdd;
+    case TokenKind::kRedMul: return ReduceKind::kMul;
+    case TokenKind::kRedAnd: return ReduceKind::kAnd;
+    case TokenKind::kRedOr: return ReduceKind::kOr;
+    case TokenKind::kRedXor: return ReduceKind::kXor;
+    case TokenKind::kRedMax: return ReduceKind::kMax;
+    case TokenKind::kRedMin: return ReduceKind::kMin;
+    case TokenKind::kRedArb: return ReduceKind::kArb;
+    default: return ReduceKind::kAdd;
+  }
+}
+
+// Binary operator precedence, higher binds tighter; -1 = not a binary op.
+int binary_precedence(TokenKind k) {
+  switch (k) {
+    case TokenKind::kPipePipe: return 1;
+    case TokenKind::kAmpAmp: return 2;
+    case TokenKind::kPipe: return 3;
+    case TokenKind::kCaret: return 4;
+    case TokenKind::kAmp: return 5;
+    case TokenKind::kEq:
+    case TokenKind::kNe: return 6;
+    case TokenKind::kLt:
+    case TokenKind::kGt:
+    case TokenKind::kLe:
+    case TokenKind::kGe: return 7;
+    case TokenKind::kShl:
+    case TokenKind::kShr: return 8;
+    case TokenKind::kPlus:
+    case TokenKind::kMinus: return 9;
+    case TokenKind::kStar:
+    case TokenKind::kSlash:
+    case TokenKind::kPercent: return 10;
+    default: return -1;
+  }
+}
+
+BinaryOp binary_op_for(TokenKind k) {
+  switch (k) {
+    case TokenKind::kPipePipe: return BinaryOp::kLogOr;
+    case TokenKind::kAmpAmp: return BinaryOp::kLogAnd;
+    case TokenKind::kPipe: return BinaryOp::kBitOr;
+    case TokenKind::kCaret: return BinaryOp::kBitXor;
+    case TokenKind::kAmp: return BinaryOp::kBitAnd;
+    case TokenKind::kEq: return BinaryOp::kEq;
+    case TokenKind::kNe: return BinaryOp::kNe;
+    case TokenKind::kLt: return BinaryOp::kLt;
+    case TokenKind::kGt: return BinaryOp::kGt;
+    case TokenKind::kLe: return BinaryOp::kLe;
+    case TokenKind::kGe: return BinaryOp::kGe;
+    case TokenKind::kShl: return BinaryOp::kShl;
+    case TokenKind::kShr: return BinaryOp::kShr;
+    case TokenKind::kPlus: return BinaryOp::kAdd;
+    case TokenKind::kMinus: return BinaryOp::kSub;
+    case TokenKind::kStar: return BinaryOp::kMul;
+    case TokenKind::kSlash: return BinaryOp::kDiv;
+    case TokenKind::kPercent: return BinaryOp::kMod;
+    default: return BinaryOp::kAdd;
+  }
+}
+
+bool is_assign_token(TokenKind k) {
+  switch (k) {
+    case TokenKind::kAssign:
+    case TokenKind::kPlusAssign:
+    case TokenKind::kMinusAssign:
+    case TokenKind::kStarAssign:
+    case TokenKind::kSlashAssign:
+    case TokenKind::kPercentAssign:
+      return true;
+    default:
+      return false;
+  }
+}
+
+AssignOp assign_op_for(TokenKind k) {
+  switch (k) {
+    case TokenKind::kPlusAssign: return AssignOp::kAdd;
+    case TokenKind::kMinusAssign: return AssignOp::kSub;
+    case TokenKind::kStarAssign: return AssignOp::kMul;
+    case TokenKind::kSlashAssign: return AssignOp::kDiv;
+    case TokenKind::kPercentAssign: return AssignOp::kMod;
+    default: return AssignOp::kAssign;
+  }
+}
+
+bool is_uc_construct_keyword(TokenKind k) {
+  return k == TokenKind::kKwPar || k == TokenKind::kKwSeq ||
+         k == TokenKind::kKwSolve || k == TokenKind::kKwOneof;
+}
+
+UcOp uc_op_for(TokenKind k) {
+  switch (k) {
+    case TokenKind::kKwPar: return UcOp::kPar;
+    case TokenKind::kKwSeq: return UcOp::kSeq;
+    case TokenKind::kKwSolve: return UcOp::kSolve;
+    case TokenKind::kKwOneof: return UcOp::kOneof;
+    default: return UcOp::kPar;
+  }
+}
+
+}  // namespace
+
+Parser::Parser(std::vector<Token> tokens, support::DiagnosticEngine& diags)
+    : tokens_(std::move(tokens)), diags_(diags) {
+  if (tokens_.empty() || tokens_.back().kind != TokenKind::kEof) {
+    Token eof;
+    eof.kind = TokenKind::kEof;
+    tokens_.push_back(eof);
+  }
+}
+
+const Token& Parser::peek(std::size_t ahead) const {
+  auto i = pos_ + ahead;
+  if (i >= tokens_.size()) i = tokens_.size() - 1;
+  return tokens_[i];
+}
+
+Token Parser::advance() {
+  Token t = peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::match(TokenKind k) {
+  if (check(k)) {
+    advance();
+    return true;
+  }
+  return false;
+}
+
+Token Parser::expect(TokenKind k, const char* what) {
+  if (check(k)) return advance();
+  fail(peek(), std::string("expected ") + token_kind_name(k) + " " + what +
+                   ", found " + token_kind_name(peek().kind));
+}
+
+void Parser::fail(const Token& at, std::string message) {
+  diags_.error(at.range, std::move(message));
+  throw ParseAbort{};
+}
+
+void Parser::synchronize() {
+  while (!check(TokenKind::kEof)) {
+    if (match(TokenKind::kSemi)) return;
+    if (check(TokenKind::kRBrace)) return;
+    advance();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Top level
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Program> Parser::parse_program() {
+  auto program = std::make_unique<Program>();
+  while (!check(TokenKind::kEof)) {
+    const std::size_t before = pos_;
+    try {
+      parse_top_level(*program);
+    } catch (ParseAbort&) {
+      synchronize();
+      // synchronize() stops before '}' (for statement recovery inside
+      // blocks); at top level that token belongs to nobody — consume it so
+      // recovery always makes progress.
+      if (pos_ == before && !check(TokenKind::kEof)) advance();
+    }
+  }
+  return program;
+}
+
+void Parser::parse_top_level(Program& program) {
+  auto begin = peek().range.begin;
+  if (check(TokenKind::kKwIndexSet)) {
+    advance();
+    program.items.push_back(TopLevel{parse_index_set_decl(begin), nullptr});
+    return;
+  }
+  if (check(TokenKind::kKwMap)) {
+    advance();
+    program.items.push_back(TopLevel{parse_map_section(begin), nullptr});
+    return;
+  }
+  bool is_const = match(TokenKind::kKwConst);
+  if (!is_type_keyword(peek().kind)) {
+    fail(peek(), "expected a declaration or function at top level");
+  }
+  ScalarKind scalar = scalar_kind_for(advance().kind);
+  if (check(TokenKind::kIdent) && peek(1).kind == TokenKind::kLParen) {
+    if (is_const) fail(peek(), "functions cannot be declared const");
+    Token name = advance();
+    program.items.push_back(TopLevel{nullptr, parse_function(scalar, name)});
+    return;
+  }
+  program.items.push_back(TopLevel{parse_var_decl(is_const, scalar, begin),
+                                   nullptr});
+}
+
+std::unique_ptr<FuncDecl> Parser::parse_function(ScalarKind ret,
+                                                 const Token& name_tok) {
+  auto fn = std::make_unique<FuncDecl>();
+  fn->return_scalar = ret;
+  fn->name = name_tok.text;
+  fn->range = name_tok.range;
+  expect(TokenKind::kLParen, "after function name");
+  if (!check(TokenKind::kRParen)) {
+    do {
+      Param p;
+      if (!is_type_keyword(peek().kind)) {
+        fail(peek(), "expected a parameter type");
+      }
+      p.scalar = scalar_kind_for(advance().kind);
+      // Reject pointer syntax explicitly (paper §3: pointers only as array
+      // parameters, which UC writes with [] syntax).
+      if (check(TokenKind::kStar)) {
+        fail(peek(),
+             "pointer parameters are not allowed in UC; "
+             "declare an array parameter with [] instead");
+      }
+      Token pname = expect(TokenKind::kIdent, "as parameter name");
+      p.name = pname.text;
+      p.range = pname.range;
+      while (match(TokenKind::kLBracket)) {
+        p.is_array = true;
+        ++p.array_rank;
+        // Dimensions in parameter arrays are ignored (C decay) but allowed.
+        if (!check(TokenKind::kRBracket)) (void)parse_expression();
+        expect(TokenKind::kRBracket, "to close array parameter");
+      }
+      fn->params.push_back(std::move(p));
+    } while (match(TokenKind::kComma));
+  }
+  expect(TokenKind::kRParen, "to close parameter list");
+  auto body = parse_compound();
+  fn->body.reset(static_cast<CompoundStmt*>(body.release()));
+  return fn;
+}
+
+StmtPtr Parser::parse_var_decl(bool is_const, ScalarKind scalar,
+                               support::SourceLoc begin) {
+  auto decl = std::make_unique<VarDeclStmt>();
+  decl->scalar = scalar;
+  decl->is_const = is_const;
+  do {
+    if (check(TokenKind::kStar)) {
+      fail(peek(),
+           "pointer declarations are not allowed in UC "
+           "(paper §3: pointers may only pass arrays to functions)");
+    }
+    VarDeclarator d;
+    Token name = expect(TokenKind::kIdent, "as variable name");
+    d.name = name.text;
+    d.range = name.range;
+    while (match(TokenKind::kLBracket)) {
+      d.dim_exprs.push_back(parse_expression());
+      expect(TokenKind::kRBracket, "to close array dimension");
+    }
+    if (match(TokenKind::kAssign)) {
+      d.init = parse_assignment();
+    }
+    decl->declarators.push_back(std::move(d));
+  } while (match(TokenKind::kComma));
+  expect(TokenKind::kSemi, "after declaration");
+  decl->range = {begin, previous().range.end};
+  return decl;
+}
+
+StmtPtr Parser::parse_index_set_decl(support::SourceLoc begin) {
+  auto decl = std::make_unique<IndexSetDeclStmt>();
+  do {
+    decl->defs.push_back(parse_index_set_def());
+  } while (match(TokenKind::kComma));
+  expect(TokenKind::kSemi, "after index_set declaration");
+  decl->range = {begin, previous().range.end};
+  return decl;
+}
+
+IndexSetDef Parser::parse_index_set_def() {
+  IndexSetDef def;
+  Token set = expect(TokenKind::kIdent, "as index set name");
+  def.set_name = set.text;
+  def.range = set.range;
+  expect(TokenKind::kColon, "between set name and element name");
+  Token elem = expect(TokenKind::kIdent, "as index element name");
+  def.elem_name = elem.text;
+  expect(TokenKind::kAssign, "in index_set definition");
+  if (match(TokenKind::kLBrace)) {
+    auto first = parse_ternary();  // no assignment inside set definitions
+    if (match(TokenKind::kDotDot)) {
+      def.range_lo = std::move(first);
+      def.range_hi = parse_ternary();
+    } else {
+      def.listed.push_back(std::move(first));
+      while (match(TokenKind::kComma)) {
+        def.listed.push_back(parse_ternary());
+      }
+    }
+    expect(TokenKind::kRBrace, "to close index set definition");
+  } else {
+    Token alias = expect(TokenKind::kIdent, "naming an existing index set");
+    def.alias = alias.text;
+  }
+  def.range.end = previous().range.end;
+  return def;
+}
+
+StmtPtr Parser::parse_map_section(support::SourceLoc begin) {
+  auto section = std::make_unique<MapSectionStmt>();
+  expect(TokenKind::kLParen, "after 'map'");
+  section->index_sets = parse_index_set_name_list();
+  expect(TokenKind::kRParen, "to close map header");
+  expect(TokenKind::kLBrace, "to open map section");
+  while (!check(TokenKind::kRBrace) && !check(TokenKind::kEof)) {
+    section->mappings.push_back(parse_mapping());
+  }
+  expect(TokenKind::kRBrace, "to close map section");
+  section->range = {begin, previous().range.end};
+  return section;
+}
+
+Mapping Parser::parse_mapping() {
+  Mapping m;
+  auto begin = peek().range.begin;
+  if (match(TokenKind::kKwPermute)) {
+    m.kind = MapKind::kPermute;
+  } else if (match(TokenKind::kKwFold)) {
+    m.kind = MapKind::kFold;
+  } else if (match(TokenKind::kKwCopy)) {
+    m.kind = MapKind::kCopy;
+  } else {
+    fail(peek(), "expected 'permute', 'fold' or 'copy' in map section");
+  }
+  expect(TokenKind::kLParen, "after mapping keyword");
+  m.index_sets = parse_index_set_name_list();
+  expect(TokenKind::kRParen, "to close mapping index sets");
+
+  // Target side: array [subscripts...]
+  Token target = expect(TokenKind::kIdent, "naming the array to re-map");
+  m.target_array = target.text;
+  while (match(TokenKind::kLBracket)) {
+    m.target_subscripts.push_back(parse_expression());
+    expect(TokenKind::kRBracket, "to close mapping subscript");
+  }
+  if (m.kind == MapKind::kCopy) {
+    // copy (J) a;  — replicate a along J (syntax defined by us, DESIGN.md §2)
+    expect(TokenKind::kSemi, "after copy mapping");
+  } else {
+    expect(TokenKind::kMapsTo, "(':-') between mapping sides");
+    Token source = expect(TokenKind::kIdent, "naming the reference array");
+    m.source_array = source.text;
+    while (match(TokenKind::kLBracket)) {
+      m.source_subscripts.push_back(parse_expression());
+      expect(TokenKind::kRBracket, "to close mapping subscript");
+    }
+    expect(TokenKind::kSemi, "after mapping");
+  }
+  m.range = {begin, previous().range.end};
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> Parser::parse_index_set_name_list() {
+  std::vector<std::string> names;
+  do {
+    Token t = expect(TokenKind::kIdent, "naming an index set");
+    names.push_back(t.text);
+  } while (match(TokenKind::kComma));
+  return names;
+}
+
+StmtPtr Parser::parse_statement() {
+  auto begin = peek().range.begin;
+  switch (peek().kind) {
+    case TokenKind::kLBrace:
+      return parse_compound();
+    case TokenKind::kSemi: {
+      advance();
+      auto s = std::make_unique<EmptyStmt>();
+      s->range = {begin, previous().range.end};
+      return s;
+    }
+    case TokenKind::kKwIf:
+      return parse_if();
+    case TokenKind::kKwWhile:
+      return parse_while();
+    case TokenKind::kKwFor:
+      return parse_for();
+    case TokenKind::kKwReturn: {
+      advance();
+      auto s = std::make_unique<ReturnStmt>();
+      if (!check(TokenKind::kSemi)) s->value = parse_expression();
+      expect(TokenKind::kSemi, "after return");
+      s->range = {begin, previous().range.end};
+      return s;
+    }
+    case TokenKind::kKwBreak: {
+      advance();
+      expect(TokenKind::kSemi, "after break");
+      auto s = std::make_unique<BreakStmt>();
+      s->range = {begin, previous().range.end};
+      return s;
+    }
+    case TokenKind::kKwContinue: {
+      advance();
+      expect(TokenKind::kSemi, "after continue");
+      auto s = std::make_unique<ContinueStmt>();
+      s->range = {begin, previous().range.end};
+      return s;
+    }
+    case TokenKind::kKwGoto:
+      fail(peek(), "goto is not allowed in UC (paper §3)");
+    case TokenKind::kKwIndexSet:
+      advance();
+      return parse_index_set_decl(begin);
+    case TokenKind::kKwMap:
+      advance();
+      return parse_map_section(begin);
+    case TokenKind::kKwConst: {
+      advance();
+      if (!is_type_keyword(peek().kind)) {
+        fail(peek(), "expected a type after 'const'");
+      }
+      ScalarKind scalar = scalar_kind_for(advance().kind);
+      return parse_var_decl(/*is_const=*/true, scalar, begin);
+    }
+    case TokenKind::kStar:
+      // UC has no pointer dereference, so a statement-leading '*' must be
+      // the iterate prefix of par/seq/oneof/solve.
+      advance();
+      if (!is_uc_construct_keyword(peek().kind)) {
+        fail(peek(),
+             "expected par, seq, oneof or solve after '*' "
+             "(UC has no pointer dereference)");
+      }
+      return parse_uc_construct(/*starred=*/true, begin);
+    default:
+      break;
+  }
+  if (is_uc_construct_keyword(peek().kind)) {
+    return parse_uc_construct(/*starred=*/false, begin);
+  }
+  if (is_type_keyword(peek().kind)) {
+    ScalarKind scalar = scalar_kind_for(advance().kind);
+    return parse_var_decl(/*is_const=*/false, scalar, begin);
+  }
+  auto s = std::make_unique<ExprStmt>();
+  s->expr = parse_expression();
+  expect(TokenKind::kSemi, "after expression statement");
+  s->range = {begin, previous().range.end};
+  return s;
+}
+
+StmtPtr Parser::parse_compound() {
+  auto begin = peek().range.begin;
+  expect(TokenKind::kLBrace, "to open block");
+  auto block = std::make_unique<CompoundStmt>();
+  while (!check(TokenKind::kRBrace) && !check(TokenKind::kEof)) {
+    try {
+      block->body.push_back(parse_statement());
+    } catch (ParseAbort&) {
+      synchronize();
+    }
+  }
+  expect(TokenKind::kRBrace, "to close block");
+  block->range = {begin, previous().range.end};
+  return block;
+}
+
+StmtPtr Parser::parse_if() {
+  auto begin = peek().range.begin;
+  advance();  // if
+  expect(TokenKind::kLParen, "after 'if'");
+  auto s = std::make_unique<IfStmt>();
+  s->cond = parse_expression();
+  expect(TokenKind::kRParen, "to close if condition");
+  s->then_stmt = parse_statement();
+  if (match(TokenKind::kKwElse)) s->else_stmt = parse_statement();
+  s->range = {begin, previous().range.end};
+  return s;
+}
+
+StmtPtr Parser::parse_while() {
+  auto begin = peek().range.begin;
+  advance();  // while
+  expect(TokenKind::kLParen, "after 'while'");
+  auto s = std::make_unique<WhileStmt>();
+  s->cond = parse_expression();
+  expect(TokenKind::kRParen, "to close while condition");
+  s->body = parse_statement();
+  s->range = {begin, previous().range.end};
+  return s;
+}
+
+StmtPtr Parser::parse_for() {
+  auto begin = peek().range.begin;
+  advance();  // for
+  expect(TokenKind::kLParen, "after 'for'");
+  auto s = std::make_unique<ForStmt>();
+  if (match(TokenKind::kSemi)) {
+    // no init
+  } else if (is_type_keyword(peek().kind)) {
+    ScalarKind scalar = scalar_kind_for(advance().kind);
+    s->init = parse_var_decl(false, scalar, begin);  // consumes ';'
+  } else {
+    auto init = std::make_unique<ExprStmt>();
+    init->expr = parse_expression();
+    init->range = init->expr->range;
+    s->init = std::move(init);
+    expect(TokenKind::kSemi, "after for initializer");
+  }
+  if (!check(TokenKind::kSemi)) s->cond = parse_expression();
+  expect(TokenKind::kSemi, "after for condition");
+  if (!check(TokenKind::kRParen)) s->step = parse_expression();
+  expect(TokenKind::kRParen, "to close for header");
+  s->body = parse_statement();
+  s->range = {begin, previous().range.end};
+  return s;
+}
+
+StmtPtr Parser::parse_uc_construct(bool starred, support::SourceLoc begin) {
+  auto s = std::make_unique<UcConstructStmt>();
+  s->starred = starred;
+  s->op = uc_op_for(advance().kind);
+  if (starred && s->op == UcOp::kSolve) {
+    // *solve is legal (paper §3.6) — nothing special at parse time.
+  }
+  expect(TokenKind::kLParen, "after UC construct keyword");
+  s->index_sets = parse_index_set_name_list();
+  expect(TokenKind::kRParen, "to close index set list");
+
+  if (check(TokenKind::kKwSt)) {
+    while (match(TokenKind::kKwSt)) {
+      ScBlock block;
+      expect(TokenKind::kLParen, "after 'st'");
+      block.pred = parse_expression();
+      expect(TokenKind::kRParen, "to close st predicate");
+      block.body = parse_statement();
+      s->blocks.push_back(std::move(block));
+    }
+    if (match(TokenKind::kKwOthers)) {
+      s->others = parse_statement();
+    }
+  } else {
+    ScBlock block;
+    block.body = parse_statement();
+    s->blocks.push_back(std::move(block));
+    // Paper grammar: `others` follows sc-blocks only.  A bare-statement
+    // body followed by `others` binds the others to an enclosing construct.
+  }
+  s->range = {begin, previous().range.end};
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+ExprPtr Parser::parse_expression() { return parse_assignment(); }
+
+ExprPtr Parser::parse_assignment() {
+  auto lhs = parse_ternary();
+  if (is_assign_token(peek().kind)) {
+    Token op = advance();
+    auto e = std::make_unique<AssignExpr>();
+    e->op = assign_op_for(op.kind);
+    e->range = {lhs->range.begin, {0}};
+    e->lhs = std::move(lhs);
+    e->rhs = parse_assignment();  // right associative
+    e->range.end = e->rhs->range.end;
+    return e;
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_ternary() {
+  auto cond = parse_binary(1);
+  if (match(TokenKind::kQuestion)) {
+    auto e = std::make_unique<TernaryExpr>();
+    e->range = {cond->range.begin, {0}};
+    e->cond = std::move(cond);
+    e->then_expr = parse_assignment();
+    expect(TokenKind::kColon, "in ternary expression");
+    e->else_expr = parse_assignment();
+    e->range.end = e->else_expr->range.end;
+    return e;
+  }
+  return cond;
+}
+
+ExprPtr Parser::parse_binary(int min_prec) {
+  auto lhs = parse_unary();
+  for (;;) {
+    int prec = binary_precedence(peek().kind);
+    if (prec < min_prec) return lhs;
+    Token op = advance();
+    auto rhs = parse_binary(prec + 1);
+    auto e = std::make_unique<BinaryExpr>();
+    e->op = binary_op_for(op.kind);
+    e->range = {lhs->range.begin, rhs->range.end};
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    lhs = std::move(e);
+  }
+}
+
+ExprPtr Parser::parse_unary() {
+  auto begin = peek().range.begin;
+  switch (peek().kind) {
+    case TokenKind::kMinus:
+    case TokenKind::kBang:
+    case TokenKind::kTilde:
+    case TokenKind::kPlus: {
+      Token op = advance();
+      auto e = std::make_unique<UnaryExpr>();
+      switch (op.kind) {
+        case TokenKind::kMinus: e->op = UnaryOp::kNeg; break;
+        case TokenKind::kBang: e->op = UnaryOp::kNot; break;
+        case TokenKind::kTilde: e->op = UnaryOp::kBitNot; break;
+        default: e->op = UnaryOp::kPlus; break;
+      }
+      e->operand = parse_unary();
+      e->range = {begin, e->operand->range.end};
+      return e;
+    }
+    case TokenKind::kPlusPlus:
+    case TokenKind::kMinusMinus: {
+      Token op = advance();
+      auto e = std::make_unique<IncDecExpr>();
+      e->is_increment = op.kind == TokenKind::kPlusPlus;
+      e->is_prefix = true;
+      e->operand = parse_unary();
+      e->range = {begin, e->operand->range.end};
+      return e;
+    }
+    case TokenKind::kStar:
+      fail(peek(), "pointer dereference is not allowed in UC");
+    case TokenKind::kAmp:
+      fail(peek(), "address-of is not allowed in UC");
+    default:
+      return parse_postfix();
+  }
+}
+
+ExprPtr Parser::parse_postfix() {
+  auto e = parse_primary();
+  for (;;) {
+    if (check(TokenKind::kLBracket)) {
+      auto sub = std::make_unique<SubscriptExpr>();
+      sub->range = {e->range.begin, {0}};
+      sub->base = std::move(e);
+      while (match(TokenKind::kLBracket)) {
+        sub->indices.push_back(parse_expression());
+        expect(TokenKind::kRBracket, "to close subscript");
+      }
+      sub->range.end = previous().range.end;
+      e = std::move(sub);
+    } else if (check(TokenKind::kPlusPlus) || check(TokenKind::kMinusMinus)) {
+      Token op = advance();
+      auto inc = std::make_unique<IncDecExpr>();
+      inc->is_increment = op.kind == TokenKind::kPlusPlus;
+      inc->is_prefix = false;
+      inc->range = {e->range.begin, op.range.end};
+      inc->operand = std::move(e);
+      e = std::move(inc);
+    } else {
+      return e;
+    }
+  }
+}
+
+ExprPtr Parser::parse_primary() {
+  auto begin = peek().range.begin;
+  if (is_reduction_token(peek().kind)) return parse_reduction();
+  switch (peek().kind) {
+    case TokenKind::kIntLit: {
+      Token t = advance();
+      auto e = std::make_unique<IntLitExpr>();
+      e->value = t.int_value;
+      e->range = t.range;
+      return e;
+    }
+    case TokenKind::kFloatLit: {
+      Token t = advance();
+      auto e = std::make_unique<FloatLitExpr>();
+      e->value = t.float_value;
+      e->range = t.range;
+      return e;
+    }
+    case TokenKind::kCharLit: {
+      Token t = advance();
+      auto e = std::make_unique<IntLitExpr>();
+      e->value = t.int_value;
+      e->range = t.range;
+      return e;
+    }
+    case TokenKind::kStringLit: {
+      Token t = advance();
+      auto e = std::make_unique<StringLitExpr>();
+      e->value = t.text;
+      e->range = t.range;
+      return e;
+    }
+    case TokenKind::kKwTrue:
+    case TokenKind::kKwFalse: {
+      Token t = advance();
+      auto e = std::make_unique<IntLitExpr>();
+      e->value = t.kind == TokenKind::kKwTrue ? 1 : 0;
+      e->range = t.range;
+      return e;
+    }
+    case TokenKind::kKwInf: {
+      Token t = advance();
+      auto e = std::make_unique<IdentExpr>();
+      e->name = "INF";
+      e->range = t.range;
+      return e;
+    }
+    case TokenKind::kIdent: {
+      Token t = advance();
+      if (check(TokenKind::kLParen)) {
+        auto call = std::make_unique<CallExpr>();
+        call->callee = t.text;
+        advance();  // '('
+        if (!check(TokenKind::kRParen)) {
+          do {
+            call->args.push_back(parse_assignment());
+          } while (match(TokenKind::kComma));
+        }
+        expect(TokenKind::kRParen, "to close call");
+        call->range = {begin, previous().range.end};
+        return call;
+      }
+      auto e = std::make_unique<IdentExpr>();
+      e->name = t.text;
+      e->range = t.range;
+      return e;
+    }
+    case TokenKind::kLParen: {
+      advance();
+      auto e = parse_expression();
+      expect(TokenKind::kRParen, "to close parenthesised expression");
+      return e;
+    }
+    default:
+      fail(peek(), std::string("expected an expression, found ") +
+                       token_kind_name(peek().kind));
+  }
+}
+
+ExprPtr Parser::parse_reduction() {
+  auto begin = peek().range.begin;
+  Token op = advance();
+  auto e = std::make_unique<ReduceExpr>();
+  e->op = reduce_kind_for(op.kind);
+  expect(TokenKind::kLParen, "after reduction operator");
+  e->index_sets = parse_index_set_name_list();
+  // Either `; expr` or (optionally after ';') `st (pred) expr ... [others e]`.
+  bool had_semi = match(TokenKind::kSemi);
+  if (check(TokenKind::kKwSt)) {
+    while (match(TokenKind::kKwSt)) {
+      ReduceArm arm;
+      expect(TokenKind::kLParen, "after 'st'");
+      arm.pred = parse_expression();
+      expect(TokenKind::kRParen, "to close st predicate");
+      arm.value = parse_assignment();
+      e->arms.push_back(std::move(arm));
+    }
+    if (match(TokenKind::kKwOthers)) {
+      e->others = parse_assignment();
+    }
+  } else {
+    if (!had_semi) {
+      fail(peek(),
+           "expected ';' or 'st' after the index sets of a reduction");
+    }
+    ReduceArm arm;
+    arm.value = parse_assignment();
+    e->arms.push_back(std::move(arm));
+  }
+  expect(TokenKind::kRParen, "to close reduction");
+  e->range = {begin, previous().range.end};
+  return e;
+}
+
+}  // namespace uc::lang

@@ -1,0 +1,69 @@
+// Recursive-descent parser for UC.  Produces a Program AST; errors are
+// reported to the DiagnosticEngine with statement-level recovery, so one
+// parse reports as many independent problems as possible.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "support/diag.hpp"
+#include "uclang/ast.hpp"
+#include "uclang/token.hpp"
+
+namespace uc::lang {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, support::DiagnosticEngine& diags);
+
+  std::unique_ptr<Program> parse_program();
+
+ private:
+  struct ParseAbort {};  // thrown for recovery, caught at sync points
+
+  // --- token plumbing ---
+  const Token& peek(std::size_t ahead = 0) const;
+  const Token& previous() const { return tokens_[pos_ == 0 ? 0 : pos_ - 1]; }
+  Token advance();
+  bool check(TokenKind k) const { return peek().kind == k; }
+  bool match(TokenKind k);
+  Token expect(TokenKind k, const char* what);
+  [[noreturn]] void fail(const Token& at, std::string message);
+  void synchronize();
+
+  // --- declarations ---
+  void parse_top_level(Program& program);
+  std::unique_ptr<FuncDecl> parse_function(ScalarKind ret,
+                                           const Token& name_tok);
+  StmtPtr parse_var_decl(bool is_const, ScalarKind scalar,
+                         support::SourceLoc begin);
+  StmtPtr parse_index_set_decl(support::SourceLoc begin);
+  IndexSetDef parse_index_set_def();
+  StmtPtr parse_map_section(support::SourceLoc begin);
+  Mapping parse_mapping();
+
+  // --- statements ---
+  StmtPtr parse_statement();
+  StmtPtr parse_compound();
+  StmtPtr parse_if();
+  StmtPtr parse_while();
+  StmtPtr parse_for();
+  StmtPtr parse_uc_construct(bool starred, support::SourceLoc begin);
+  std::vector<std::string> parse_index_set_name_list();
+
+  // --- expressions ---
+  ExprPtr parse_expression();  // includes assignment
+  ExprPtr parse_assignment();
+  ExprPtr parse_ternary();
+  ExprPtr parse_binary(int min_prec);
+  ExprPtr parse_unary();
+  ExprPtr parse_postfix();
+  ExprPtr parse_primary();
+  ExprPtr parse_reduction();
+
+  std::vector<Token> tokens_;
+  support::DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace uc::lang

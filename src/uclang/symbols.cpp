@@ -1,0 +1,18 @@
+#include "uclang/symbols.hpp"
+
+namespace uc::lang {
+
+const char* symbol_kind_name(SymbolKind k) {
+  switch (k) {
+    case SymbolKind::kGlobalVar: return "global variable";
+    case SymbolKind::kLocalVar: return "variable";
+    case SymbolKind::kParam: return "parameter";
+    case SymbolKind::kIndexSet: return "index set";
+    case SymbolKind::kIndexElem: return "index element";
+    case SymbolKind::kFunc: return "function";
+    case SymbolKind::kBuiltin: return "builtin";
+  }
+  return "?";
+}
+
+}  // namespace uc::lang

@@ -1,0 +1,162 @@
+#include "uclang/token.hpp"
+
+#include <unordered_map>
+
+namespace uc::lang {
+
+const char* token_kind_name(TokenKind k) {
+  switch (k) {
+    case TokenKind::kEof: return "end of file";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kIntLit: return "integer literal";
+    case TokenKind::kFloatLit: return "float literal";
+    case TokenKind::kCharLit: return "char literal";
+    case TokenKind::kStringLit: return "string literal";
+    case TokenKind::kKwInt: return "'int'";
+    case TokenKind::kKwFloat: return "'float'";
+    case TokenKind::kKwDouble: return "'double'";
+    case TokenKind::kKwChar: return "'char'";
+    case TokenKind::kKwBool: return "'bool'";
+    case TokenKind::kKwVoid: return "'void'";
+    case TokenKind::kKwConst: return "'const'";
+    case TokenKind::kKwIf: return "'if'";
+    case TokenKind::kKwElse: return "'else'";
+    case TokenKind::kKwWhile: return "'while'";
+    case TokenKind::kKwFor: return "'for'";
+    case TokenKind::kKwReturn: return "'return'";
+    case TokenKind::kKwBreak: return "'break'";
+    case TokenKind::kKwContinue: return "'continue'";
+    case TokenKind::kKwGoto: return "'goto'";
+    case TokenKind::kKwTrue: return "'true'";
+    case TokenKind::kKwFalse: return "'false'";
+    case TokenKind::kKwIndexSet: return "'index_set'";
+    case TokenKind::kKwPar: return "'par'";
+    case TokenKind::kKwSeq: return "'seq'";
+    case TokenKind::kKwSolve: return "'solve'";
+    case TokenKind::kKwOneof: return "'oneof'";
+    case TokenKind::kKwSt: return "'st'";
+    case TokenKind::kKwOthers: return "'others'";
+    case TokenKind::kKwMap: return "'map'";
+    case TokenKind::kKwPermute: return "'permute'";
+    case TokenKind::kKwFold: return "'fold'";
+    case TokenKind::kKwCopy: return "'copy'";
+    case TokenKind::kKwInf: return "'INF'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemi: return "';'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kQuestion: return "'?'";
+    case TokenKind::kDotDot: return "'..'";
+    case TokenKind::kMapsTo: return "':-'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlusAssign: return "'+='";
+    case TokenKind::kMinusAssign: return "'-='";
+    case TokenKind::kStarAssign: return "'*='";
+    case TokenKind::kSlashAssign: return "'/='";
+    case TokenKind::kPercentAssign: return "'%='";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kAmpAmp: return "'&&'";
+    case TokenKind::kPipePipe: return "'||'";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kAmp: return "'&'";
+    case TokenKind::kPipe: return "'|'";
+    case TokenKind::kCaret: return "'^'";
+    case TokenKind::kTilde: return "'~'";
+    case TokenKind::kShl: return "'<<'";
+    case TokenKind::kShr: return "'>>'";
+    case TokenKind::kPlusPlus: return "'++'";
+    case TokenKind::kMinusMinus: return "'--'";
+    case TokenKind::kRedAdd: return "'$+'";
+    case TokenKind::kRedMul: return "'$*'";
+    case TokenKind::kRedAnd: return "'$&&'";
+    case TokenKind::kRedOr: return "'$||'";
+    case TokenKind::kRedXor: return "'$^'";
+    case TokenKind::kRedMax: return "'$>'";
+    case TokenKind::kRedMin: return "'$<'";
+    case TokenKind::kRedArb: return "'$,'";
+  }
+  return "?";
+}
+
+TokenKind classify_keyword(std::string_view spelling) {
+  static const std::unordered_map<std::string_view, TokenKind> kKeywords = {
+      {"int", TokenKind::kKwInt},
+      {"float", TokenKind::kKwFloat},
+      {"double", TokenKind::kKwDouble},
+      {"char", TokenKind::kKwChar},
+      {"bool", TokenKind::kKwBool},
+      {"void", TokenKind::kKwVoid},
+      {"const", TokenKind::kKwConst},
+      {"if", TokenKind::kKwIf},
+      {"else", TokenKind::kKwElse},
+      {"while", TokenKind::kKwWhile},
+      {"for", TokenKind::kKwFor},
+      {"return", TokenKind::kKwReturn},
+      {"break", TokenKind::kKwBreak},
+      {"continue", TokenKind::kKwContinue},
+      {"goto", TokenKind::kKwGoto},
+      {"true", TokenKind::kKwTrue},
+      {"false", TokenKind::kKwFalse},
+      {"index_set", TokenKind::kKwIndexSet},
+      {"par", TokenKind::kKwPar},
+      {"seq", TokenKind::kKwSeq},
+      {"solve", TokenKind::kKwSolve},
+      {"oneof", TokenKind::kKwOneof},
+      {"st", TokenKind::kKwSt},
+      {"others", TokenKind::kKwOthers},
+      {"map", TokenKind::kKwMap},
+      {"permute", TokenKind::kKwPermute},
+      {"fold", TokenKind::kKwFold},
+      {"copy", TokenKind::kKwCopy},
+      {"INF", TokenKind::kKwInf},
+  };
+  auto it = kKeywords.find(spelling);
+  return it == kKeywords.end() ? TokenKind::kIdent : it->second;
+}
+
+bool is_reduction_token(TokenKind k) {
+  switch (k) {
+    case TokenKind::kRedAdd:
+    case TokenKind::kRedMul:
+    case TokenKind::kRedAnd:
+    case TokenKind::kRedOr:
+    case TokenKind::kRedXor:
+    case TokenKind::kRedMax:
+    case TokenKind::kRedMin:
+    case TokenKind::kRedArb:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_type_keyword(TokenKind k) {
+  switch (k) {
+    case TokenKind::kKwInt:
+    case TokenKind::kKwFloat:
+    case TokenKind::kKwDouble:
+    case TokenKind::kKwChar:
+    case TokenKind::kKwBool:
+    case TokenKind::kKwVoid:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace uc::lang

@@ -1,0 +1,71 @@
+// Token definitions for the UC language: C's lexicon plus `index_set`
+// (also spelled `index-set`, as in the paper), the reduction operators
+// `$+ $* $&& $|| $^ $> $< $,`, the range token `..`, the mapping arrow
+// `:-`, and the UC keywords (par, seq, solve, oneof, st, others, map,
+// permute, fold, copy).  `goto` is lexed as a keyword so the parser can
+// reject it with a precise diagnostic (paper §3: UC disallows goto).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/source.hpp"
+
+namespace uc::lang {
+
+enum class TokenKind : std::uint8_t {
+  kEof,
+  kIdent,
+  kIntLit,
+  kFloatLit,
+  kCharLit,
+  kStringLit,
+
+  // Type / C keywords.
+  kKwInt, kKwFloat, kKwDouble, kKwChar, kKwBool, kKwVoid, kKwConst,
+  kKwIf, kKwElse, kKwWhile, kKwFor, kKwReturn, kKwBreak, kKwContinue,
+  kKwGoto,    // recognised only to be rejected
+  kKwTrue, kKwFalse,
+
+  // UC keywords.
+  kKwIndexSet, kKwPar, kKwSeq, kKwSolve, kKwOneof, kKwSt, kKwOthers,
+  kKwMap, kKwPermute, kKwFold, kKwCopy, kKwInf,
+
+  // Punctuation.
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemi, kColon, kQuestion, kDotDot,
+  kMapsTo,  // :-
+
+  // Operators.
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAssign, kPlusAssign, kMinusAssign, kStarAssign, kSlashAssign,
+  kPercentAssign,
+  kEq, kNe, kLt, kGt, kLe, kGe,
+  kAmpAmp, kPipePipe, kBang,
+  kAmp, kPipe, kCaret, kTilde, kShl, kShr,
+  kPlusPlus, kMinusMinus,
+
+  // Reduction operators ($ followed by a binary op).
+  kRedAdd, kRedMul, kRedAnd, kRedOr, kRedXor, kRedMax, kRedMin, kRedArb,
+};
+
+const char* token_kind_name(TokenKind k);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  support::SourceRange range;
+  std::string text;        // identifier / literal spelling
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+
+  bool is(TokenKind k) const { return kind == k; }
+};
+
+// Returns the keyword kind for an identifier spelling, or kIdent.
+TokenKind classify_keyword(std::string_view spelling);
+
+bool is_reduction_token(TokenKind k);
+bool is_type_keyword(TokenKind k);
+
+}  // namespace uc::lang

@@ -1,0 +1,111 @@
+// Runtime array objects: a UC array is a CM field plus a data mapping
+// (element -> owning VP).  The mapping starts as the compiler default
+// (element e on VP e, the paper's "corresponding elements on a common
+// processor") and may be rewritten by map sections (permute/fold/copy).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cm/machine.hpp"
+#include "ucvm/value.hpp"
+
+namespace uc::vm {
+
+class ArrayObj;
+using ArrayPtr = std::shared_ptr<ArrayObj>;
+
+class ArrayObj {
+ public:
+  ArrayObj(cm::Machine& machine, std::string name, lang::ScalarKind scalar,
+           std::vector<std::int64_t> dims);
+  ~ArrayObj();
+
+  ArrayObj(const ArrayObj&) = delete;
+  ArrayObj& operator=(const ArrayObj&) = delete;
+
+  // An array slice (paper §3: "pointers may be used only to pass an array
+  // (or an array slice) as an argument"): a view of the trailing
+  // dimensions of `parent` at a fixed prefix offset.  Shares the parent's
+  // CM field and data mapping; keeps the parent alive.
+  static ArrayPtr make_slice(const ArrayPtr& parent, std::int64_t offset,
+                             std::vector<std::int64_t> dims);
+
+  bool is_slice() const { return parent_ != nullptr; }
+
+  const std::string& name() const { return name_; }
+  lang::ScalarKind scalar() const { return scalar_; }
+  bool is_float() const { return scalar_ == lang::ScalarKind::kFloat; }
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+  std::int64_t size() const { return size_; }
+
+  // Row-major flattening with bounds reporting: returns -1 when any index
+  // is out of range (callers turn that into a UcRuntimeError or skip,
+  // depending on context).
+  std::int64_t flatten(const std::int64_t* indices, std::size_t count) const;
+
+  // Element coordinates of a flat index (row-major).
+  void unflatten(std::int64_t flat, std::int64_t* out) const;
+
+  Value load(std::int64_t flat) const;
+  void store(std::int64_t flat, Value v);
+
+  bool is_defined(std::int64_t flat) const;
+  void clear_defined();
+  void clear_defined_at(std::int64_t flat);
+
+  // Data mapping (slices delegate to their parent, shifted by the slice
+  // offset).
+  cm::VpIndex owner(std::int64_t flat) const {
+    if (parent_) return parent_->owner(offset_ + flat);
+    return owner_[static_cast<std::size_t>(flat)];
+  }
+  void set_owner(std::int64_t flat, cm::VpIndex vp) {
+    if (parent_) {
+      parent_->set_owner(offset_ + flat, vp);
+      return;
+    }
+    owner_[static_cast<std::size_t>(flat)] = vp;
+  }
+  bool replicated() const {
+    return parent_ ? parent_->replicated() : replicated_;
+  }
+  void set_replicated(std::int64_t copies) {
+    replicated_ = true;
+    replica_count_ = copies;
+  }
+  std::int64_t replica_count() const { return replica_count_; }
+
+  cm::Machine& machine() const { return machine_; }
+  cm::Field& field() const {
+    return parent_ ? parent_->field() : machine_.field(field_);
+  }
+  const cm::Geometry& geometry() const {
+    return parent_ ? parent_->geometry() : machine_.geometry(geom_);
+  }
+
+ private:
+  cm::Machine& machine_;
+  std::string name_;
+  lang::ScalarKind scalar_;
+  std::vector<std::int64_t> dims_;
+  std::vector<std::int64_t> strides_;
+  std::int64_t size_ = 1;
+  cm::GeomId geom_;
+  cm::FieldId field_;
+  std::vector<cm::VpIndex> owner_;
+  bool replicated_ = false;
+  std::int64_t replica_count_ = 1;
+
+  // Slice view state (null/0 for owning arrays).  parent_ always points
+  // at the owning root array (nested slices collapse), and offset_ is the
+  // root-relative flat offset.
+  ArrayPtr parent_;
+  std::int64_t offset_ = 0;
+
+  explicit ArrayObj(cm::Machine& machine) : machine_(machine) {}
+};
+
+}  // namespace uc::vm

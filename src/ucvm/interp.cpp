@@ -1,0 +1,398 @@
+// VM driver: run(), globals materialisation, scalar statement execution
+// (front end + function bodies) and function calls.
+#include "ucvm/interp.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+#include "ucvm/interp_detail.hpp"
+
+namespace uc::vm {
+
+using namespace detail;
+using lang::ScalarKind;
+using lang::StmtKind;
+using lang::SymbolKind;
+
+namespace detail {
+
+std::optional<std::int64_t> LaneSpace::elem_value(const Symbol* elem,
+                                                  std::int64_t lane) const {
+  const LaneSpace* s = this;
+  std::int64_t l = lane;
+  while (s != nullptr) {
+    // Innermost binding wins: scan this space's own elems (reverse, so a
+    // duplicate binding in one space resolves to the later set).
+    for (std::size_t k = s->elems.size(); k-- > 0;) {
+      if (s->elems[k] == elem) {
+        return s->elem_vals[static_cast<std::size_t>(l) * s->elems.size() + k];
+      }
+    }
+    if (s->parent == nullptr) return std::nullopt;
+    l = s->parent_lane[static_cast<std::size_t>(l)];
+    s = s->parent;
+  }
+  return std::nullopt;
+}
+
+LaneSpace* LaneSpace::find_local(std::int32_t slot, std::int64_t lane,
+                                 std::int64_t* out_lane) {
+  LaneSpace* s = this;
+  std::int64_t l = lane;
+  while (s != nullptr) {
+    if (s->locals.contains(slot)) {
+      *out_lane = l;
+      return s;
+    }
+    if (s->parent == nullptr) return nullptr;
+    l = s->parent_lane[static_cast<std::size_t>(l)];
+    s = s->parent;
+  }
+  return nullptr;
+}
+
+Impl::Impl(const lang::CompilationUnit& u, cm::Machine& m, ExecOptions o)
+    : unit(u), machine(m), opts(o) {
+  base_seed = machine.options().seed;
+  fe_rng.seed(base_seed);
+  root.frontend = true;
+  root.vps = {0};
+  root.parent_lane = {0};
+  root.geom_size = 1;
+}
+
+std::string Impl::locate(support::SourceRange range) const {
+  auto lc = unit.file->line_col(range.begin);
+  return unit.file->name() + ":" + std::to_string(lc.line) + ":" +
+         std::to_string(lc.col);
+}
+
+void Impl::runtime_error(const Expr* where, const std::string& msg) {
+  std::string at = where != nullptr ? locate(where->range) + ": " : "";
+  throw support::UcRuntimeError(at + msg);
+}
+
+void Impl::runtime_error(const Stmt* where, const std::string& msg) {
+  std::string at = where != nullptr ? locate(where->range) + ": " : "";
+  throw support::UcRuntimeError(at + msg);
+}
+
+support::SplitMix64& Impl::lane_rng(EvalCtx& ctx) {
+  if (ctx.is_frontend()) return fe_rng;
+  if (!ctx.rng_seeded) {
+    // Deterministic for any host thread count: depends only on the base
+    // seed, the statement instance and the lane's VP.
+    const auto vp = static_cast<std::uint64_t>(ctx.space->vps[ctx.lane]);
+    ctx.rng.seed(base_seed ^ (stmt_counter * 0x9e3779b97f4a7c15ull) ^
+                 (vp + 0x5851f42d4c957f2dull));
+    ctx.rng_seeded = true;
+  }
+  return ctx.rng;
+}
+
+RunResult Impl::run() {
+  // Stats accumulate on the machine (callers wanting a clean slate use a
+  // fresh machine or reset_stats()); the result snapshots the total.
+  // Materialise globals and run top-level declarations in program order.
+  globals.assign(static_cast<std::size_t>(unit.sema.global_slots) + 1,
+                 FrameSlot{});
+  Frame dummy_frame;
+  EvalCtx fe;
+  fe.vm = this;
+  fe.space = &root;
+  fe.lane = 0;
+  fe.frame = &dummy_frame;
+  fe.statement_frame = &dummy_frame;
+
+  for (const auto& item : unit.program->items) {
+    if (!item.decl) continue;
+    switch (item.decl->kind) {
+      case StmtKind::kVarDecl: {
+        const auto& decl = static_cast<const lang::VarDeclStmt&>(*item.decl);
+        for (const auto& d : decl.declarators) {
+          if (d.symbol == nullptr || d.symbol->slot < 0) continue;
+          auto& slot = globals[static_cast<std::size_t>(d.symbol->slot)];
+          if (d.symbol->type.is_array()) {
+            slot.kind = FrameSlot::Kind::kArray;
+            slot.array = std::make_shared<ArrayObj>(
+                machine, d.name, d.symbol->type.scalar, d.symbol->type.dims);
+          } else {
+            slot.kind = FrameSlot::Kind::kScalar;
+            slot.scalar = Value::of_int(0).coerce(d.symbol->type.scalar);
+            if (d.init) {
+              slot.scalar = eval(*d.init, fe).coerce(d.symbol->type.scalar);
+            }
+          }
+        }
+        break;
+      }
+      case StmtKind::kIndexSetDecl:
+        break;  // fully resolved by sema
+      case StmtKind::kMapSection:
+        if (opts.apply_mappings) {
+          apply_map_section(static_cast<const lang::MapSectionStmt&>(
+                                *item.decl),
+                            fe);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  const FuncDecl* main_fn = unit.program->find_function("main");
+  if (main_fn == nullptr) {
+    throw support::UcRuntimeError("program has no main() function");
+  }
+  if (!main_fn->params.empty()) {
+    throw support::UcRuntimeError("main() must take no parameters");
+  }
+  call_function(*main_fn, {}, {}, {}, fe);
+
+  RunResult result;
+  result.output_ = output;
+  result.stats_ = machine.stats();
+  for (const Symbol* g : unit.sema.globals) {
+    const auto& slot = globals[static_cast<std::size_t>(g->slot)];
+    if (slot.kind == FrameSlot::Kind::kScalar) {
+      result.scalars_[g->name] = slot.scalar;
+    } else if (slot.kind == FrameSlot::Kind::kArray) {
+      ArraySnapshot snap;
+      snap.dims = slot.array->dims();
+      snap.data.reserve(static_cast<std::size_t>(slot.array->size()));
+      for (std::int64_t e = 0; e < slot.array->size(); ++e) {
+        snap.data.push_back(slot.array->load(e));
+      }
+      result.arrays_[g->name] = std::move(snap);
+    }
+  }
+  return result;
+}
+
+Value Impl::call_function(const FuncDecl& fn, std::vector<Value> scalar_args,
+                          std::vector<ArrayPtr> array_args,
+                          const std::vector<bool>& is_array_arg,
+                          EvalCtx& caller) {
+  if (!caller.is_frontend() && fn.has_parallel_construct) {
+    runtime_error(static_cast<const Stmt*>(nullptr),
+                  "function '" + fn.name +
+                      "' contains a parallel construct and was called from "
+                      "a parallel context");
+  }
+  Frame frame;
+  frame.fn = &fn;
+  frame.slots.assign(fn.frame_slots + 1, FrameSlot{});
+  std::size_t si = 0, ai = 0;
+  for (std::size_t k = 0; k < fn.params.size(); ++k) {
+    const auto& p = fn.params[k];
+    auto& slot = frame.slots[static_cast<std::size_t>(p.symbol->slot)];
+    if (k < is_array_arg.size() && is_array_arg[k]) {
+      slot.kind = FrameSlot::Kind::kArray;
+      slot.array = array_args[ai++];
+    } else {
+      slot.kind = FrameSlot::Kind::kScalar;
+      slot.scalar = scalar_args[si++].coerce(p.scalar);
+    }
+  }
+
+  EvalCtx ctx = caller;       // same lane/space/stats/writes context
+  ctx.frame = &frame;
+  return_value = Value::of_int(0);
+  if (fn.body != nullptr) {
+    for (const auto& stmt : fn.body->body) {
+      if (exec_scalar_stmt(*stmt, ctx) == Flow::kReturn) break;
+    }
+  }
+  return return_value.coerce(fn.return_scalar == ScalarKind::kVoid
+                                 ? ScalarKind::kInt
+                                 : fn.return_scalar);
+}
+
+Flow Impl::exec_scalar_stmt(const Stmt& stmt, EvalCtx& ctx) {
+  switch (stmt.kind) {
+    case StmtKind::kEmpty:
+      return Flow::kNormal;
+    case StmtKind::kExpr: {
+      const auto& s = static_cast<const lang::ExprStmt&>(stmt);
+      if (ctx.is_frontend()) {
+        ++stmt_counter;
+        charge_expr(*s.expr, 1, /*frontend=*/true);
+      }
+      (void)eval(*s.expr, ctx);
+      return Flow::kNormal;
+    }
+    case StmtKind::kCompound: {
+      const auto& s = static_cast<const lang::CompoundStmt&>(stmt);
+      for (const auto& child : s.body) {
+        Flow f = exec_scalar_stmt(*child, ctx);
+        if (f != Flow::kNormal) return f;
+      }
+      return Flow::kNormal;
+    }
+    case StmtKind::kIf: {
+      const auto& s = static_cast<const lang::IfStmt&>(stmt);
+      if (ctx.is_frontend()) charge_expr(*s.cond, 1, true);
+      if (eval(*s.cond, ctx).truthy()) {
+        return exec_scalar_stmt(*s.then_stmt, ctx);
+      }
+      if (s.else_stmt) return exec_scalar_stmt(*s.else_stmt, ctx);
+      return Flow::kNormal;
+    }
+    case StmtKind::kWhile: {
+      const auto& s = static_cast<const lang::WhileStmt&>(stmt);
+      for (;;) {
+        if (ctx.is_frontend()) charge_expr(*s.cond, 1, true);
+        if (!eval(*s.cond, ctx).truthy()) return Flow::kNormal;
+        Flow f = exec_scalar_stmt(*s.body, ctx);
+        if (f == Flow::kReturn) return f;
+        if (f == Flow::kBreak) return Flow::kNormal;
+      }
+    }
+    case StmtKind::kFor: {
+      const auto& s = static_cast<const lang::ForStmt&>(stmt);
+      if (s.init) {
+        Flow f = exec_scalar_stmt(*s.init, ctx);
+        if (f != Flow::kNormal) return f;
+      }
+      for (;;) {
+        if (s.cond) {
+          if (ctx.is_frontend()) charge_expr(*s.cond, 1, true);
+          if (!eval(*s.cond, ctx).truthy()) return Flow::kNormal;
+        }
+        Flow f = exec_scalar_stmt(*s.body, ctx);
+        if (f == Flow::kReturn) return f;
+        if (f == Flow::kBreak) return Flow::kNormal;
+        if (s.step) {
+          if (ctx.is_frontend()) charge_expr(*s.step, 1, true);
+          (void)eval(*s.step, ctx);
+        }
+      }
+    }
+    case StmtKind::kReturn: {
+      const auto& s = static_cast<const lang::ReturnStmt&>(stmt);
+      return_value = s.value ? eval(*s.value, ctx) : Value::of_int(0);
+      return Flow::kReturn;
+    }
+    case StmtKind::kBreak:
+      return Flow::kBreak;
+    case StmtKind::kContinue:
+      return Flow::kContinue;
+    case StmtKind::kVarDecl: {
+      const auto& s = static_cast<const lang::VarDeclStmt&>(stmt);
+      for (const auto& d : s.declarators) {
+        if (d.symbol == nullptr || d.symbol->slot < 0 ||
+            ctx.frame == nullptr) {
+          continue;
+        }
+        auto& slot =
+            ctx.frame->slots[static_cast<std::size_t>(d.symbol->slot)];
+        if (d.symbol->type.is_array()) {
+          slot.kind = FrameSlot::Kind::kArray;
+          slot.array = std::make_shared<ArrayObj>(
+              machine, d.name, d.symbol->type.scalar, d.symbol->type.dims);
+        } else {
+          slot.kind = FrameSlot::Kind::kScalar;
+          slot.scalar = Value::of_int(0).coerce(d.symbol->type.scalar);
+          if (d.init) {
+            slot.scalar = eval(*d.init, ctx).coerce(d.symbol->type.scalar);
+          }
+        }
+      }
+      return Flow::kNormal;
+    }
+    case StmtKind::kIndexSetDecl:
+      return Flow::kNormal;  // resolved at compile time
+    case StmtKind::kMapSection:
+      if (!ctx.is_frontend()) {
+        runtime_error(&stmt, "map sections cannot run in a parallel context");
+      }
+      if (opts.apply_mappings) {
+        apply_map_section(static_cast<const lang::MapSectionStmt&>(stmt),
+                          ctx);
+      }
+      return Flow::kNormal;
+    case StmtKind::kUcConstruct: {
+      const auto& s = static_cast<const lang::UcConstructStmt&>(stmt);
+      if (!ctx.is_frontend()) {
+        runtime_error(&stmt,
+                      "parallel construct executed while already inside a "
+                      "parallel context via a function call");
+      }
+      exec_construct(s, ctx);
+      return Flow::kNormal;
+    }
+  }
+  return Flow::kNormal;
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Public wrappers
+// ---------------------------------------------------------------------------
+
+Interp::Interp(const lang::CompilationUnit& unit, cm::Machine& machine,
+               ExecOptions options) {
+  if (!unit.ok()) {
+    throw support::UcCompileError(unit.diags.render_all());
+  }
+  impl_ = std::make_unique<detail::Impl>(unit, machine, options);
+}
+
+Interp::~Interp() = default;
+
+RunResult Interp::run() { return impl_->run(); }
+
+Value RunResult::global_scalar(const std::string& name) const {
+  auto it = scalars_.find(name);
+  if (it == scalars_.end()) {
+    throw support::ApiError("no global scalar named '" + name + "'");
+  }
+  return it->second;
+}
+
+Value RunResult::global_element(
+    const std::string& name,
+    std::initializer_list<std::int64_t> indices) const {
+  auto it = arrays_.find(name);
+  if (it == arrays_.end()) {
+    throw support::ApiError("no global array named '" + name + "'");
+  }
+  const auto& snap = it->second;
+  if (indices.size() != snap.dims.size()) {
+    throw support::ApiError("wrong index count for array '" + name + "'");
+  }
+  std::int64_t flat = 0;
+  std::size_t k = 0;
+  for (auto idx : indices) {
+    if (idx < 0 || idx >= snap.dims[k]) {
+      throw support::ApiError("indices out of range for array '" + name +
+                              "'");
+    }
+    flat = flat * snap.dims[k] + idx;
+    ++k;
+  }
+  return snap.data[static_cast<std::size_t>(flat)];
+}
+
+std::vector<Value> RunResult::global_array(const std::string& name) const {
+  auto it = arrays_.find(name);
+  if (it == arrays_.end()) {
+    throw support::ApiError("no global array named '" + name + "'");
+  }
+  return it->second.data;
+}
+
+RunResult run_uc(const std::string& source, cm::MachineOptions mopts,
+                 ExecOptions eopts) {
+  auto unit = lang::compile("program.uc", source);
+  if (!unit->ok()) {
+    throw support::UcCompileError(unit->diags.render_all());
+  }
+  cm::Machine machine(mopts);
+  Interp interp(*unit, machine, eopts);
+  return interp.run();
+}
+
+}  // namespace uc::vm

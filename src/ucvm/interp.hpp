@@ -1,0 +1,106 @@
+// The UC virtual machine: a lane-based synchronous interpreter that
+// executes an analysed Program against the simulated Connection Machine.
+//
+// Execution model (paper §3, DESIGN.md §6):
+//   * The front end runs scalar code; a par/solve/oneof construct expands
+//     the current lane set by the Cartesian product of its index sets and
+//     executes each statement of its body synchronously across lanes
+//     (all reads, then a conflict-checked commit of all writes).
+//   * seq binds its element to successive values without expanding the VP
+//     set; starred constructs iterate with a global-OR test per round.
+//   * Arrays live in CM fields; a per-array mapping table assigns each
+//     element an owning VP.  An access from lane VP v to owner VP w is
+//     classified local / NEWS / router and charged accordingly.
+//   * Host-side lane loops run on the machine's thread pool; cost charging
+//     and commits happen once per statement on the issuing thread, so
+//     results and charges are deterministic for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cm/machine.hpp"
+#include "support/rng.hpp"
+#include "uclang/frontend.hpp"
+#include "ucvm/arrays.hpp"
+#include "ucvm/value.hpp"
+
+namespace uc::vm {
+
+namespace detail {
+struct Impl;
+}
+
+struct ExecOptions {
+  // Processor optimisation (paper §4): partitionable reductions are charged
+  // at the reduced VP allocation (send-with-add) instead of lanes × set.
+  bool processor_optimization = true;
+  // Code optimisation (paper §4, "common sub-expression detection"):
+  // repeated pure subexpressions within one statement are computed once.
+  bool common_subexpression_elimination = true;
+  // Apply map sections (communication optimisation).  Off = compiler
+  // default mappings only; map sections are parsed but ignored.
+  bool apply_mappings = true;
+  // Safety valve for *par / *oneof / *solve: abort after this many
+  // iterations (0 = unlimited).
+  std::int64_t max_iterations = 1u << 20;
+};
+
+// Everything a run produces: program output, final machine stats, and a
+// window onto global variables for tests/benches.  Array contents are
+// materialised snapshots, so a RunResult stays valid after the machine
+// that produced it is gone.
+class Interp;
+
+struct ArraySnapshot {
+  std::vector<std::int64_t> dims;
+  std::vector<Value> data;  // row-major
+};
+
+class RunResult {
+ public:
+  const std::string& output() const { return output_; }
+  const cm::CostStats& stats() const { return stats_; }
+
+  // Read a global scalar / array element by name (throws ApiError if the
+  // name is unknown or the shape mismatches).
+  Value global_scalar(const std::string& name) const;
+  Value global_element(const std::string& name,
+                       std::initializer_list<std::int64_t> indices) const;
+  std::vector<Value> global_array(const std::string& name) const;
+
+ private:
+  friend class Interp;
+  friend struct detail::Impl;
+  std::string output_;
+  cm::CostStats stats_;
+  std::unordered_map<std::string, Value> scalars_;
+  std::unordered_map<std::string, ArraySnapshot> arrays_;
+};
+
+class Interp {
+ public:
+  Interp(const lang::CompilationUnit& unit, cm::Machine& machine,
+         ExecOptions options = {});
+
+  // Executes main().  Throws UcRuntimeError on runtime failures
+  // (conflicting parallel writes, subscripts out of range, solve cycles,
+  // iteration-limit overruns).
+  RunResult run();
+
+ private:
+  std::unique_ptr<detail::Impl> impl_;
+
+ public:
+  ~Interp();
+};
+
+// Convenience: compile and run a source string on a fresh machine.
+RunResult run_uc(const std::string& source, cm::MachineOptions mopts = {},
+                 ExecOptions eopts = {});
+
+}  // namespace uc::vm

@@ -1,0 +1,566 @@
+// Parallel execution: lane-space expansion, synchronous statement
+// execution with conflict-checked commits, and the par / seq / oneof
+// constructs (solve lives in interp_solve.cpp).
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "ucvm/interp_detail.hpp"
+
+namespace uc::vm::detail {
+
+using lang::ScBlock;
+using lang::StmtKind;
+using lang::UcConstructStmt;
+using lang::UcOp;
+
+// ---------------------------------------------------------------------------
+// Expansion
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<LaneSpace> Impl::expand(
+    LaneSpace& parent, const std::vector<std::int64_t>& active,
+    const std::vector<Symbol*>& sets) {
+  auto child = std::make_unique<LaneSpace>();
+  child->parent = &parent;
+  child->frontend = false;
+
+  std::int64_t prod = 1;
+  std::vector<const std::vector<std::int64_t>*> values;
+  for (const Symbol* s : sets) {
+    child->elems.push_back(s->index_set->elem);
+    values.push_back(&s->index_set->values);
+    prod *= static_cast<std::int64_t>(s->index_set->values.size());
+  }
+  // Geometry: the parent's dims extended by the set sizes (the front end
+  // contributes no dims).
+  child->dims = parent.frontend ? std::vector<std::int64_t>{} : parent.dims;
+  for (const Symbol* s : sets) {
+    child->dims.push_back(
+        static_cast<std::int64_t>(s->index_set->values.size()));
+  }
+  child->geom_size = (parent.frontend ? 1 : parent.geom_size) * prod;
+
+  const std::size_t k_sets = sets.size();
+  const std::size_t n_dims = child->dims.size();
+  const auto lanes = static_cast<std::int64_t>(active.size()) * prod;
+  child->elem_vals.resize(static_cast<std::size_t>(lanes) * k_sets);
+  child->parent_lane.resize(static_cast<std::size_t>(lanes));
+  child->vps.resize(static_cast<std::size_t>(lanes));
+  child->coords.resize(static_cast<std::size_t>(lanes) * n_dims);
+
+  std::int64_t out = 0;
+  std::vector<std::size_t> pos(k_sets, 0);
+  for (std::int64_t pl : active) {
+    std::fill(pos.begin(), pos.end(), 0);
+    const std::int64_t parent_vp = parent.frontend ? 0 : parent.vps[pl];
+    const std::size_t parent_dims = parent.frontend ? 0 : parent.dims.size();
+    for (std::int64_t t = 0; t < prod; ++t, ++out) {
+      child->parent_lane[static_cast<std::size_t>(out)] = pl;
+      // Element values + tuple flat position.
+      std::int64_t tuple_flat = 0;
+      for (std::size_t k = 0; k < k_sets; ++k) {
+        child->elem_vals[static_cast<std::size_t>(out) * k_sets + k] =
+            (*values[k])[pos[k]];
+        tuple_flat = tuple_flat * static_cast<std::int64_t>(
+                                      values[k]->size()) +
+                     static_cast<std::int64_t>(pos[k]);
+      }
+      child->vps[static_cast<std::size_t>(out)] = parent_vp * prod + tuple_flat;
+      // Coordinates: parent coords ++ tuple positions.
+      auto* dst =
+          &child->coords[static_cast<std::size_t>(out) * n_dims];
+      for (std::size_t d = 0; d < parent_dims; ++d) {
+        dst[d] = parent.coords[static_cast<std::size_t>(pl) * parent_dims + d];
+      }
+      for (std::size_t k = 0; k < k_sets; ++k) {
+        dst[parent_dims + k] = static_cast<std::int64_t>(pos[k]);
+      }
+      for (std::size_t k = k_sets; k-- > 0;) {
+        if (++pos[k] < values[k]->size()) break;
+        pos[k] = 0;
+      }
+    }
+  }
+  return child;
+}
+
+// ---------------------------------------------------------------------------
+// Synchronous evaluation over lanes
+// ---------------------------------------------------------------------------
+
+std::vector<Value> Impl::eval_lanes(const Expr& expr, LaneSpace& space,
+                                    const std::vector<std::int64_t>& active,
+                                    Frame* frame, bool commit) {
+  ++stmt_counter;
+  const std::uint64_t stmt_id = stmt_counter;
+  const auto n = static_cast<std::int64_t>(active.size());
+  std::vector<Value> results(static_cast<std::size_t>(n));
+  std::vector<std::vector<Write>> writes(static_cast<std::size_t>(n));
+  std::vector<std::string> prints(static_cast<std::size_t>(n));
+  std::vector<AccessStats> stats(static_cast<std::size_t>(n));
+
+  // Charge the static cost first: this also annotates reductions with the
+  // processor-optimisation decision the evaluator consults.
+  charge_expr(expr, space.geom_size, /*frontend=*/false, &space);
+
+  machine.pool().parallel_for(
+      0, n,
+      [&](std::int64_t b, std::int64_t e_) {
+        for (std::int64_t k = b; k < e_; ++k) {
+          EvalCtx ctx;
+          ctx.vm = this;
+          ctx.space = &space;
+          ctx.lane = active[static_cast<std::size_t>(k)];
+          ctx.frame = frame;
+          ctx.statement_frame = frame;
+          ctx.writes = &writes[static_cast<std::size_t>(k)];
+          ctx.stats = &stats[static_cast<std::size_t>(k)];
+          ctx.print_out = &prints[static_cast<std::size_t>(k)];
+          // Per-lane RNG seeded from the statement id captured above so all
+          // lanes of this statement share one instance id.
+          ctx.rng_seeded = false;
+          ctx.rng.seed(0);
+          // stmt_counter may move under recursion via eval (reductions do
+          // not call eval_lanes, so in practice it is stable); use the
+          // captured id for the seed.
+          const auto vp =
+              static_cast<std::uint64_t>(space.vps[ctx.lane]);
+          ctx.rng.seed(base_seed ^ (stmt_id * 0x9e3779b97f4a7c15ull) ^
+                       (vp + 0x5851f42d4c957f2dull));
+          ctx.rng_seeded = true;
+          results[static_cast<std::size_t>(k)] = eval(expr, ctx);
+        }
+      },
+      /*min_grain=*/64);
+
+  // Merge dynamic comm stats and charge them on the issuing thread.
+  AccessStats total;
+  for (const auto& s : stats) total.merge(s);
+  if (total.news > 0) machine.charge_news(space.geom_size, total.news_max_hops);
+  if (total.router > 0) machine.charge_router(space.geom_size, total.router);
+  if (total.broadcast > 0) machine.charge_broadcast(space.geom_size);
+  if (total.frontend > 0) machine.charge_frontend(total.frontend);
+
+  if (commit) commit_writes(writes);
+  for (auto& p : prints) output += p;
+  return results;
+}
+
+void Impl::commit_writes(std::vector<std::vector<Write>>& per_lane) {
+  std::unordered_map<WriteTarget, std::pair<Value, const Expr*>,
+                     WriteTargetHash>
+      seen;
+  for (auto& lane_writes : per_lane) {
+    for (auto& w : lane_writes) {
+      auto [it, inserted] = seen.try_emplace(
+          w.target, std::make_pair(w.value, w.where));
+      if (!inserted && !(it->second.first == w.value)) {
+        std::string what = "conflicting parallel assignment";
+        if (w.target.kind == WriteTarget::Kind::kArray) {
+          auto* arr = static_cast<ArrayObj*>(w.target.obj);
+          std::int64_t coords[8];
+          arr->unflatten(w.target.index, coords);
+          what += " to " + arr->name();
+          for (std::size_t d = 0; d < arr->dims().size(); ++d) {
+            what += "[" + std::to_string(coords[d]) + "]";
+          }
+        }
+        what += ": values " + it->second.first.to_string() + " and " +
+                w.value.to_string() +
+                " (each variable may be assigned at most one value, "
+                "paper §3.4)";
+        runtime_error(w.where, what);
+      }
+    }
+  }
+  for (auto& lane_writes : per_lane) {
+    for (auto& w : lane_writes) apply_write(w.target, w.value);
+  }
+}
+
+std::vector<std::int64_t> Impl::filter_lanes(
+    const Expr& pred, LaneSpace& space,
+    const std::vector<std::int64_t>& candidates, Frame* frame) {
+  auto vals = eval_lanes(pred, space, candidates, frame);
+  std::vector<std::int64_t> enabled;
+  enabled.reserve(candidates.size());
+  for (std::size_t k = 0; k < candidates.size(); ++k) {
+    if (vals[k].truthy()) enabled.push_back(candidates[k]);
+  }
+  return enabled;
+}
+
+// ---------------------------------------------------------------------------
+// Parallel statement execution
+// ---------------------------------------------------------------------------
+
+void Impl::exec_parallel_stmt(const Stmt& stmt, LaneSpace& space,
+                              const std::vector<std::int64_t>& active,
+                              Frame* frame) {
+  if (active.empty()) return;
+  switch (stmt.kind) {
+    case StmtKind::kEmpty:
+    case StmtKind::kIndexSetDecl:
+      return;
+    case StmtKind::kExpr: {
+      const auto& s = static_cast<const lang::ExprStmt&>(stmt);
+      (void)eval_lanes(*s.expr, space, active, frame);
+      return;
+    }
+    case StmtKind::kCompound: {
+      const auto& s = static_cast<const lang::CompoundStmt&>(stmt);
+      for (const auto& child : s.body) {
+        exec_parallel_stmt(*child, space, active, frame);
+      }
+      return;
+    }
+    case StmtKind::kVarDecl: {
+      const auto& s = static_cast<const lang::VarDeclStmt&>(stmt);
+      for (const auto& d : s.declarators) {
+        if (d.symbol == nullptr) continue;
+        auto& store = space.locals[d.symbol->slot];
+        store.assign(static_cast<std::size_t>(space.lane_count()),
+                     Value::of_int(0).coerce(d.symbol->type.scalar));
+        if (d.init) {
+          auto vals = eval_lanes(*d.init, space, active, frame);
+          for (std::size_t k = 0; k < active.size(); ++k) {
+            store[static_cast<std::size_t>(active[k])] =
+                vals[k].coerce(d.symbol->type.scalar);
+          }
+        }
+      }
+      return;
+    }
+    case StmtKind::kIf: {
+      const auto& s = static_cast<const lang::IfStmt&>(stmt);
+      auto vals = eval_lanes(*s.cond, space, active, frame);
+      std::vector<std::int64_t> then_lanes, else_lanes;
+      for (std::size_t k = 0; k < active.size(); ++k) {
+        (vals[k].truthy() ? then_lanes : else_lanes).push_back(active[k]);
+      }
+      if (!then_lanes.empty()) {
+        exec_parallel_stmt(*s.then_stmt, space, then_lanes, frame);
+      }
+      if (s.else_stmt && !else_lanes.empty()) {
+        exec_parallel_stmt(*s.else_stmt, space, else_lanes, frame);
+      }
+      return;
+    }
+    case StmtKind::kWhile: {
+      const auto& s = static_cast<const lang::WhileStmt&>(stmt);
+      // Data-parallel while: the active set narrows monotonically.
+      std::vector<std::int64_t> live = active;
+      std::int64_t guard = 0;
+      for (;;) {
+        live = filter_lanes(*s.cond, space, live, frame);
+        machine.charge_global_or();
+        if (live.empty()) return;
+        exec_parallel_stmt(*s.body, space, live, frame);
+        if (opts.max_iterations > 0 && ++guard > opts.max_iterations) {
+          runtime_error(&stmt, "while loop exceeded the iteration limit "
+                               "inside a parallel construct");
+        }
+      }
+    }
+    case StmtKind::kFor: {
+      const auto& s = static_cast<const lang::ForStmt&>(stmt);
+      if (s.init) exec_parallel_stmt(*s.init, space, active, frame);
+      std::vector<std::int64_t> live = active;
+      std::int64_t guard = 0;
+      for (;;) {
+        if (s.cond) {
+          live = filter_lanes(*s.cond, space, live, frame);
+          machine.charge_global_or();
+          if (live.empty()) return;
+        }
+        exec_parallel_stmt(*s.body, space, live, frame);
+        if (s.step) (void)eval_lanes(*s.step, space, live, frame);
+        if (opts.max_iterations > 0 && ++guard > opts.max_iterations) {
+          runtime_error(&stmt, "for loop exceeded the iteration limit "
+                               "inside a parallel construct");
+        }
+        if (!s.cond) {
+          runtime_error(&stmt,
+                        "for loop without a condition inside a parallel "
+                        "construct never terminates");
+        }
+      }
+    }
+    case StmtKind::kUcConstruct: {
+      const auto& s = static_cast<const UcConstructStmt&>(stmt);
+      exec_nested_construct(s, space, active, frame);
+      return;
+    }
+    case StmtKind::kReturn:
+    case StmtKind::kBreak:
+    case StmtKind::kContinue:
+      runtime_error(&stmt,
+                    "return/break/continue cannot appear directly inside a "
+                    "parallel construct body");
+    case StmtKind::kMapSection:
+      runtime_error(&stmt, "map sections cannot run in a parallel context");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The constructs
+// ---------------------------------------------------------------------------
+
+void Impl::exec_construct(const UcConstructStmt& stmt, EvalCtx& ctx) {
+  std::vector<std::int64_t> active;
+  const auto n = ctx.space->lane_count();
+  active.reserve(static_cast<std::size_t>(n));
+  if (ctx.is_frontend()) {
+    active.push_back(0);
+  } else {
+    for (std::int64_t l = 0; l < n; ++l) active.push_back(l);
+  }
+  exec_nested_construct(stmt, *ctx.space, active, ctx.frame);
+}
+
+void Impl::exec_nested_construct(const UcConstructStmt& stmt,
+                                 LaneSpace& parent,
+                                 const std::vector<std::int64_t>& active,
+                                 Frame* frame) {
+  if (stmt.index_set_syms.size() != stmt.index_sets.size()) {
+    runtime_error(&stmt, "construct has unresolved index sets");
+  }
+  switch (stmt.op) {
+    case UcOp::kSeq: {
+      exec_seq(stmt, parent, active, frame);
+      return;
+    }
+    case UcOp::kPar: {
+      auto child = expand(parent, active, stmt.index_set_syms);
+      if (!stmt.starred) {
+        run_blocks(stmt, *child, frame);
+        return;
+      }
+      std::int64_t guard = 0;
+      for (;;) {
+        machine.charge_global_or();
+        if (!run_blocks_once_if_enabled(stmt, *child, frame)) return;
+        if (opts.max_iterations > 0 && ++guard > opts.max_iterations) {
+          runtime_error(&stmt, "*par exceeded the iteration limit");
+        }
+      }
+    }
+    case UcOp::kOneof: {
+      auto child = expand(parent, active, stmt.index_set_syms);
+      if (!stmt.starred) {
+        exec_oneof(stmt, *child, frame);
+        return;
+      }
+      std::int64_t guard = 0;
+      for (;;) {
+        machine.charge_global_or();
+        if (!exec_oneof_once(stmt, *child, frame)) return;
+        if (opts.max_iterations > 0 && ++guard > opts.max_iterations) {
+          runtime_error(&stmt, "*oneof exceeded the iteration limit");
+        }
+      }
+    }
+    case UcOp::kSolve: {
+      auto child = expand(parent, active, stmt.index_set_syms);
+      if (stmt.starred) {
+        exec_star_solve(stmt, *child, frame);
+      } else {
+        exec_solve(stmt, *child, frame);
+      }
+      return;
+    }
+  }
+}
+
+void Impl::exec_seq(const UcConstructStmt& stmt, LaneSpace& parent,
+                    const std::vector<std::int64_t>& active, Frame* frame) {
+  // seq iterates the Cartesian product in declaration order, binding the
+  // elements for the *same* lanes (no VP expansion, paper §3.5).
+  std::vector<const std::vector<std::int64_t>*> values;
+  std::int64_t prod = 1;
+  for (const Symbol* s : stmt.index_set_syms) {
+    values.push_back(&s->index_set->values);
+    prod *= static_cast<std::int64_t>(s->index_set->values.size());
+  }
+
+  std::int64_t guard = 0;
+  for (;;) {  // once for plain seq; repeated for *seq
+    bool any_enabled_this_sweep = false;
+    std::vector<std::size_t> pos(values.size(), 0);
+    for (std::int64_t t = 0; t < prod; ++t) {
+      // Binding space: same lanes as `active`, plus the seq elements.
+      LaneSpace bind;
+      bind.parent = &parent;
+      bind.frontend = parent.frontend;
+      bind.dims = parent.dims;
+      bind.geom_size = parent.geom_size;
+      for (const Symbol* s : stmt.index_set_syms) {
+        bind.elems.push_back(s->index_set->elem);
+      }
+      const std::size_t k_sets = bind.elems.size();
+      const std::size_t n_dims = bind.dims.size();
+      bind.parent_lane = active;
+      bind.vps.resize(active.size());
+      bind.coords.resize(active.size() * n_dims);
+      bind.elem_vals.resize(active.size() * k_sets);
+      for (std::size_t k = 0; k < active.size(); ++k) {
+        bind.vps[k] = parent.vps[static_cast<std::size_t>(active[k])];
+        for (std::size_t d = 0; d < n_dims; ++d) {
+          bind.coords[k * n_dims + d] =
+              parent.coords[static_cast<std::size_t>(active[k]) * n_dims + d];
+        }
+        for (std::size_t s = 0; s < k_sets; ++s) {
+          bind.elem_vals[k * k_sets + s] = (*values[s])[pos[s]];
+        }
+      }
+      std::vector<std::int64_t> bind_active(active.size());
+      for (std::size_t k = 0; k < active.size(); ++k) {
+        bind_active[k] = static_cast<std::int64_t>(k);
+      }
+
+      for (const auto& block : stmt.blocks) {
+        std::vector<std::int64_t> enabled = bind_active;
+        if (block.pred) {
+          enabled = filter_lanes(*block.pred, bind, bind_active, frame);
+        }
+        if (!enabled.empty()) {
+          any_enabled_this_sweep = true;
+          exec_parallel_stmt(*block.body, bind, enabled, frame);
+        }
+      }
+      if (stmt.others) {
+        // Lanes not enabled by any block (re-evaluate preds; cheap and
+        // simple — seq others is rare).
+        std::vector<bool> covered(active.size(), stmt.blocks.empty());
+        for (const auto& block : stmt.blocks) {
+          if (!block.pred) {
+            covered.assign(active.size(), true);
+            break;
+          }
+          auto en = filter_lanes(*block.pred, bind, bind_active, frame);
+          for (auto l : en) covered[static_cast<std::size_t>(l)] = true;
+        }
+        std::vector<std::int64_t> rest;
+        for (std::size_t k = 0; k < covered.size(); ++k) {
+          if (!covered[k]) rest.push_back(static_cast<std::int64_t>(k));
+        }
+        if (!rest.empty()) exec_parallel_stmt(*stmt.others, bind, rest, frame);
+      }
+
+      for (std::size_t k = values.size(); k-- > 0;) {
+        if (++pos[k] < values[k]->size()) break;
+        pos[k] = 0;
+      }
+    }
+    if (!stmt.starred) return;
+    machine.charge_global_or();
+    if (!any_enabled_this_sweep) return;
+    if (stmt.blocks.size() == 1 && !stmt.blocks[0].pred) {
+      runtime_error(&stmt, "*seq without a predicate never terminates");
+    }
+    if (opts.max_iterations > 0 && ++guard > opts.max_iterations) {
+      runtime_error(&stmt, "*seq exceeded the iteration limit");
+    }
+  }
+}
+
+void Impl::run_blocks(const UcConstructStmt& stmt, LaneSpace& space,
+                      Frame* frame) {
+  std::vector<std::int64_t> all(static_cast<std::size_t>(space.lane_count()));
+  for (std::size_t k = 0; k < all.size(); ++k) {
+    all[k] = static_cast<std::int64_t>(k);
+  }
+  std::vector<bool> covered(all.size(), false);
+  for (const auto& block : stmt.blocks) {
+    std::vector<std::int64_t> enabled = all;
+    if (block.pred) enabled = filter_lanes(*block.pred, space, all, frame);
+    for (auto l : enabled) covered[static_cast<std::size_t>(l)] = true;
+    if (!enabled.empty()) {
+      exec_parallel_stmt(*block.body, space, enabled, frame);
+    }
+  }
+  if (stmt.others) {
+    std::vector<std::int64_t> rest;
+    for (std::size_t k = 0; k < covered.size(); ++k) {
+      if (!covered[k]) rest.push_back(all[k]);
+    }
+    if (!rest.empty()) exec_parallel_stmt(*stmt.others, space, rest, frame);
+  }
+}
+
+bool Impl::run_blocks_once_if_enabled(const UcConstructStmt& stmt,
+                                      LaneSpace& space, Frame* frame) {
+  std::vector<std::int64_t> all(static_cast<std::size_t>(space.lane_count()));
+  for (std::size_t k = 0; k < all.size(); ++k) {
+    all[k] = static_cast<std::int64_t>(k);
+  }
+  // Evaluate all predicates first: iteration continues only while at least
+  // one lane is enabled for some block (paper §3.3).
+  std::vector<std::vector<std::int64_t>> enabled(stmt.blocks.size());
+  bool any = false;
+  std::vector<bool> covered(all.size(), false);
+  for (std::size_t b = 0; b < stmt.blocks.size(); ++b) {
+    if (stmt.blocks[b].pred) {
+      enabled[b] = filter_lanes(*stmt.blocks[b].pred, space, all, frame);
+    } else {
+      enabled[b] = all;
+    }
+    for (auto l : enabled[b]) covered[static_cast<std::size_t>(l)] = true;
+    any = any || !enabled[b].empty();
+  }
+  if (!any) return false;
+  for (std::size_t b = 0; b < stmt.blocks.size(); ++b) {
+    if (!enabled[b].empty()) {
+      exec_parallel_stmt(*stmt.blocks[b].body, space, enabled[b], frame);
+    }
+  }
+  if (stmt.others) {
+    std::vector<std::int64_t> rest;
+    for (std::size_t k = 0; k < covered.size(); ++k) {
+      if (!covered[k]) rest.push_back(all[k]);
+    }
+    if (!rest.empty()) exec_parallel_stmt(*stmt.others, space, rest, frame);
+  }
+  return true;
+}
+
+void Impl::exec_oneof(const UcConstructStmt& stmt, LaneSpace& space,
+                      Frame* frame) {
+  (void)exec_oneof_once(stmt, space, frame);
+}
+
+bool Impl::exec_oneof_once(const UcConstructStmt& stmt, LaneSpace& space,
+                           Frame* frame) {
+  std::vector<std::int64_t> all(static_cast<std::size_t>(space.lane_count()));
+  for (std::size_t k = 0; k < all.size(); ++k) {
+    all[k] = static_cast<std::int64_t>(k);
+  }
+  std::vector<std::vector<std::int64_t>> enabled(stmt.blocks.size());
+  std::vector<std::size_t> enabled_blocks;
+  for (std::size_t b = 0; b < stmt.blocks.size(); ++b) {
+    if (stmt.blocks[b].pred) {
+      enabled[b] = filter_lanes(*stmt.blocks[b].pred, space, all, frame);
+    } else {
+      enabled[b] = all;
+    }
+    if (!enabled[b].empty()) enabled_blocks.push_back(b);
+  }
+  if (enabled_blocks.empty()) return false;
+  // Non-deterministic but reproducible choice (no fairness guarantee,
+  // paper §3.7): the machine's seeded RNG picks the block.
+  const std::size_t pick =
+      enabled_blocks[machine.rng().next_below(enabled_blocks.size())];
+  exec_parallel_stmt(*stmt.blocks[pick].body, space, enabled[pick], frame);
+  if (stmt.others) {
+    std::vector<bool> covered(all.size(), false);
+    for (auto l : enabled[pick]) covered[static_cast<std::size_t>(l)] = true;
+    std::vector<std::int64_t> rest;
+    for (std::size_t k = 0; k < covered.size(); ++k) {
+      if (!covered[k]) rest.push_back(all[k]);
+    }
+    if (!rest.empty()) exec_parallel_stmt(*stmt.others, space, rest, frame);
+  }
+  return true;
+}
+
+}  // namespace uc::vm::detail

@@ -1,0 +1,277 @@
+// Internal machinery of the UC VM (see interp.hpp for the model).  Not
+// part of the public API; included by the interp_*.cpp files and by
+// white-box tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "ucvm/interp.hpp"
+
+namespace uc::vm::detail {
+
+using lang::Expr;
+using lang::FuncDecl;
+using lang::Stmt;
+using lang::Symbol;
+
+// ---------------------------------------------------------------------------
+// Lane spaces
+// ---------------------------------------------------------------------------
+
+// One expansion level of the parallel execution context.  A space owns a
+// set of lanes: each lane has bound index-element values, a VP id in the
+// space's geometry, and coordinates (index-set *positions*, outermost
+// first) used to classify array accesses as local/NEWS/router.
+struct LaneSpace {
+  LaneSpace* parent = nullptr;
+  bool frontend = false;  // the root space (one lane on the front end)
+
+  std::vector<const Symbol*> elems;       // elements bound by THIS space
+  std::vector<std::int64_t> elem_vals;    // lane-major [lane*elems.size()+k]
+  std::vector<std::int64_t> parent_lane;  // per lane
+  std::vector<cm::VpIndex> vps;           // per lane
+  std::vector<std::int64_t> dims;         // full geometry (parents' + own)
+  std::vector<std::int64_t> coords;       // lane-major [lane*dims.size()+d]
+  std::int64_t geom_size = 1;
+
+  // Per-lane locals declared in this space's statements: slot -> values.
+  std::unordered_map<std::int32_t, std::vector<Value>> locals;
+
+  std::int64_t lane_count() const {
+    return static_cast<std::int64_t>(vps.size());
+  }
+
+  // Finds the bound value of an index element for a lane, walking up the
+  // parent chain.  Returns nullopt if the element is not bound (sema
+  // should have prevented this).
+  std::optional<std::int64_t> elem_value(const Symbol* elem,
+                                         std::int64_t lane) const;
+
+  // Finds the space (and translated lane) holding per-lane storage for a
+  // local slot; nullptr if no ancestor has it (it is a frame scalar).
+  LaneSpace* find_local(std::int32_t slot, std::int64_t lane,
+                        std::int64_t* out_lane);
+};
+
+// ---------------------------------------------------------------------------
+// Frames, write buffers, access statistics
+// ---------------------------------------------------------------------------
+
+struct FrameSlot {
+  enum class Kind : std::uint8_t { kEmpty, kScalar, kArray };
+  Kind kind = Kind::kEmpty;
+  Value scalar;
+  ArrayPtr array;
+};
+
+struct Frame {
+  const FuncDecl* fn = nullptr;
+  std::vector<FrameSlot> slots;
+};
+
+// Address of a write target, usable as a hash key for conflict detection.
+struct WriteTarget {
+  enum class Kind : std::uint8_t { kArray, kGlobal, kFrame, kLaneLocal };
+  Kind kind = Kind::kArray;
+  void* obj = nullptr;     // ArrayObj* / nullptr / Frame* / LaneSpace*
+  std::int64_t index = 0;  // flat element | slot | slot | slot
+  std::int64_t lane = 0;   // kLaneLocal only
+
+  friend bool operator==(const WriteTarget&, const WriteTarget&) = default;
+};
+
+struct WriteTargetHash {
+  std::size_t operator()(const WriteTarget& t) const {
+    auto h = std::hash<void*>()(t.obj);
+    h ^= std::hash<std::int64_t>()(t.index * 1315423911ll) + (h << 6);
+    h ^= std::hash<std::int64_t>()(t.lane) + (h >> 2);
+    h ^= static_cast<std::size_t>(t.kind) * 0x9e3779b9u;
+    return h;
+  }
+};
+
+struct Write {
+  WriteTarget target;
+  Value value;
+  const Expr* where = nullptr;  // for error messages
+};
+
+// Communication classification counters for one statement execution.
+// Summed across lanes; all fields merge commutatively so any host
+// execution order yields identical charges.
+struct AccessStats {
+  std::uint64_t local = 0;
+  std::uint64_t news = 0;
+  std::uint64_t news_max_hops = 0;
+  std::uint64_t router = 0;
+  std::uint64_t frontend = 0;
+  std::uint64_t broadcast = 0;
+
+  void merge(const AccessStats& o) {
+    local += o.local;
+    news += o.news;
+    news_max_hops = std::max(news_max_hops, o.news_max_hops);
+    router += o.router;
+    frontend += o.frontend;
+    broadcast += o.broadcast;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Per-lane evaluation context
+// ---------------------------------------------------------------------------
+
+struct Impl;
+
+struct EvalCtx {
+  Impl* vm = nullptr;
+  LaneSpace* space = nullptr;  // never null; root space for the front end
+  std::int64_t lane = 0;
+  Frame* frame = nullptr;  // innermost function frame
+  // The frame the enclosing statement executes in.  Writes to frames
+  // *below* it (functions called during this lane's evaluation) are
+  // private and apply immediately; writes to statement_frame itself obey
+  // the synchronous collect-then-commit rule.
+  Frame* statement_frame = nullptr;
+
+  // Synchronous-write collection; nullptr = commit directly.
+  std::vector<Write>* writes = nullptr;
+  AccessStats* stats = nullptr;
+  std::string* print_out = nullptr;  // per-lane print buffer (may be null)
+
+  // Deterministic per-lane RNG (seeded lazily from statement id + VP).
+  support::SplitMix64 rng{0};
+  bool rng_seeded = false;
+
+  // >0 while evaluating inside a partition-optimised reduction: accesses
+  // there are paid for by the send-with-combine charge, not counted again.
+  int suppress_comm = 0;
+
+  // solve support: reads of undefined target-array elements poison the
+  // evaluation instead of failing.
+  bool solve_mode = false;
+  bool undef = false;
+  const std::unordered_set<ArrayObj*>* solve_targets = nullptr;
+
+  bool is_frontend() const { return space->frontend; }
+};
+
+// Execution flow for scalar statement execution (function bodies, main).
+enum class Flow : std::uint8_t { kNormal, kReturn, kBreak, kContinue };
+
+// ---------------------------------------------------------------------------
+// The VM implementation object
+// ---------------------------------------------------------------------------
+
+struct Impl {
+  const lang::CompilationUnit& unit;
+  cm::Machine& machine;
+  ExecOptions opts;
+
+  std::vector<FrameSlot> globals;
+  std::string output;
+  std::uint64_t stmt_counter = 0;  // statement-instance id for lane RNG
+  std::uint64_t base_seed = 1;
+  support::SplitMix64 fe_rng{1};
+  Value return_value;  // last function return (scalar exec)
+  LaneSpace root;      // the front-end space (one lane)
+
+  Impl(const lang::CompilationUnit& u, cm::Machine& m, ExecOptions o);
+
+  RunResult run();
+
+  // --- scalar (front end / function body) execution ---
+  Flow exec_scalar_stmt(const Stmt& stmt, EvalCtx& ctx);
+  Value call_function(const FuncDecl& fn, std::vector<Value> scalar_args,
+                      std::vector<ArrayPtr> array_args,
+                      const std::vector<bool>& is_array_arg, EvalCtx& caller);
+
+  // --- parallel execution ---
+  void exec_construct(const lang::UcConstructStmt& stmt, EvalCtx& ctx);
+  void exec_nested_construct(const lang::UcConstructStmt& stmt,
+                             LaneSpace& parent,
+                             const std::vector<std::int64_t>& active,
+                             Frame* frame);
+  void exec_seq(const lang::UcConstructStmt& stmt, LaneSpace& parent,
+                const std::vector<std::int64_t>& active, Frame* frame);
+  bool run_blocks_once_if_enabled(const lang::UcConstructStmt& stmt,
+                                  LaneSpace& space, Frame* frame);
+  bool exec_oneof_once(const lang::UcConstructStmt& stmt, LaneSpace& space,
+                       Frame* frame);
+  void exec_parallel_stmt(const Stmt& stmt, LaneSpace& space,
+                          const std::vector<std::int64_t>& active,
+                          Frame* frame);
+  std::unique_ptr<LaneSpace> expand(LaneSpace& parent,
+                                    const std::vector<std::int64_t>& active,
+                                    const std::vector<Symbol*>& sets);
+  // Evaluates `pred` over `candidates`, returning the enabled subset.
+  std::vector<std::int64_t> filter_lanes(
+      const Expr& pred, LaneSpace& space,
+      const std::vector<std::int64_t>& candidates, Frame* frame);
+  void run_blocks(const lang::UcConstructStmt& stmt, LaneSpace& space,
+                  Frame* frame);
+  void exec_oneof(const lang::UcConstructStmt& stmt, LaneSpace& space,
+                  Frame* frame);
+  void exec_solve(const lang::UcConstructStmt& stmt, LaneSpace& space,
+                  Frame* frame);
+  void exec_star_solve(const lang::UcConstructStmt& stmt, LaneSpace& space,
+                       Frame* frame);
+
+  // Evaluates an expression for every lane in `active` (on the thread
+  // pool), collecting writes and prints per lane, then commits writes with
+  // single-value conflict checking and flushes prints in lane order.
+  // Returns the per-lane values.
+  std::vector<Value> eval_lanes(const Expr& expr, LaneSpace& space,
+                                const std::vector<std::int64_t>& active,
+                                Frame* frame, bool commit = true);
+
+  void commit_writes(std::vector<std::vector<Write>>& per_lane);
+  void apply_write(const WriteTarget& t, const Value& v);
+
+  // --- expression evaluation (per lane) ---
+  Value eval(const Expr& e, EvalCtx& ctx);
+  Value eval_reduce(const lang::ReduceExpr& e, EvalCtx& ctx);
+  Value eval_call(const lang::CallExpr& e, EvalCtx& ctx);
+  std::optional<WriteTarget> resolve_lvalue(const Expr& e, EvalCtx& ctx);
+  Value read_target(const WriteTarget& t, const EvalCtx& ctx);
+  void write_value(const WriteTarget& t, Value v, const Expr& where,
+                   EvalCtx& ctx);
+  ArrayPtr array_of(const Symbol& sym, const EvalCtx& ctx);
+  void classify_access(const ArrayObj& arr, std::int64_t flat, EvalCtx& ctx);
+
+  // --- charging ---
+  // Charges the static cost of one synchronous statement expression over a
+  // VP set of geom_size lanes (or the front end when frontend=true),
+  // including nested reductions.  `outer_space` (may be null) lets the
+  // processor optimisation recognise partitionable reductions.
+  void charge_expr(const Expr& e, std::int64_t geom_size, bool frontend,
+                   const LaneSpace* outer_space = nullptr);
+  static std::uint64_t expr_weight(const Expr& e);
+  // Like expr_weight, but repeated pure subexpressions count once — the
+  // paper §4 common-subexpression optimisation as a cost-model effect.
+  static std::uint64_t expr_weight_cse(const Expr& e);
+
+  // --- mappings ---
+  void apply_map_section(const lang::MapSectionStmt& section, EvalCtx& ctx);
+
+  // --- helpers ---
+  [[noreturn]] void runtime_error(const Expr* where, const std::string& msg);
+  [[noreturn]] void runtime_error(const Stmt* where, const std::string& msg);
+  std::string locate(support::SourceRange range) const;
+  support::SplitMix64& lane_rng(EvalCtx& ctx);
+};
+
+// True when the reduction's arms are guarded by predicates of the shape
+// `f(inner elems) == g(outer elems)` so each input element contributes to
+// at most one outer lane — the paper §4 processor optimisation.
+bool reduction_partitions(const lang::ReduceExpr& e,
+                          const LaneSpace& outer_space);
+
+}  // namespace uc::vm::detail

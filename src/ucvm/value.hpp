@@ -1,0 +1,59 @@
+// Runtime scalar values.  UC has two numeric representations at runtime:
+// 64-bit integers (int/char/bool) and doubles (float/double).  Values are
+// bit-cast into cm::Bits when stored in machine fields.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cm/ops.hpp"
+#include "uclang/ast.hpp"
+
+namespace uc::vm {
+
+struct Value {
+  bool is_float = false;
+  std::int64_t i = 0;
+  double f = 0.0;
+
+  static Value of_int(std::int64_t v) {
+    Value out;
+    out.i = v;
+    return out;
+  }
+  static Value of_float(double v) {
+    Value out;
+    out.is_float = true;
+    out.f = v;
+    return out;
+  }
+  static Value of_bool(bool v) { return of_int(v ? 1 : 0); }
+
+  std::int64_t as_int() const {
+    return is_float ? static_cast<std::int64_t>(f) : i;
+  }
+  double as_float() const { return is_float ? f : static_cast<double>(i); }
+  bool truthy() const { return is_float ? f != 0.0 : i != 0; }
+
+  cm::Bits to_bits() const {
+    return is_float ? cm::from_float(f) : cm::from_int(i);
+  }
+  static Value from_bits(cm::Bits b, bool as_float_type) {
+    return as_float_type ? of_float(cm::as_float(b)) : of_int(cm::as_int(b));
+  }
+
+  // Coerce to the representation implied by a scalar kind.
+  Value coerce(lang::ScalarKind kind) const {
+    if (kind == lang::ScalarKind::kFloat) return of_float(as_float());
+    return of_int(as_int());
+  }
+
+  std::string to_string() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    if (a.is_float != b.is_float) return a.as_float() == b.as_float();
+    return a.is_float ? a.f == b.f : a.i == b.i;
+  }
+};
+
+}  // namespace uc::vm

@@ -1,0 +1,21 @@
+// Constant folding — one of the paper's §4 "standard peep-hole" code
+// optimisations.  Folds integer and float constant subexpressions in
+// place, including identifiers sema resolved to compile-time constants
+// (const int N = 32, INF, #define-substituted literals).
+#pragma once
+
+#include <cstddef>
+
+#include "uclang/ast.hpp"
+
+namespace uc::xform {
+
+// Folds every expression in the program; returns how many nodes were
+// replaced by literals.  Run after sema (uses const-value annotations);
+// re-run sema afterwards if you intend to execute the tree.
+std::size_t fold_constants(lang::Program& program);
+
+// Folds one expression tree (exposed for unit tests).
+std::size_t fold_expr(lang::ExprPtr& e);
+
+}  // namespace uc::xform

@@ -1,0 +1,234 @@
+#include "xform/map_rewrite.hpp"
+
+#include <optional>
+#include <unordered_map>
+
+#include "uclang/symbols.hpp"
+
+namespace uc::xform {
+
+using namespace lang;
+
+namespace {
+
+// Matches `elem`, `elem + c`, `elem - c`, `c + elem`; returns the offset c.
+std::optional<std::int64_t> affine_offset(const Expr& e, const Symbol* elem) {
+  if (e.kind == ExprKind::kIdent) {
+    return static_cast<const IdentExpr&>(e).symbol == elem
+               ? std::optional<std::int64_t>(0)
+               : std::nullopt;
+  }
+  if (e.kind != ExprKind::kBinary) return std::nullopt;
+  const auto& b = static_cast<const BinaryExpr&>(e);
+  auto ident_is_elem = [&](const Expr& x) {
+    return x.kind == ExprKind::kIdent &&
+           static_cast<const IdentExpr&>(x).symbol == elem;
+  };
+  auto int_of = [&](const Expr& x) -> std::optional<std::int64_t> {
+    if (x.kind == ExprKind::kIntLit) {
+      return static_cast<const IntLitExpr&>(x).value;
+    }
+    return std::nullopt;
+  };
+  if (b.op == BinaryOp::kAdd) {
+    if (ident_is_elem(*b.lhs)) {
+      if (auto c = int_of(*b.rhs)) return *c;
+    }
+    if (ident_is_elem(*b.rhs)) {
+      if (auto c = int_of(*b.lhs)) return *c;
+    }
+  }
+  if (b.op == BinaryOp::kSub && ident_is_elem(*b.lhs)) {
+    if (auto c = int_of(*b.rhs)) return -*c;
+  }
+  return std::nullopt;
+}
+
+struct Rewriter {
+  MapRewrite result;
+  // target array symbol -> shift to subtract from its subscripts
+  std::unordered_map<const Symbol*, std::int64_t> shifts;
+
+  void rewrite_expr(ExprPtr& e) {
+    switch (e->kind) {
+      case ExprKind::kSubscript: {
+        auto& s = static_cast<SubscriptExpr&>(*e);
+        for (auto& idx : s.indices) rewrite_expr(idx);
+        if (s.base->kind == ExprKind::kIdent && s.indices.size() == 1) {
+          const auto* sym = static_cast<const IdentExpr&>(*s.base).symbol;
+          auto it = shifts.find(sym);
+          if (it != shifts.end() && it->second != 0) {
+            auto shifted = std::make_unique<BinaryExpr>();
+            shifted->op = BinaryOp::kSub;
+            shifted->lhs = std::move(s.indices[0]);
+            auto c = std::make_unique<IntLitExpr>();
+            c->value = it->second;
+            shifted->rhs = std::move(c);
+            s.indices[0] = std::move(shifted);
+            ++result.rewritten_subscripts;
+          }
+        }
+        return;
+      }
+      case ExprKind::kCall:
+        for (auto& a : static_cast<CallExpr&>(*e).args) rewrite_expr(a);
+        return;
+      case ExprKind::kUnary:
+        rewrite_expr(static_cast<UnaryExpr&>(*e).operand);
+        return;
+      case ExprKind::kBinary: {
+        auto& b = static_cast<BinaryExpr&>(*e);
+        rewrite_expr(b.lhs);
+        rewrite_expr(b.rhs);
+        return;
+      }
+      case ExprKind::kAssign: {
+        auto& a = static_cast<AssignExpr&>(*e);
+        rewrite_expr(a.lhs);
+        rewrite_expr(a.rhs);
+        return;
+      }
+      case ExprKind::kTernary: {
+        auto& t = static_cast<TernaryExpr&>(*e);
+        rewrite_expr(t.cond);
+        rewrite_expr(t.then_expr);
+        rewrite_expr(t.else_expr);
+        return;
+      }
+      case ExprKind::kReduce: {
+        auto& r = static_cast<ReduceExpr&>(*e);
+        for (auto& arm : r.arms) {
+          if (arm.pred) rewrite_expr(arm.pred);
+          rewrite_expr(arm.value);
+        }
+        if (r.others) rewrite_expr(r.others);
+        return;
+      }
+      case ExprKind::kIncDec:
+        rewrite_expr(static_cast<IncDecExpr&>(*e).operand);
+        return;
+      default:
+        return;
+    }
+  }
+
+  void rewrite_stmt(Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kExpr:
+        rewrite_expr(static_cast<ExprStmt&>(s).expr);
+        return;
+      case StmtKind::kCompound:
+        for (auto& child : static_cast<CompoundStmt&>(s).body) {
+          rewrite_stmt(*child);
+        }
+        return;
+      case StmtKind::kIf: {
+        auto& i = static_cast<IfStmt&>(s);
+        rewrite_expr(i.cond);
+        rewrite_stmt(*i.then_stmt);
+        if (i.else_stmt) rewrite_stmt(*i.else_stmt);
+        return;
+      }
+      case StmtKind::kWhile: {
+        auto& w = static_cast<WhileStmt&>(s);
+        rewrite_expr(w.cond);
+        rewrite_stmt(*w.body);
+        return;
+      }
+      case StmtKind::kFor: {
+        auto& f = static_cast<ForStmt&>(s);
+        if (f.init) rewrite_stmt(*f.init);
+        if (f.cond) rewrite_expr(f.cond);
+        if (f.step) rewrite_expr(f.step);
+        rewrite_stmt(*f.body);
+        return;
+      }
+      case StmtKind::kReturn: {
+        auto& r = static_cast<ReturnStmt&>(s);
+        if (r.value) rewrite_expr(r.value);
+        return;
+      }
+      case StmtKind::kVarDecl: {
+        auto& d = static_cast<VarDeclStmt&>(s);
+        for (auto& dec : d.declarators) {
+          if (dec.init) rewrite_expr(dec.init);
+        }
+        return;
+      }
+      case StmtKind::kUcConstruct: {
+        auto& u = static_cast<UcConstructStmt&>(s);
+        for (auto& block : u.blocks) {
+          if (block.pred) rewrite_expr(block.pred);
+          rewrite_stmt(*block.body);
+        }
+        if (u.others) rewrite_stmt(*u.others);
+        return;
+      }
+      default:
+        return;
+    }
+  }
+};
+
+}  // namespace
+
+MapRewrite rewrite_affine_permutes(Program& program) {
+  Rewriter rewriter;
+
+  // Pass 1: find rewriteable permutes across all map sections and remove
+  // them from their sections.
+  auto scan_section = [&](MapSectionStmt& section) {
+    auto& ms = section.mappings;
+    for (auto it = ms.begin(); it != ms.end();) {
+      bool take = false;
+      if (it->kind == MapKind::kPermute && it->index_set_syms.size() == 1 &&
+          it->target_symbol != nullptr && it->source_symbol != nullptr &&
+          it->target_symbol != it->source_symbol &&
+          it->target_subscripts.size() == 1 &&
+          it->source_subscripts.size() == 1) {
+        const Symbol* elem = it->index_set_syms[0]->index_set->elem;
+        auto t_off = affine_offset(*it->target_subscripts[0], elem);
+        auto s_off = affine_offset(*it->source_subscripts[0], elem);
+        if (t_off && s_off) {
+          rewriter.shifts[it->target_symbol] += *t_off - *s_off;
+          take = true;
+        }
+      }
+      if (take) {
+        it = ms.erase(it);
+        ++rewriter.result.rewritten_mappings;
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  auto scan_stmt = [&](auto&& self, Stmt& s) -> void {
+    if (s.kind == StmtKind::kMapSection) {
+      scan_section(static_cast<MapSectionStmt&>(s));
+      return;
+    }
+    if (s.kind == StmtKind::kCompound) {
+      for (auto& child : static_cast<CompoundStmt&>(s).body) {
+        self(self, *child);
+      }
+    }
+  };
+
+  for (auto& item : program.items) {
+    if (item.decl) scan_stmt(scan_stmt, *item.decl);
+    if (item.func && item.func->body) scan_stmt(scan_stmt, *item.func->body);
+  }
+  if (rewriter.shifts.empty()) return rewriter.result;
+
+  // Pass 2: rewrite every subscript of the shifted arrays.
+  for (auto& item : program.items) {
+    if (item.decl && item.decl->kind != StmtKind::kMapSection) {
+      rewriter.rewrite_stmt(*item.decl);
+    }
+    if (item.func && item.func->body) rewriter.rewrite_stmt(*item.func->body);
+  }
+  return rewriter.result;
+}
+
+}  // namespace uc::xform

@@ -1,0 +1,34 @@
+// The paper §4 communication optimisation as a source-to-source pass: a
+// 1-D permute mapping of the shape
+//
+//   map (I) { permute (I) b[i + c] :- a[i]; }
+//
+// physically stores b shifted by c relative to a, so the compiler rewrites
+// every subscript of b, e -> e - c, and drops the mapping.  After the
+// rewrite the default (aligned) mapping already provides the locality the
+// permute asked for.
+//
+// Validity caveat (as in the paper's own example): the rewrite is only
+// meaningful when the program never touches elements that shift outside
+// the array; the pass does not prove that, it is the programmer's mapping
+// contract.
+#pragma once
+
+#include <cstddef>
+
+#include "uclang/ast.hpp"
+
+namespace uc::xform {
+
+struct MapRewrite {
+  std::size_t rewritten_mappings = 0;  // permutes applied and removed
+  std::size_t rewritten_subscripts = 0;
+};
+
+// The program must have been through sema (symbols identify the arrays);
+// re-run sema after.  Only affine 1-D permutes (`elem + const` / `elem -
+// const` / bare `elem` on the target, bare `elem` on the source) are
+// rewritten; other mappings are left for the runtime mapping engine.
+MapRewrite rewrite_affine_permutes(lang::Program& program);
+
+}  // namespace uc::xform

@@ -1,0 +1,489 @@
+#include "xform/solve_lower.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "uclang/symbols.hpp"
+
+namespace uc::xform {
+
+using namespace lang;
+
+namespace {
+
+ExprPtr make_int(std::int64_t v) {
+  auto e = std::make_unique<IntLitExpr>();
+  e->value = v;
+  return e;
+}
+
+ExprPtr make_ident(const std::string& name) {
+  auto e = std::make_unique<IdentExpr>();
+  e->name = name;
+  return e;
+}
+
+ExprPtr make_not(ExprPtr operand) {
+  auto e = std::make_unique<UnaryExpr>();
+  e->op = UnaryOp::kNot;
+  e->operand = std::move(operand);
+  return e;
+}
+
+ExprPtr make_bin(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<BinaryExpr>();
+  e->op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+bool is_true_literal(const Expr& e) {
+  return e.kind == ExprKind::kIntLit &&
+         static_cast<const IntLitExpr&>(e).value == 1;
+}
+
+// a && b, dropping literal-true operands.
+ExprPtr make_and(ExprPtr a, ExprPtr b) {
+  if (!a || is_true_literal(*a)) return b ? std::move(b) : make_int(1);
+  if (!b || is_true_literal(*b)) return a;
+  return make_bin(BinaryOp::kLogAnd, std::move(a), std::move(b));
+}
+
+ExprPtr make_subscript(const std::string& array,
+                       std::vector<ExprPtr> indices) {
+  auto e = std::make_unique<SubscriptExpr>();
+  e->base = make_ident(array);
+  e->indices = std::move(indices);
+  return e;
+}
+
+// One assignment statement of the solve body with its block predicate.
+struct SolveAssign {
+  const Expr* pred = nullptr;
+  const AssignExpr* assign = nullptr;
+};
+
+bool collect_assigns(const Stmt& stmt, const Expr* pred,
+                     std::vector<SolveAssign>& out) {
+  switch (stmt.kind) {
+    case StmtKind::kExpr: {
+      const auto& es = static_cast<const ExprStmt&>(stmt);
+      if (es.expr->kind != ExprKind::kAssign) return false;
+      out.push_back(
+          SolveAssign{pred, static_cast<const AssignExpr*>(es.expr.get())});
+      return true;
+    }
+    case StmtKind::kCompound: {
+      for (const auto& s : static_cast<const CompoundStmt&>(stmt).body) {
+        if (!collect_assigns(*s, pred, out)) return false;
+      }
+      return true;
+    }
+    case StmtKind::kEmpty:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct Lowerer {
+  SolveLowering result;
+  int counter = 0;
+
+  // Names of the done-flag array for each target array symbol, for the
+  // solve currently being lowered.
+  std::unordered_map<const Symbol*, std::string> done_names;
+
+  // Collects the target array symbols of the assignments; nullptr if any
+  // lhs is not a plain array subscript.
+  const Symbol* target_of(const AssignExpr& a) {
+    if (a.lhs->kind != ExprKind::kSubscript) return nullptr;
+    const auto& sub = static_cast<const SubscriptExpr&>(*a.lhs);
+    if (sub.base->kind != ExprKind::kIdent) return nullptr;
+    return static_cast<const IdentExpr&>(*sub.base).symbol;
+  }
+
+  // True when the expression contains a reduction reading a target, or a
+  // target read inside another target's subscript — shapes the readiness
+  // construction cannot express.
+  bool reads_target_in_reduce(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kReduce: {
+        const auto& r = static_cast<const ReduceExpr&>(e);
+        for (const auto& arm : r.arms) {
+          if (arm.pred && reads_any_target(*arm.pred)) return true;
+          if (reads_any_target(*arm.value)) return true;
+        }
+        if (r.others && reads_any_target(*r.others)) return true;
+        return false;
+      }
+      case ExprKind::kSubscript: {
+        const auto& s = static_cast<const SubscriptExpr&>(e);
+        for (const auto& idx : s.indices) {
+          if (reads_target_in_reduce(*idx)) return true;
+        }
+        return false;
+      }
+      case ExprKind::kUnary:
+        return reads_target_in_reduce(
+            *static_cast<const UnaryExpr&>(e).operand);
+      case ExprKind::kBinary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        return reads_target_in_reduce(*b.lhs) ||
+               reads_target_in_reduce(*b.rhs);
+      }
+      case ExprKind::kTernary: {
+        const auto& t = static_cast<const TernaryExpr&>(e);
+        return reads_target_in_reduce(*t.cond) ||
+               reads_target_in_reduce(*t.then_expr) ||
+               reads_target_in_reduce(*t.else_expr);
+      }
+      case ExprKind::kCall: {
+        const auto& c = static_cast<const CallExpr&>(e);
+        for (const auto& a : c.args) {
+          if (reads_target_in_reduce(*a)) return true;
+        }
+        return false;
+      }
+      default:
+        return false;
+    }
+  }
+
+  bool reads_any_target(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kSubscript: {
+        const auto& s = static_cast<const SubscriptExpr&>(e);
+        if (s.base->kind == ExprKind::kIdent) {
+          const auto* sym = static_cast<const IdentExpr&>(*s.base).symbol;
+          if (done_names.contains(sym)) return true;
+        }
+        for (const auto& idx : s.indices) {
+          if (reads_any_target(*idx)) return true;
+        }
+        return false;
+      }
+      case ExprKind::kUnary:
+        return reads_any_target(*static_cast<const UnaryExpr&>(e).operand);
+      case ExprKind::kBinary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        return reads_any_target(*b.lhs) || reads_any_target(*b.rhs);
+      }
+      case ExprKind::kTernary: {
+        const auto& t = static_cast<const TernaryExpr&>(e);
+        return reads_any_target(*t.cond) || reads_any_target(*t.then_expr) ||
+               reads_any_target(*t.else_expr);
+      }
+      case ExprKind::kCall: {
+        const auto& c = static_cast<const CallExpr&>(e);
+        for (const auto& a : c.args) {
+          if (reads_any_target(*a)) return true;
+        }
+        return false;
+      }
+      case ExprKind::kReduce: {
+        const auto& r = static_cast<const ReduceExpr&>(e);
+        for (const auto& arm : r.arms) {
+          if (arm.pred && reads_any_target(*arm.pred)) return true;
+          if (reads_any_target(*arm.value)) return true;
+        }
+        return r.others != nullptr && reads_any_target(*r.others);
+      }
+      default:
+        return false;
+    }
+  }
+
+  // Builds the readiness expression of `e`: true iff evaluating `e` reads
+  // no not-yet-assigned target element, mirroring C's short-circuiting so
+  // guarded out-of-range reads stay guarded.
+  ExprPtr ready(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kSubscript: {
+        const auto& s = static_cast<const SubscriptExpr&>(e);
+        ExprPtr acc = make_int(1);
+        for (const auto& idx : s.indices) acc = make_and(std::move(acc), ready(*idx));
+        if (s.base->kind == ExprKind::kIdent) {
+          const auto* sym = static_cast<const IdentExpr&>(*s.base).symbol;
+          auto it = done_names.find(sym);
+          if (it != done_names.end()) {
+            std::vector<ExprPtr> subs;
+            for (const auto& idx : s.indices) subs.push_back(clone_expr(*idx));
+            acc = make_and(std::move(acc),
+                           make_subscript(it->second, std::move(subs)));
+          }
+        }
+        return acc;
+      }
+      case ExprKind::kUnary:
+        return ready(*static_cast<const UnaryExpr&>(e).operand);
+      case ExprKind::kBinary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        if (b.op == BinaryOp::kLogAnd) {
+          // ready(l) && (!l || ready(r))
+          auto rhs_ready = make_bin(BinaryOp::kLogOr,
+                                    make_not(clone_expr(*b.lhs)),
+                                    ready(*b.rhs));
+          return make_and(ready(*b.lhs), std::move(rhs_ready));
+        }
+        if (b.op == BinaryOp::kLogOr) {
+          // ready(l) && (l || ready(r))
+          auto rhs_ready = make_bin(BinaryOp::kLogOr, clone_expr(*b.lhs),
+                                    ready(*b.rhs));
+          return make_and(ready(*b.lhs), std::move(rhs_ready));
+        }
+        return make_and(ready(*b.lhs), ready(*b.rhs));
+      }
+      case ExprKind::kTernary: {
+        const auto& t = static_cast<const TernaryExpr&>(e);
+        auto branches = std::make_unique<TernaryExpr>();
+        branches->cond = clone_expr(*t.cond);
+        branches->then_expr = ready(*t.then_expr);
+        branches->else_expr = ready(*t.else_expr);
+        return make_and(ready(*t.cond), std::move(branches));
+      }
+      case ExprKind::kCall: {
+        const auto& c = static_cast<const CallExpr&>(e);
+        ExprPtr acc = make_int(1);
+        for (const auto& a : c.args) acc = make_and(std::move(acc), ready(*a));
+        return acc;
+      }
+      default:
+        return make_int(1);
+    }
+  }
+
+  // Attempts to lower one solve construct; returns the replacement or null.
+  StmtPtr lower(const UcConstructStmt& solve) {
+    std::vector<SolveAssign> assigns;
+    for (const auto& block : solve.blocks) {
+      if (!collect_assigns(*block.body, block.pred.get(), assigns)) {
+        result.skip_reasons.push_back("body is not a set of assignments");
+        return nullptr;
+      }
+    }
+    if (solve.others != nullptr) {
+      result.skip_reasons.push_back("others clause in solve");
+      return nullptr;
+    }
+    if (assigns.empty()) return std::make_unique<EmptyStmt>();
+
+    done_names.clear();
+    const int id = counter++;
+    // Discover targets and their dims.
+    struct Target {
+      const Symbol* sym;
+      std::string done_name;
+    };
+    std::vector<Target> targets;
+    for (const auto& a : assigns) {
+      const Symbol* sym = target_of(*a.assign);
+      if (sym == nullptr || !sym->type.is_array()) {
+        result.skip_reasons.push_back("assignment target is not an array");
+        return nullptr;
+      }
+      if (!done_names.contains(sym)) {
+        std::string name = "__uc_done_" + sym->name + "_" +
+                           std::to_string(id);
+        done_names[sym] = name;
+        targets.push_back(Target{sym, name});
+      }
+    }
+    for (const auto& a : assigns) {
+      if (reads_target_in_reduce(*a.assign->rhs) ||
+          (a.pred != nullptr && reads_target_in_reduce(*a.pred))) {
+        result.skip_reasons.push_back(
+            "reduction reads a solve target (cannot build readiness)");
+        return nullptr;
+      }
+    }
+
+    auto block = std::make_unique<CompoundStmt>();
+
+    // index sets covering every target array's full dimensions, and the
+    // done-flag declarations.
+    //   index_set __uc_dim<k>_<id>:__uc_e<k>_<id> = {0..dim-1};
+    std::size_t max_rank = 0;
+    std::vector<std::int64_t> dim_sizes;  // per axis k: max extent
+    for (const auto& t : targets) {
+      max_rank = std::max(max_rank, t.sym->type.dims.size());
+      for (std::size_t k = 0; k < t.sym->type.dims.size(); ++k) {
+        if (k >= dim_sizes.size()) dim_sizes.push_back(0);
+        dim_sizes[k] = std::max(dim_sizes[k], t.sym->type.dims[k]);
+      }
+    }
+    auto set_name = [&](std::size_t k) {
+      return "__uc_dim" + std::to_string(k) + "_" + std::to_string(id);
+    };
+    auto elem_name = [&](std::size_t k) {
+      return "__uc_e" + std::to_string(k) + "_" + std::to_string(id);
+    };
+    {
+      auto decl = std::make_unique<IndexSetDeclStmt>();
+      for (std::size_t k = 0; k < max_rank; ++k) {
+        IndexSetDef def;
+        def.set_name = set_name(k);
+        def.elem_name = elem_name(k);
+        def.range_lo = make_int(0);
+        def.range_hi = make_int(dim_sizes[k] - 1);
+        decl->defs.push_back(std::move(def));
+      }
+      block->body.push_back(std::move(decl));
+    }
+    for (const auto& t : targets) {
+      auto decl = std::make_unique<VarDeclStmt>();
+      decl->scalar = ScalarKind::kInt;
+      VarDeclarator d;
+      d.name = t.done_name;
+      for (auto dim : t.sym->type.dims) d.dim_exprs.push_back(make_int(dim));
+      decl->declarators.push_back(std::move(d));
+      block->body.push_back(std::move(decl));
+
+      // par (__dims...) __done[e0][e1] = 1;  (pre-solve values readable)
+      auto init = std::make_unique<UcConstructStmt>();
+      init->op = UcOp::kPar;
+      for (std::size_t k = 0; k < t.sym->type.dims.size(); ++k) {
+        init->index_sets.push_back(set_name(k));
+      }
+      std::vector<ExprPtr> subs;
+      for (std::size_t k = 0; k < t.sym->type.dims.size(); ++k) {
+        subs.push_back(make_ident(elem_name(k)));
+      }
+      auto assign = std::make_unique<AssignExpr>();
+      assign->lhs = make_subscript(t.done_name, std::move(subs));
+      assign->rhs = make_int(1);
+      auto es = std::make_unique<ExprStmt>();
+      es->expr = std::move(assign);
+      ScBlock b;
+      b.body = std::move(es);
+      init->blocks.push_back(std::move(b));
+      // Guard partial coverage: the shared dim sets use the max extent, so
+      // restrict to this array's own extents when they differ.
+      ExprPtr guard;
+      for (std::size_t k = 0; k < t.sym->type.dims.size(); ++k) {
+        if (dim_sizes[k] != t.sym->type.dims[k]) {
+          guard = make_and(std::move(guard),
+                           make_bin(BinaryOp::kLt, make_ident(elem_name(k)),
+                                    make_int(t.sym->type.dims[k])));
+        }
+      }
+      if (guard) init->blocks[0].pred = std::move(guard);
+      block->body.push_back(std::move(init));
+    }
+
+    // par (SETS) [st pred] __done[lhs subs] = 0;  — one per assignment.
+    for (const auto& a : assigns) {
+      const Symbol* sym = target_of(*a.assign);
+      const auto& lhs = static_cast<const SubscriptExpr&>(*a.assign->lhs);
+      auto clear = std::make_unique<UcConstructStmt>();
+      clear->op = UcOp::kPar;
+      clear->index_sets = solve.index_sets;
+      std::vector<ExprPtr> subs;
+      for (const auto& idx : lhs.indices) subs.push_back(clone_expr(*idx));
+      auto assign = std::make_unique<AssignExpr>();
+      assign->lhs = make_subscript(done_names[sym], std::move(subs));
+      assign->rhs = make_int(0);
+      auto es = std::make_unique<ExprStmt>();
+      es->expr = std::move(assign);
+      ScBlock b;
+      if (a.pred != nullptr) b.pred = clone_expr(*a.pred);
+      b.body = std::move(es);
+      clear->blocks.push_back(std::move(b));
+      block->body.push_back(std::move(clear));
+    }
+
+    // *par (SETS)
+    //   st (pred && !__done[lhs] && ready(rhs)) { lhs = rhs; done = 1; }
+    auto star = std::make_unique<UcConstructStmt>();
+    star->op = UcOp::kPar;
+    star->starred = true;
+    star->index_sets = solve.index_sets;
+    for (const auto& a : assigns) {
+      const Symbol* sym = target_of(*a.assign);
+      const auto& lhs = static_cast<const SubscriptExpr&>(*a.assign->lhs);
+      std::vector<ExprPtr> subs;
+      for (const auto& idx : lhs.indices) subs.push_back(clone_expr(*idx));
+      ExprPtr not_done =
+          make_not(make_subscript(done_names[sym], std::move(subs)));
+      ExprPtr pred = a.pred != nullptr ? clone_expr(*a.pred) : nullptr;
+      pred = make_and(std::move(pred), std::move(not_done));
+      pred = make_and(std::move(pred), ready(*a.assign->rhs));
+
+      auto body = std::make_unique<CompoundStmt>();
+      auto do_assign = std::make_unique<ExprStmt>();
+      do_assign->expr = clone_expr(*a.assign);
+      body->body.push_back(std::move(do_assign));
+      std::vector<ExprPtr> subs2;
+      for (const auto& idx : lhs.indices) subs2.push_back(clone_expr(*idx));
+      auto mark = std::make_unique<AssignExpr>();
+      mark->lhs = make_subscript(done_names[sym], std::move(subs2));
+      mark->rhs = make_int(1);
+      auto mark_stmt = std::make_unique<ExprStmt>();
+      mark_stmt->expr = std::move(mark);
+      body->body.push_back(std::move(mark_stmt));
+
+      ScBlock b;
+      b.pred = std::move(pred);
+      b.body = std::move(body);
+      star->blocks.push_back(std::move(b));
+    }
+    block->body.push_back(std::move(star));
+    return block;
+  }
+
+  void walk(StmtPtr& stmt) {
+    switch (stmt->kind) {
+      case StmtKind::kUcConstruct: {
+        auto& u = static_cast<UcConstructStmt&>(*stmt);
+        if (u.op == UcOp::kSolve && !u.starred) {
+          auto replacement = lower(u);
+          if (replacement) {
+            stmt = std::move(replacement);
+            ++result.lowered;
+          } else {
+            ++result.skipped;
+          }
+          return;
+        }
+        for (auto& block : u.blocks) walk(block.body);
+        if (u.others) walk(u.others);
+        return;
+      }
+      case StmtKind::kCompound: {
+        for (auto& child : static_cast<CompoundStmt&>(*stmt).body) {
+          walk(child);
+        }
+        return;
+      }
+      case StmtKind::kIf: {
+        auto& i = static_cast<IfStmt&>(*stmt);
+        walk(i.then_stmt);
+        if (i.else_stmt) walk(i.else_stmt);
+        return;
+      }
+      case StmtKind::kWhile:
+        walk(static_cast<WhileStmt&>(*stmt).body);
+        return;
+      case StmtKind::kFor:
+        walk(static_cast<ForStmt&>(*stmt).body);
+        return;
+      default:
+        return;
+    }
+  }
+};
+
+}  // namespace
+
+SolveLowering lower_solves(Program& program) {
+  Lowerer lowerer;
+  for (auto& item : program.items) {
+    if (item.func && item.func->body) {
+      for (auto& stmt : item.func->body->body) lowerer.walk(stmt);
+    }
+  }
+  return std::move(lowerer.result);
+}
+
+}  // namespace uc::xform

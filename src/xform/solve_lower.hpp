@@ -1,0 +1,31 @@
+// Lowers `solve` constructs to `*par` — the paper's general implementation
+// method (§3.6): every target element is marked "not yet assigned" via a
+// compiler-introduced done-flag array; the body iterates as a *par whose
+// predicates fire an assignment only when it has not fired and every value
+// it reads is ready.  The lowering is purely source-to-source: the result
+// is ordinary UC that any UC implementation can run.
+//
+// Limitations (diagnosed, the construct is then left for the VM's built-in
+// solve): reductions reading a target array, target arrays subscripted by
+// other target arrays, and non-subscript lvalues.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "uclang/ast.hpp"
+
+namespace uc::xform {
+
+struct SolveLowering {
+  std::size_t lowered = 0;    // solve constructs rewritten
+  std::size_t skipped = 0;    // left intact (unsupported shape)
+  std::vector<std::string> skip_reasons;
+};
+
+// Rewrites every non-starred `solve` in the program.  The program must
+// have been through sema (array ranks/dims are needed); re-run sema after.
+SolveLowering lower_solves(lang::Program& program);
+
+}  // namespace uc::xform

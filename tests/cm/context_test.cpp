@@ -1,0 +1,75 @@
+#include "cm/context.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uc::cm {
+namespace {
+
+TEST(Context, StartsFullyActive) {
+  Geometry g({8});
+  ContextStack ctx(&g);
+  EXPECT_EQ(ctx.active_count(), 8);
+  EXPECT_TRUE(ctx.any_active());
+  EXPECT_EQ(ctx.depth(), 1u);
+}
+
+TEST(Context, WhereNarrows) {
+  Geometry g({8});
+  ContextStack ctx(&g);
+  ctx.where([](VpIndex vp) { return vp % 2 == 0; });
+  EXPECT_EQ(ctx.active_count(), 4);
+  EXPECT_TRUE(ctx.is_active(0));
+  EXPECT_FALSE(ctx.is_active(1));
+  ctx.end();
+  EXPECT_EQ(ctx.active_count(), 8);
+}
+
+TEST(Context, NestedWhereIntersects) {
+  Geometry g({16});
+  ContextStack ctx(&g);
+  ctx.where([](VpIndex vp) { return vp < 8; });
+  ctx.where([](VpIndex vp) { return vp % 2 == 0; });
+  EXPECT_EQ(ctx.active_count(), 4);  // {0,2,4,6}
+  EXPECT_FALSE(ctx.is_active(8));    // excluded by outer where
+}
+
+TEST(Context, WhereElseComplements) {
+  Geometry g({8});
+  ContextStack ctx(&g);
+  ctx.where([](VpIndex vp) { return vp < 3; });
+  ctx.where_else();
+  EXPECT_EQ(ctx.active_count(), 5);
+  EXPECT_FALSE(ctx.is_active(0));
+  EXPECT_TRUE(ctx.is_active(3));
+  ctx.end();
+  EXPECT_EQ(ctx.depth(), 1u);
+}
+
+TEST(Context, WhereElseRespectsOuterMask) {
+  Geometry g({8});
+  ContextStack ctx(&g);
+  ctx.where([](VpIndex vp) { return vp < 6; });      // {0..5}
+  ctx.where([](VpIndex vp) { return vp % 2 == 0; }); // {0,2,4}
+  ctx.where_else();                                  // {1,3,5} — not 6,7
+  EXPECT_EQ(ctx.active_count(), 3);
+  EXPECT_TRUE(ctx.is_active(1));
+  EXPECT_FALSE(ctx.is_active(7));
+}
+
+TEST(Context, EmptyContextGlobalOr) {
+  Geometry g({4});
+  ContextStack ctx(&g);
+  ctx.where([](VpIndex) { return false; });
+  EXPECT_FALSE(ctx.any_active());
+}
+
+TEST(Context, UnderflowAndMisuseThrow) {
+  Geometry g({4});
+  ContextStack ctx(&g);
+  EXPECT_THROW(ctx.end(), support::ApiError);
+  EXPECT_THROW(ctx.where_else(), support::ApiError);
+  EXPECT_THROW(ContextStack(nullptr), support::ApiError);
+}
+
+}  // namespace
+}  // namespace uc::cm

@@ -1,0 +1,106 @@
+#include "cm/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace uc::cm {
+namespace {
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> v(100, 0);
+  pool.parallel_for(0, 100, [&](std::int64_t b, std::int64_t e) {
+    for (auto i = b; i < e; ++i) v[static_cast<std::size_t>(i)] = 1;
+  });
+  EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0), 100);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::int64_t, std::int64_t) { called = true; });
+  pool.parallel_for(7, 3, [&](std::int64_t, std::int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+class ThreadPoolP : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ThreadPoolP, CoversRangeExactlyOnce) {
+  ThreadPool pool(GetParam());
+  constexpr std::int64_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(
+      0, kN,
+      [&](std::int64_t b, std::int64_t e) {
+        for (auto i = b; i < e; ++i) {
+          hits[static_cast<std::size_t>(i)].fetch_add(1,
+                                                      std::memory_order_relaxed);
+        }
+      },
+      /*min_grain=*/64);
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST_P(ThreadPoolP, SumIsCorrect) {
+  ThreadPool pool(GetParam());
+  constexpr std::int64_t kN = 50000;
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for(
+      1, kN + 1,
+      [&](std::int64_t b, std::int64_t e) {
+        std::int64_t local = 0;
+        for (auto i = b; i < e; ++i) local += i;
+        sum.fetch_add(local, std::memory_order_relaxed);
+      },
+      /*min_grain=*/128);
+  EXPECT_EQ(sum.load(), kN * (kN + 1) / 2);
+}
+
+TEST_P(ThreadPoolP, ReusableAcrossManyCalls) {
+  ThreadPool pool(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::int64_t> count{0};
+    pool.parallel_for(
+        0, 2000,
+        [&](std::int64_t b, std::int64_t e) {
+          count.fetch_add(e - b, std::memory_order_relaxed);
+        },
+        /*min_grain=*/16);
+    ASSERT_EQ(count.load(), 2000);
+  }
+}
+
+TEST_P(ThreadPoolP, PropagatesException) {
+  ThreadPool pool(GetParam());
+  EXPECT_THROW(
+      pool.parallel_for(
+          0, 10000,
+          [&](std::int64_t b, std::int64_t) {
+            if (b == 0) throw std::runtime_error("boom");
+          },
+          /*min_grain=*/8),
+      std::runtime_error);
+  // Pool still usable afterwards.
+  std::atomic<int> ok{0};
+  pool.parallel_for(
+      0, 100, [&](std::int64_t b, std::int64_t e) { ok += int(e - b); },
+      /*min_grain=*/8);
+  EXPECT_EQ(ok.load(), 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadPoolP,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(ThreadPool, ThreadCountReported) {
+  EXPECT_EQ(ThreadPool(1).thread_count(), 1u);
+  EXPECT_EQ(ThreadPool(4).thread_count(), 4u);
+}
+
+}  // namespace
+}  // namespace uc::cm

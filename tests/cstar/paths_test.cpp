@@ -1,0 +1,51 @@
+#include "cstar/paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include "seqref/seqref.hpp"
+#include "support/rng.hpp"
+
+namespace uc::cstar {
+namespace {
+
+class CstarPathsP : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(CstarPathsP, On2MatchesFloydWarshall) {
+  const auto n = GetParam();
+  support::SplitMix64 rng(5);
+  auto graph = seqref::random_digraph(n, rng);
+  auto expect = graph;
+  seqref::floyd_warshall(expect, n);
+  cm::Machine machine;
+  EXPECT_EQ(shortest_path_on2(machine, n, graph), expect);
+  EXPECT_GT(machine.stats().cycles, 0u);
+}
+
+TEST_P(CstarPathsP, On3MatchesFloydWarshall) {
+  const auto n = GetParam();
+  support::SplitMix64 rng(5);
+  auto graph = seqref::random_digraph(n, rng);
+  auto expect = graph;
+  seqref::floyd_warshall(expect, n);
+  cm::Machine machine;
+  EXPECT_EQ(shortest_path_on3(machine, n, graph), expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CstarPathsP,
+                         ::testing::Values(2, 3, 5, 8, 13));
+
+TEST(CstarPaths, On3UsesMoreVpsThanOn2) {
+  // The C* O(N^3) program declares an N^3 domain, so beyond 16K physical
+  // processors its VP ratio (and with it the per-instruction time) grows
+  // much faster than the O(N^2) program's.
+  const std::int64_t n = 32;  // 32^3 = 32768 VPs > 16384 physical
+  support::SplitMix64 rng(5);
+  auto graph = seqref::random_digraph(n, rng);
+  cm::Machine m2, m3;
+  (void)shortest_path_on2(m2, n, graph);
+  (void)shortest_path_on3(m3, n, graph);
+  EXPECT_GT(m3.stats().router_messages, m2.stats().router_messages);
+}
+
+}  // namespace
+}  // namespace uc::cstar

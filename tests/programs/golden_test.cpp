@@ -1,0 +1,78 @@
+// Golden tests over the shipped .uc sample programs: every program in
+// programs/ must compile, and those with a sibling .expected file must
+// print exactly that output.  The suite doubles as an end-user contract:
+// anything in programs/ is guaranteed runnable.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "uc/uc.hpp"
+
+namespace uc {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<fs::path> uc_programs() {
+  std::vector<fs::path> out;
+  for (const auto& entry : fs::directory_iterator(PROGRAMS_DIR)) {
+    if (entry.path().extension() == ".uc") out.push_back(entry.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class GoldenP : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenP, CompilesAndMatchesExpectedOutput) {
+  const fs::path path = GetParam();
+  auto program = Program::compile(path.filename().string(), slurp(path));
+
+  // Every program must also round-trip through the pretty printer.
+  auto again = Program::compile("roundtrip.uc", program.to_uc_source());
+
+  fs::path expected = path;
+  expected.replace_extension(".expected");
+  if (!fs::exists(expected)) {
+    // No golden output: running without a crash is the contract.
+    (void)program.run();
+    return;
+  }
+  auto result = program.run();
+  auto result2 = again.run();
+  EXPECT_EQ(result.output(), slurp(expected)) << path;
+  EXPECT_EQ(result2.output(), result.output()) << "round-trip divergence";
+}
+
+std::vector<std::string> program_names() {
+  std::vector<std::string> names;
+  for (const auto& p : uc_programs()) names.push_back(p.string());
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, GoldenP, ::testing::ValuesIn(program_names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      auto name = fs::path(info.param).stem().string();
+      for (auto& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(Golden, SuiteIsNonEmpty) {
+  EXPECT_GE(uc_programs().size(), 8u);
+}
+
+}  // namespace
+}  // namespace uc

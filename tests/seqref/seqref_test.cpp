@@ -1,0 +1,125 @@
+// The sequential references must be trustworthy oracles: cross-check the
+// two shortest-path algorithms against each other, BFS against the
+// relaxation baseline, and the small utilities against hand results.
+#include "seqref/seqref.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uc::seqref {
+namespace {
+
+constexpr std::int64_t kInf = std::int64_t{1} << 40;
+
+TEST(Seqref, FloydWarshallTinyHandCase) {
+  // 0 ->(1) 1 ->(1) 2, direct 0->2 costs 5.
+  std::vector<std::int64_t> d = {0, 1, 5,
+                                 9, 0, 1,
+                                 9, 9, 0};
+  floyd_warshall(d, 3);
+  EXPECT_EQ(d[2], 2);  // via node 1
+  EXPECT_EQ(d[3 * 1 + 2], 1);
+  EXPECT_EQ(d[0], 0);
+}
+
+class ClosureAgreeP : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ClosureAgreeP, FloydAndMinPlusAgree) {
+  support::SplitMix64 rng(GetParam());
+  const std::int64_t n = 3 + static_cast<std::int64_t>(rng.next_below(14));
+  auto graph = random_digraph(n, rng);
+  auto a = graph;
+  auto b = graph;
+  floyd_warshall(a, n);
+  min_plus_closure(b, n);
+  EXPECT_EQ(a, b) << "n=" << n << " seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosureAgreeP,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Seqref, RandomDigraphShape) {
+  support::SplitMix64 rng(9);
+  auto g = random_digraph(6, rng);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(g[static_cast<std::size_t>(i * 6 + i)], 0);
+    for (int j = 0; j < 6; ++j) {
+      if (i == j) continue;
+      auto w = g[static_cast<std::size_t>(i * 6 + j)];
+      EXPECT_GE(w, 1);
+      EXPECT_LE(w, 6);
+    }
+  }
+}
+
+TEST(Seqref, GridBfsOpenGrid) {
+  std::vector<std::uint8_t> wall(16, 0);
+  auto d = grid_bfs(4, 4, wall, kInf, nullptr);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[15], 6);  // manhattan distance
+  EXPECT_EQ(d[5], 2);
+}
+
+TEST(Seqref, GridBfsWalledOffCellIsInf) {
+  // Wall seals the bottom-right corner cell.
+  std::vector<std::uint8_t> wall(16, 0);
+  wall[11] = 1;  // (2,3)
+  wall[14] = 1;  // (3,2)
+  auto d = grid_bfs(4, 4, wall, kInf, nullptr);
+  EXPECT_EQ(d[15], kInf);
+}
+
+TEST(Seqref, GridRelaxMatchesBfsOnRandomWalls) {
+  support::SplitMix64 rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::int64_t rows = 9, cols = 7;
+    std::vector<std::uint8_t> wall(static_cast<std::size_t>(rows * cols), 0);
+    for (auto& w : wall) w = rng.next_below(5) == 0 ? 1 : 0;
+    wall[0] = 0;  // keep the goal open
+    auto bfs = grid_bfs(rows, cols, wall, kInf, nullptr);
+    auto relax = grid_relax_sequential(rows, cols, wall, kInf, nullptr);
+    for (std::size_t k = 0; k < bfs.size(); ++k) {
+      if (wall[k] != 0) continue;
+      EXPECT_EQ(relax[k], bfs[k]) << "trial " << trial << " cell " << k;
+    }
+  }
+}
+
+TEST(Seqref, OpsCountersPopulated) {
+  std::vector<std::uint8_t> wall(64, 0);
+  std::uint64_t bfs_ops = 0, relax_ops = 0;
+  grid_bfs(8, 8, wall, kInf, &bfs_ops);
+  grid_relax_sequential(8, 8, wall, kInf, &relax_ops);
+  EXPECT_GT(bfs_ops, 0u);
+  // The relaxation does asymptotically more elementary work than BFS.
+  EXPECT_GT(relax_ops, bfs_ops);
+}
+
+TEST(Seqref, PrefixSumsAndSorted) {
+  EXPECT_EQ(prefix_sums({1, 2, 3, 4}), (std::vector<std::int64_t>{1, 3, 6, 10}));
+  EXPECT_EQ(prefix_sums({}), (std::vector<std::int64_t>{}));
+  EXPECT_EQ(sorted({3, 1, 2}), (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+TEST(Seqref, WavefrontBoundaryAndInterior) {
+  auto a = wavefront(4);
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(a[3], 1);             // first row all 1
+  EXPECT_EQ(a[4 * 1 + 1], 3);     // 1+1+1
+  EXPECT_EQ(a[4 * 2 + 2], 13);    // known wavefront value
+}
+
+TEST(Seqref, PaperObstacleLeavesColumnZeroOpen) {
+  for (std::int64_t rows : {8, 12, 16}) {
+    auto wall = paper_obstacle(rows, rows);
+    for (std::int64_t i = 0; i < rows; ++i) {
+      EXPECT_EQ(wall[static_cast<std::size_t>(i * rows)], 0);
+    }
+    // And the band really blocks something.
+    std::int64_t blocked = 0;
+    for (auto w : wall) blocked += w;
+    EXPECT_GT(blocked, 0);
+  }
+}
+
+}  // namespace
+}  // namespace uc::seqref

@@ -1,0 +1,68 @@
+#include "support/diag.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uc::support {
+namespace {
+
+TEST(Diag, CountsErrorsOnly) {
+  DiagnosticEngine de;
+  de.warning({}, "w");
+  EXPECT_FALSE(de.has_errors());
+  de.error({}, "e");
+  de.note({}, "n");
+  EXPECT_TRUE(de.has_errors());
+  EXPECT_EQ(de.error_count(), 1u);
+  EXPECT_EQ(de.diagnostics().size(), 3u);
+}
+
+TEST(Diag, RenderWithoutFile) {
+  DiagnosticEngine de;
+  de.error({}, "boom");
+  EXPECT_EQ(de.render(de.diagnostics()[0]), "error: boom\n");
+}
+
+TEST(Diag, RenderWithCaretLine) {
+  SourceFile f("x.uc", "int a;\nint b$;\n");
+  DiagnosticEngine de(&f);
+  // '$' is at offset 12 (line 2, col 6).
+  de.error({SourceLoc{12}, SourceLoc{13}}, "stray '$'");
+  auto out = de.render(de.diagnostics()[0]);
+  EXPECT_NE(out.find("x.uc:2:6: error: stray '$'"), std::string::npos);
+  EXPECT_NE(out.find("int b$;"), std::string::npos);
+  EXPECT_NE(out.find("     ^"), std::string::npos);
+}
+
+TEST(Diag, RenderRangeExtendsTilde) {
+  SourceFile f("x.uc", "goto done;\n");
+  DiagnosticEngine de(&f);
+  de.error({SourceLoc{0}, SourceLoc{4}}, "goto is not allowed in UC");
+  auto out = de.render(de.diagnostics()[0]);
+  EXPECT_NE(out.find("^~~~"), std::string::npos);
+}
+
+TEST(Diag, RenderAllConcatenates) {
+  DiagnosticEngine de;
+  de.error({}, "one");
+  de.warning({}, "two");
+  auto all = de.render_all();
+  EXPECT_NE(all.find("one"), std::string::npos);
+  EXPECT_NE(all.find("two"), std::string::npos);
+}
+
+TEST(Diag, ClearResets) {
+  DiagnosticEngine de;
+  de.error({}, "e");
+  de.clear();
+  EXPECT_FALSE(de.has_errors());
+  EXPECT_TRUE(de.diagnostics().empty());
+}
+
+TEST(Diag, SeverityNames) {
+  EXPECT_STREQ(severity_name(Severity::kError), "error");
+  EXPECT_STREQ(severity_name(Severity::kWarning), "warning");
+  EXPECT_STREQ(severity_name(Severity::kNote), "note");
+}
+
+}  // namespace
+}  // namespace uc::support

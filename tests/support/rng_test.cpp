@@ -1,0 +1,52 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uc::support {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, NextBelowInRange) {
+  SplitMix64 r(7);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.next_below(10);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  SplitMix64 r(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  SplitMix64 r(9);
+  for (int i = 0; i < 1000; ++i) {
+    auto d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  SplitMix64 r(123);
+  int counts[4] = {0, 0, 0, 0};
+  const int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) counts[r.next_below(4)]++;
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 4 - kDraws / 20);
+    EXPECT_LT(c, kDraws / 4 + kDraws / 20);
+  }
+}
+
+}  // namespace
+}  // namespace uc::support

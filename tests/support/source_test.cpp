@@ -1,0 +1,64 @@
+#include "support/source.hpp"
+
+#include <gtest/gtest.h>
+
+namespace uc::support {
+namespace {
+
+TEST(SourceFile, LineColOfFirstByte) {
+  SourceFile f("t.uc", "abc\ndef\n");
+  EXPECT_EQ(f.line_col({0}), (LineCol{1, 1}));
+}
+
+TEST(SourceFile, LineColMidLine) {
+  SourceFile f("t.uc", "abc\ndef\n");
+  EXPECT_EQ(f.line_col({2}), (LineCol{1, 3}));
+}
+
+TEST(SourceFile, LineColSecondLine) {
+  SourceFile f("t.uc", "abc\ndef\n");
+  EXPECT_EQ(f.line_col({4}), (LineCol{2, 1}));
+  EXPECT_EQ(f.line_col({6}), (LineCol{2, 3}));
+}
+
+TEST(SourceFile, LineColAtNewline) {
+  SourceFile f("t.uc", "abc\ndef\n");
+  EXPECT_EQ(f.line_col({3}), (LineCol{1, 4}));
+}
+
+TEST(SourceFile, LineColPastEndClamps) {
+  SourceFile f("t.uc", "abc");
+  EXPECT_EQ(f.line_col({100}), (LineCol{1, 4}));
+}
+
+TEST(SourceFile, LineTextStripsNewline) {
+  SourceFile f("t.uc", "abc\ndef\nghi");
+  EXPECT_EQ(f.line_text(1), "abc");
+  EXPECT_EQ(f.line_text(2), "def");
+  EXPECT_EQ(f.line_text(3), "ghi");
+}
+
+TEST(SourceFile, LineTextOutOfRangeIsEmpty) {
+  SourceFile f("t.uc", "abc");
+  EXPECT_EQ(f.line_text(0), "");
+  EXPECT_EQ(f.line_text(9), "");
+}
+
+TEST(SourceFile, EmptyFile) {
+  SourceFile f("t.uc", "");
+  EXPECT_EQ(f.line_count(), 1u);
+  EXPECT_EQ(f.line_col({0}), (LineCol{1, 1}));
+}
+
+TEST(SourceFile, LineCountCountsTrailingNewlineLine) {
+  SourceFile f("t.uc", "a\nb\n");
+  EXPECT_EQ(f.line_count(), 3u);  // "a", "b", ""
+}
+
+TEST(SourceLoc, Ordering) {
+  EXPECT_LT(SourceLoc{1}, SourceLoc{2});
+  EXPECT_EQ(SourceLoc{3}, SourceLoc{3});
+}
+
+}  // namespace
+}  // namespace uc::support

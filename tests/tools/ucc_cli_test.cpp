@@ -1,0 +1,141 @@
+// Integration tests for the ucc command-line driver: they run the real
+// binary against the sample programs shipped in programs/.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace {
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+CommandResult run_command(const std::string& cmd) {
+  CommandResult result;
+  FILE* pipe = popen((cmd + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 512> buf;
+  while (fgets(buf.data(), static_cast<int>(buf.size()), pipe) != nullptr) {
+    result.output += buf.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string ucc() { return UCC_BINARY; }
+std::string program(const char* name) {
+  return std::string(PROGRAMS_DIR) + "/" + name;
+}
+
+TEST(UccCli, RunsHelloProgram) {
+  auto r = run_command(ucc() + " run " + program("hello.uc"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("sum of 1..100 = 5050"), std::string::npos)
+      << r.output;
+}
+
+TEST(UccCli, StatsFlagPrintsMachineCounters) {
+  auto r = run_command(ucc() + " run " + program("hello.uc") + " --stats");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("cycles="), std::string::npos) << r.output;
+}
+
+TEST(UccCli, CheckReportsOk) {
+  auto r = run_command(ucc() + " check " + program("shortest_path.uc"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find(": ok"), std::string::npos) << r.output;
+}
+
+TEST(UccCli, CheckReportsDiagnosticsAndFails) {
+  // A temporary bad program.
+  const std::string path = "/tmp/ucc_cli_bad.uc";
+  {
+    std::ofstream out(path);
+    out << "void main() { goto done; }\n";
+  }
+  auto r = run_command(ucc() + " check " + path);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("goto is not allowed"), std::string::npos)
+      << r.output;
+  std::remove(path.c_str());
+}
+
+TEST(UccCli, EmitCstarProducesDomains) {
+  auto r = run_command(ucc() + " emit-cstar " + program("shortest_path.uc"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("domain"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("[domain"), std::string::npos) << r.output;
+}
+
+TEST(UccCli, EmitUcRoundTrips) {
+  auto r = run_command(ucc() + " emit-uc " + program("wavefront.uc"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("solve (I, J)"), std::string::npos) << r.output;
+}
+
+TEST(UccCli, NoMappingsChangesCostNotResults) {
+  auto mapped =
+      run_command(ucc() + " run " + program("mapping_demo.uc") + " --stats");
+  auto unmapped = run_command(ucc() + " run " + program("mapping_demo.uc") +
+                              " --no-mappings --stats");
+  EXPECT_EQ(mapped.exit_code, 0);
+  EXPECT_EQ(unmapped.exit_code, 0);
+  // Same printed values...
+  auto value_line = [](const std::string& s) {
+    auto pos = s.find("a[0] =");
+    return pos == std::string::npos ? std::string() : s.substr(pos);
+  };
+  auto a = value_line(mapped.output);
+  auto b = value_line(unmapped.output);
+  ASSERT_FALSE(a.empty());
+  // Compare just the program output line (the stats lines differ).
+  EXPECT_EQ(a.substr(0, a.find('\n')), b.substr(0, b.find('\n')));
+  // ...different machine stats.
+  EXPECT_NE(mapped.output.substr(mapped.output.find("cycles=")),
+            unmapped.output.substr(unmapped.output.find("cycles=")));
+}
+
+TEST(UccCli, SeedChangesRandomGraph) {
+  auto a = run_command(ucc() + " run " + program("shortest_path.uc") +
+                       " --seed=1");
+  auto b = run_command(ucc() + " run " + program("shortest_path.uc") +
+                       " --seed=2");
+  EXPECT_EQ(a.exit_code, 0);
+  EXPECT_EQ(b.exit_code, 0);
+  // srand(11) inside the program pins the graph, so seeds agree here —
+  // the flag must at least not break anything and produce a value.
+  EXPECT_NE(a.output.find("d[0][N-1] ="), std::string::npos);
+  EXPECT_EQ(a.output, b.output);  // program-level srand wins
+}
+
+TEST(UccCli, TraceFlagPrintsParisInstructions) {
+  auto r = run_command(ucc() + " run " + program("hello.uc") + " --trace");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("cm:alu"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("cm:scan"), std::string::npos) << r.output;
+}
+
+TEST(UccCli, UnknownOptionRejected) {
+  auto r = run_command(ucc() + " run " + program("hello.uc") + " --bogus");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("unknown option"), std::string::npos);
+}
+
+TEST(UccCli, MissingFileRejected) {
+  auto r = run_command(ucc() + " run /no/such/file.uc");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("cannot read"), std::string::npos);
+}
+
+TEST(UccCli, UsageOnBadCommand) {
+  auto r = run_command(ucc() + " frobnicate " + program("hello.uc"));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+}  // namespace

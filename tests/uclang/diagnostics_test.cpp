@@ -1,0 +1,129 @@
+// Diagnostic-quality matrix: every class of user error must produce a
+// located, actionable message, and analysis must keep going to report
+// multiple independent problems in one pass.
+#include <gtest/gtest.h>
+
+#include "uclang/frontend.hpp"
+
+namespace uc::lang {
+namespace {
+
+std::string diags_for(const std::string& src) {
+  auto unit = compile("err.uc", src);
+  return unit->diags.render_all();
+}
+
+std::size_t error_count(const std::string& src) {
+  auto unit = compile("err.uc", src);
+  return unit->diags.error_count();
+}
+
+TEST(Diagnostics, MessagesCarryFileLineColumn) {
+  auto out = diags_for("int a;\nvoid main() {\n  b = 1;\n}");
+  EXPECT_NE(out.find("err.uc:3:3"), std::string::npos) << out;
+  EXPECT_NE(out.find("unknown identifier 'b'"), std::string::npos);
+}
+
+TEST(Diagnostics, CaretPointsAtOffendingToken) {
+  auto out = diags_for("void main() { goto x; }");
+  // The caret line must sit under `goto`.
+  EXPECT_NE(out.find("^~~~"), std::string::npos) << out;
+}
+
+TEST(Diagnostics, MultipleIndependentErrorsReportedTogether) {
+  EXPECT_GE(error_count("void main() {\n"
+                        "  x = 1;\n"       // unknown x
+                        "  y = 2;\n"       // unknown y
+                        "  int a; a = z;\n"  // unknown z
+                        "}"),
+            3u);
+}
+
+TEST(Diagnostics, ParserRecoversAcrossStatements) {
+  EXPECT_GE(error_count("void main() {\n"
+                        "  int @;\n"        // lexical garbage
+                        "  goto l;\n"       // forbidden statement
+                        "}"),
+            2u);
+}
+
+TEST(Diagnostics, RedeclarationNamesPreviousKind) {
+  auto out = diags_for("index_set I:i = {0..3};\nint I;\nvoid main() { }");
+  EXPECT_NE(out.find("redeclaration of 'I'"), std::string::npos) << out;
+  EXPECT_NE(out.find("index set"), std::string::npos) << out;
+}
+
+TEST(Diagnostics, ElementCollisionBetweenSets) {
+  auto out = diags_for(
+      "index_set I:i = {0..3}, J:i = {0..3};\nvoid main() { }");
+  EXPECT_NE(out.find("redeclaration of 'i'"), std::string::npos) << out;
+}
+
+TEST(Diagnostics, SubscriptRankMessageGivesBothRanks) {
+  auto out = diags_for(
+      "int d[4][4];\nindex_set I:i = {0..3};\n"
+      "void main() { par (I) d[i][i][i] = 0; }");
+  EXPECT_NE(out.find("rank 2"), std::string::npos) << out;
+  EXPECT_NE(out.find("3 subscripts"), std::string::npos) << out;
+}
+
+TEST(Diagnostics, CallArityMessageGivesBothCounts) {
+  auto out = diags_for(
+      "int f(int a, int b) { return a + b; }\n"
+      "void main() { f(1); }");
+  EXPECT_NE(out.find("expects 2 argument(s), got 1"), std::string::npos)
+      << out;
+}
+
+TEST(Diagnostics, ReductionAfterIndexSetsNeedsSemiOrSt) {
+  auto out = diags_for("int s;\nvoid main() { s = $+(I 1); }");
+  EXPECT_NE(out.find("';' or 'st'"), std::string::npos) << out;
+}
+
+TEST(Diagnostics, MapSectionOutsideArrays) {
+  auto out = diags_for(
+      "index_set I:i = {0..3};\nint x;\n"
+      "map (I) { permute (I) x[i] :- x[i]; }\nvoid main() { }");
+  EXPECT_NE(out.find("not an array"), std::string::npos) << out;
+}
+
+TEST(Diagnostics, SolveTargetScalarExplained) {
+  auto out = diags_for(
+      "index_set I:i = {0..3};\nint s;\n"
+      "void main() { solve (I) s = i; }");
+  EXPECT_NE(out.find("array elements"), std::string::npos) << out;
+}
+
+TEST(Diagnostics, VoidVariableRejected) {
+  auto out = diags_for("void main() { void v; }");
+  EXPECT_NE(out.find("void"), std::string::npos) << out;
+}
+
+TEST(Diagnostics, WarningDoesNotFailCompilation) {
+  auto unit = compile("warn.uc",
+                      "index_set E:e = {3..1};\nvoid main() { }");
+  EXPECT_TRUE(unit->ok());
+  EXPECT_FALSE(unit->diags.diagnostics().empty());
+}
+
+TEST(Diagnostics, UnterminatedCommentLocated) {
+  auto out = diags_for("void main() { } /* dangling");
+  EXPECT_NE(out.find("unterminated block comment"), std::string::npos)
+      << out;
+}
+
+TEST(Diagnostics, FunctionLikeMacroExplained) {
+  auto out = diags_for("#define SQ(x) ((x)*(x))\nvoid main() { }");
+  EXPECT_NE(out.find("function-like macros are not supported"),
+            std::string::npos)
+      << out;
+}
+
+TEST(Diagnostics, ConstViolationNamesVariable) {
+  auto out = diags_for("const int N = 2;\nvoid main() { N = 3; }");
+  EXPECT_NE(out.find("cannot assign to const 'N'"), std::string::npos)
+      << out;
+}
+
+}  // namespace
+}  // namespace uc::lang

@@ -1,0 +1,320 @@
+#include "uclang/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "uclang/frontend.hpp"
+
+namespace uc::lang {
+namespace {
+
+std::unique_ptr<CompilationUnit> parse_ok(const std::string& src) {
+  auto unit = parse_only("test.uc", src);
+  EXPECT_FALSE(unit->diags.has_errors()) << unit->diags.render_all();
+  return unit;
+}
+
+void parse_err(const std::string& src, const std::string& needle) {
+  auto unit = parse_only("test.uc", src);
+  ASSERT_TRUE(unit->diags.has_errors()) << "expected a parse error";
+  EXPECT_NE(unit->diags.render_all().find(needle), std::string::npos)
+      << unit->diags.render_all();
+}
+
+// Wraps a statement in `void main() { ... }` and returns the first stmt.
+const Stmt* first_stmt(const CompilationUnit& unit) {
+  auto* fn = unit.program->find_function("main");
+  if (fn == nullptr || fn->body == nullptr || fn->body->body.empty()) {
+    return nullptr;
+  }
+  return fn->body->body[0].get();
+}
+
+std::unique_ptr<CompilationUnit> parse_main(const std::string& body) {
+  return parse_ok("void main() {\n" + body + "\n}\n");
+}
+
+TEST(Parser, GlobalVariableDecls) {
+  auto unit = parse_ok("int a, b[10], c[4][4];\nfloat avg;\nconst int N = 3;");
+  ASSERT_EQ(unit->program->items.size(), 3u);
+  auto* decl = static_cast<VarDeclStmt*>(unit->program->items[0].decl.get());
+  ASSERT_EQ(decl->declarators.size(), 3u);
+  EXPECT_EQ(decl->declarators[0].name, "a");
+  EXPECT_EQ(decl->declarators[1].dim_exprs.size(), 1u);
+  EXPECT_EQ(decl->declarators[2].dim_exprs.size(), 2u);
+  auto* cdecl = static_cast<VarDeclStmt*>(unit->program->items[2].decl.get());
+  EXPECT_TRUE(cdecl->is_const);
+  EXPECT_NE(cdecl->declarators[0].init, nullptr);
+}
+
+TEST(Parser, IndexSetRangeListAlias) {
+  auto unit = parse_ok(
+      "index_set I:i = {0..9}, J:j = I, K:k = {4, 2, 9};");
+  auto* decl =
+      static_cast<IndexSetDeclStmt*>(unit->program->items[0].decl.get());
+  ASSERT_EQ(decl->defs.size(), 3u);
+  EXPECT_EQ(decl->defs[0].set_name, "I");
+  EXPECT_EQ(decl->defs[0].elem_name, "i");
+  EXPECT_NE(decl->defs[0].range_lo, nullptr);
+  EXPECT_EQ(decl->defs[1].alias, "J" == decl->defs[1].set_name ? "I" : "I");
+  EXPECT_EQ(decl->defs[2].listed.size(), 3u);
+}
+
+TEST(Parser, PaperSpellingIndexSet) {
+  // The paper writes `index-set` with a hyphen.
+  parse_ok("index-set I:i = {0..9};");
+}
+
+TEST(Parser, FunctionWithParams) {
+  auto unit = parse_ok(
+      "int add(int x, int y) { return x + y; }\n"
+      "void touch(int a[], float m[][]) { }\n");
+  auto* fn = unit->program->find_function("add");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_EQ(fn->params.size(), 2u);
+  auto* fn2 = unit->program->find_function("touch");
+  ASSERT_NE(fn2, nullptr);
+  EXPECT_TRUE(fn2->params[0].is_array);
+  EXPECT_EQ(fn2->params[0].array_rank, 1u);
+  EXPECT_EQ(fn2->params[1].array_rank, 2u);
+}
+
+TEST(Parser, SimpleParStatement) {
+  auto unit = parse_main("par (I) a[i] = 0;");
+  auto* s = first_stmt(*unit);
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->kind, StmtKind::kUcConstruct);
+  auto* p = static_cast<const UcConstructStmt*>(s);
+  EXPECT_EQ(p->op, UcOp::kPar);
+  EXPECT_FALSE(p->starred);
+  ASSERT_EQ(p->index_sets.size(), 1u);
+  EXPECT_EQ(p->index_sets[0], "I");
+  ASSERT_EQ(p->blocks.size(), 1u);
+  EXPECT_EQ(p->blocks[0].pred, nullptr);
+}
+
+TEST(Parser, ParWithStBlocksAndOthers) {
+  auto unit = parse_main(
+      "par (I)\n"
+      "  st (i%2==1) a[i] = 0;\n"
+      "  others a[i] = 1;");
+  auto* p = static_cast<const UcConstructStmt*>(first_stmt(*unit));
+  ASSERT_EQ(p->blocks.size(), 1u);
+  EXPECT_NE(p->blocks[0].pred, nullptr);
+  EXPECT_NE(p->others, nullptr);
+}
+
+TEST(Parser, ParMultipleStBlocks) {
+  auto unit = parse_main(
+      "*oneof (I)\n"
+      "  st (i%2==0 && x[i]>x[i+1]) swap(x[i], x[i+1]);\n"
+      "  st (i%2!=0 && x[i]>x[i+1]) swap(x[i], x[i+1]);");
+  auto* p = static_cast<const UcConstructStmt*>(first_stmt(*unit));
+  EXPECT_EQ(p->op, UcOp::kOneof);
+  EXPECT_TRUE(p->starred);
+  EXPECT_EQ(p->blocks.size(), 2u);
+}
+
+TEST(Parser, StarredConstructs) {
+  for (const char* kw : {"par", "seq", "oneof", "solve"}) {
+    auto unit = parse_main(std::string("*") + kw + " (I) a[i] = a[i];");
+    auto* p = static_cast<const UcConstructStmt*>(first_stmt(*unit));
+    ASSERT_NE(p, nullptr) << kw;
+    EXPECT_TRUE(p->starred) << kw;
+  }
+}
+
+TEST(Parser, MultiIndexSetConstruct) {
+  auto unit = parse_main("par (I, J) st (i==j) d[i][j] = 0;");
+  auto* p = static_cast<const UcConstructStmt*>(first_stmt(*unit));
+  EXPECT_EQ(p->index_sets.size(), 2u);
+}
+
+TEST(Parser, NestedConstructsBindStToInnermost) {
+  auto unit = parse_main(
+      "par (I)\n"
+      "  par (J) st (i < j) a[i] = j;\n");
+  auto* outer = static_cast<const UcConstructStmt*>(first_stmt(*unit));
+  ASSERT_EQ(outer->blocks.size(), 1u);
+  EXPECT_EQ(outer->blocks[0].pred, nullptr);  // st went to the inner par
+  auto* inner =
+      static_cast<const UcConstructStmt*>(outer->blocks[0].body.get());
+  ASSERT_EQ(inner->kind, StmtKind::kUcConstruct);
+  EXPECT_NE(inner->blocks[0].pred, nullptr);
+}
+
+TEST(Parser, BracesForceOuterBinding) {
+  auto unit = parse_main(
+      "par (I)\n"
+      "  st (i > 0) { par (J) a[j] = i; }\n"
+      "  others a[i] = 0;");
+  auto* outer = static_cast<const UcConstructStmt*>(first_stmt(*unit));
+  EXPECT_NE(outer->blocks[0].pred, nullptr);
+  EXPECT_NE(outer->others, nullptr);
+}
+
+TEST(Parser, SimpleReduction) {
+  auto unit = parse_main("s = $+(I; i);");
+  auto* es = static_cast<const ExprStmt*>(first_stmt(*unit));
+  auto* assign = static_cast<const AssignExpr*>(es->expr.get());
+  ASSERT_EQ(assign->rhs->kind, ExprKind::kReduce);
+  auto* red = static_cast<const ReduceExpr*>(assign->rhs.get());
+  EXPECT_EQ(red->op, ReduceKind::kAdd);
+  ASSERT_EQ(red->arms.size(), 1u);
+  EXPECT_EQ(red->arms[0].pred, nullptr);
+}
+
+TEST(Parser, ReductionWithPredicateAndOthers) {
+  auto unit = parse_main(
+      "abs_sum = $+(I st (a[i]>0) a[i] others -a[i]);");
+  auto* es = static_cast<const ExprStmt*>(first_stmt(*unit));
+  auto* red = static_cast<const ReduceExpr*>(
+      static_cast<const AssignExpr*>(es->expr.get())->rhs.get());
+  ASSERT_EQ(red->arms.size(), 1u);
+  EXPECT_NE(red->arms[0].pred, nullptr);
+  EXPECT_NE(red->others, nullptr);
+}
+
+TEST(Parser, AllReductionOperators) {
+  for (auto [src, kind] :
+       std::initializer_list<std::pair<const char*, ReduceKind>>{
+           {"$+(I; i)", ReduceKind::kAdd},
+           {"$*(I; i)", ReduceKind::kMul},
+           {"$&&(I; i)", ReduceKind::kAnd},
+           {"$||(I; i)", ReduceKind::kOr},
+           {"$^(I; i)", ReduceKind::kXor},
+           {"$>(I; i)", ReduceKind::kMax},
+           {"$<(I; i)", ReduceKind::kMin},
+           {"$,(I; i)", ReduceKind::kArb}}) {
+    auto unit = parse_main(std::string("s = ") + src + ";");
+    auto* es = static_cast<const ExprStmt*>(first_stmt(*unit));
+    auto* red = static_cast<const ReduceExpr*>(
+        static_cast<const AssignExpr*>(es->expr.get())->rhs.get());
+    EXPECT_EQ(red->op, kind) << src;
+  }
+}
+
+TEST(Parser, NestedReduction) {
+  // last = $>(I st (a[i]==$>(J; a[j])) i);
+  auto unit = parse_main("last = $>(I st (a[i] == $>(J; a[j])) i);");
+  auto* es = static_cast<const ExprStmt*>(first_stmt(*unit));
+  auto* red = static_cast<const ReduceExpr*>(
+      static_cast<const AssignExpr*>(es->expr.get())->rhs.get());
+  ASSERT_EQ(red->arms.size(), 1u);
+  EXPECT_NE(red->arms[0].pred, nullptr);
+}
+
+TEST(Parser, CartesianReduction) {
+  auto unit = parse_main("s = $+(I, J; a[i] * b[j]);");
+  auto* es = static_cast<const ExprStmt*>(first_stmt(*unit));
+  auto* red = static_cast<const ReduceExpr*>(
+      static_cast<const AssignExpr*>(es->expr.get())->rhs.get());
+  EXPECT_EQ(red->index_sets.size(), 2u);
+}
+
+TEST(Parser, MapSectionPermute) {
+  auto unit = parse_ok(
+      "int a[8], b[8];\n"
+      "index_set I:i = {0..7};\n"
+      "map (I) { permute (I) b[i+1] :- a[i]; }");
+  auto* section =
+      static_cast<MapSectionStmt*>(unit->program->items[2].decl.get());
+  ASSERT_EQ(section->mappings.size(), 1u);
+  EXPECT_EQ(section->mappings[0].kind, MapKind::kPermute);
+  EXPECT_EQ(section->mappings[0].target_array, "b");
+  EXPECT_EQ(section->mappings[0].source_array, "a");
+}
+
+TEST(Parser, MapSectionFoldAndCopy) {
+  auto unit = parse_ok(
+      "int a[8];\n"
+      "index_set I:i = {0..7}, J:j = I;\n"
+      "map (I) {\n"
+      "  fold (I) a[7-i] :- a[i];\n"
+      "  copy (J) a;\n"
+      "}");
+  auto* section =
+      static_cast<MapSectionStmt*>(unit->program->items[2].decl.get());
+  ASSERT_EQ(section->mappings.size(), 2u);
+  EXPECT_EQ(section->mappings[0].kind, MapKind::kFold);
+  EXPECT_EQ(section->mappings[1].kind, MapKind::kCopy);
+  EXPECT_TRUE(section->mappings[1].source_array.empty());
+}
+
+TEST(Parser, ControlFlowStatements) {
+  auto unit = parse_main(
+      "if (x > 0) y = 1; else y = 2;\n"
+      "while (y < 10) y = y + 1;\n"
+      "for (k = 0; k < 4; k++) s += k;\n"
+      "for (int q = 0; q < 4; q++) s += q;\n");
+  auto* fn = unit->program->find_function("main");
+  ASSERT_EQ(fn->body->body.size(), 4u);
+  EXPECT_EQ(fn->body->body[0]->kind, StmtKind::kIf);
+  EXPECT_EQ(fn->body->body[1]->kind, StmtKind::kWhile);
+  EXPECT_EQ(fn->body->body[2]->kind, StmtKind::kFor);
+  EXPECT_EQ(fn->body->body[3]->kind, StmtKind::kFor);
+}
+
+TEST(Parser, TernaryAndPrecedence) {
+  auto unit = parse_main("x = a + b * c == d ? 1 : 2;");
+  auto* es = static_cast<const ExprStmt*>(first_stmt(*unit));
+  auto* assign = static_cast<const AssignExpr*>(es->expr.get());
+  EXPECT_EQ(assign->rhs->kind, ExprKind::kTernary);
+}
+
+TEST(Parser, GotoRejected) {
+  parse_err("void main() { goto done; }", "goto is not allowed");
+}
+
+TEST(Parser, PointerDeclRejected) {
+  parse_err("void main() { int *p; }", "pointer");
+}
+
+TEST(Parser, PointerParamRejected) {
+  parse_err("void f(int *p) { }", "pointer");
+}
+
+TEST(Parser, DerefRejected) {
+  parse_err("void main() { x = *p + 1; }", "dereference is not allowed");
+}
+
+TEST(Parser, AddressOfRejected) {
+  parse_err("void main() { y = &x; }", "address-of");
+}
+
+TEST(Parser, StarStatementRequiresConstruct) {
+  parse_err("void main() { *x = 1; }", "par, seq, oneof or solve");
+}
+
+TEST(Parser, RecoversAfterErrorAndFindsNext) {
+  auto unit = parse_only("test.uc",
+                         "void main() { int @; x = 1; goto l; y = 2; }");
+  EXPECT_TRUE(unit->diags.has_errors());
+  EXPECT_GE(unit->diags.error_count(), 2u);  // both errors found
+}
+
+TEST(Parser, SolveStatement) {
+  auto unit = parse_main(
+      "solve (I, J)\n"
+      "  a[i][j] = (i==0 || j==0) ? 1 : a[i-1][j]+a[i-1][j-1]+a[i][j-1];");
+  auto* p = static_cast<const UcConstructStmt*>(first_stmt(*unit));
+  EXPECT_EQ(p->op, UcOp::kSolve);
+  EXPECT_EQ(p->index_sets.size(), 2u);
+}
+
+TEST(Parser, EmptyStatement) {
+  auto unit = parse_main(";");
+  EXPECT_EQ(first_stmt(*unit)->kind, StmtKind::kEmpty);
+}
+
+TEST(Parser, IndexSetDeclInsideFunction) {
+  auto unit = parse_main("index_set L:l = {0..4};");
+  EXPECT_EQ(first_stmt(*unit)->kind, StmtKind::kIndexSetDecl);
+}
+
+TEST(Parser, PostfixIncrementInPar) {
+  auto unit = parse_main("par (I) cnt[i] = cnt[i] + 1;");
+  EXPECT_EQ(first_stmt(*unit)->kind, StmtKind::kUcConstruct);
+}
+
+}  // namespace
+}  // namespace uc::lang

@@ -1,0 +1,202 @@
+// Scalar (front-end) execution: expressions, control flow, functions,
+// builtins, globals.
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "ucvm/interp.hpp"
+
+namespace uc::vm {
+namespace {
+
+RunResult run(const std::string& src) { return run_uc(src); }
+
+TEST(InterpBasic, GlobalScalarAssignment) {
+  auto r = run("int x;\nvoid main() { x = 40 + 2; }");
+  EXPECT_EQ(r.global_scalar("x").as_int(), 42);
+}
+
+TEST(InterpBasic, ArithmeticAndPrecedence) {
+  auto r = run("int x;\nvoid main() { x = 2 + 3 * 4 - 10 / 2; }");
+  EXPECT_EQ(r.global_scalar("x").as_int(), 9);
+}
+
+TEST(InterpBasic, FloatArithmetic) {
+  auto r = run("float f;\nvoid main() { f = 1 / 2.0 + 0.25; }");
+  EXPECT_DOUBLE_EQ(r.global_scalar("f").as_float(), 0.75);
+}
+
+TEST(InterpBasic, IntDivisionTruncates) {
+  auto r = run("int x;\nvoid main() { x = 7 / 2; }");
+  EXPECT_EQ(r.global_scalar("x").as_int(), 3);
+}
+
+TEST(InterpBasic, FloatToIntAssignmentTruncates) {
+  auto r = run("int x;\nvoid main() { x = 3.9; }");
+  EXPECT_EQ(r.global_scalar("x").as_int(), 3);
+}
+
+TEST(InterpBasic, CompoundAssignments) {
+  auto r = run(
+      "int x;\nvoid main() { x = 10; x += 5; x -= 3; x *= 2; x /= 4; "
+      "x %= 4; }");
+  EXPECT_EQ(r.global_scalar("x").as_int(), 2);  // ((10+5-3)*2/4)%4 = 6%4
+}
+
+TEST(InterpBasic, IncrementDecrement) {
+  auto r = run(
+      "int a, b, c, d, x;\n"
+      "void main() { x = 5; a = x++; b = x; c = --x; d = x; }");
+  EXPECT_EQ(r.global_scalar("a").as_int(), 5);
+  EXPECT_EQ(r.global_scalar("b").as_int(), 6);
+  EXPECT_EQ(r.global_scalar("c").as_int(), 5);
+  EXPECT_EQ(r.global_scalar("d").as_int(), 5);
+}
+
+TEST(InterpBasic, TernaryAndLogicShortCircuit) {
+  auto r = run(
+      "int a[1], x, y;\n"
+      "void main() {\n"
+      "  x = 1 ? 10 : a[5];\n"           // a[5] must not be evaluated
+      "  y = (0 && a[9]) + (1 || a[9]);\n"
+      "}");
+  EXPECT_EQ(r.global_scalar("x").as_int(), 10);
+  EXPECT_EQ(r.global_scalar("y").as_int(), 1);
+}
+
+TEST(InterpBasic, WhileAndFor) {
+  auto r = run(
+      "int s, t;\n"
+      "void main() {\n"
+      "  int k;\n"
+      "  s = 0; k = 1;\n"
+      "  while (k <= 10) { s += k; k++; }\n"
+      "  t = 0;\n"
+      "  for (int q = 0; q < 5; q++) t += q * q;\n"
+      "}");
+  EXPECT_EQ(r.global_scalar("s").as_int(), 55);
+  EXPECT_EQ(r.global_scalar("t").as_int(), 30);
+}
+
+TEST(InterpBasic, BreakAndContinue) {
+  auto r = run(
+      "int s;\n"
+      "void main() {\n"
+      "  s = 0;\n"
+      "  for (int k = 0; k < 100; k++) {\n"
+      "    if (k % 2 == 0) continue;\n"
+      "    if (k > 10) break;\n"
+      "    s += k;\n"  // 1+3+5+7+9
+      "  }\n"
+      "}");
+  EXPECT_EQ(r.global_scalar("s").as_int(), 25);
+}
+
+TEST(InterpBasic, FunctionsAndRecursion) {
+  auto r = run(
+      "int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }\n"
+      "int x;\n"
+      "void main() { x = fib(10); }");
+  EXPECT_EQ(r.global_scalar("x").as_int(), 55);
+}
+
+TEST(InterpBasic, ArrayParameterSharesStorage) {
+  auto r = run(
+      "void fill(int v[], int n) { for (int k = 0; k < n; k++) v[k] = k*k; }\n"
+      "int a[5], s;\n"
+      "void main() { fill(a, 5); s = a[4]; }");
+  EXPECT_EQ(r.global_scalar("s").as_int(), 16);
+  EXPECT_EQ(r.global_element("a", {3}).as_int(), 9);
+}
+
+TEST(InterpBasic, LocalArrays) {
+  auto r = run(
+      "int s;\n"
+      "void main() {\n"
+      "  int t[4];\n"
+      "  for (int k = 0; k < 4; k++) t[k] = k + 1;\n"
+      "  s = t[0] + t[1] + t[2] + t[3];\n"
+      "}");
+  EXPECT_EQ(r.global_scalar("s").as_int(), 10);
+}
+
+TEST(InterpBasic, BuiltinPower2AbsMinMax) {
+  auto r = run(
+      "int a, b, c, d;\n"
+      "void main() { a = power2(10); b = abs(-7); c = min(3, -2); "
+      "d = max(3, -2); }");
+  EXPECT_EQ(r.global_scalar("a").as_int(), 1024);
+  EXPECT_EQ(r.global_scalar("b").as_int(), 7);
+  EXPECT_EQ(r.global_scalar("c").as_int(), -2);
+  EXPECT_EQ(r.global_scalar("d").as_int(), 3);
+}
+
+TEST(InterpBasic, SwapBuiltin) {
+  auto r = run(
+      "int a[2];\nvoid main() { a[0] = 1; a[1] = 2; swap(a[0], a[1]); }");
+  EXPECT_EQ(r.global_element("a", {0}).as_int(), 2);
+  EXPECT_EQ(r.global_element("a", {1}).as_int(), 1);
+}
+
+TEST(InterpBasic, RandDeterministicPerSeed) {
+  const char* src =
+      "int a, b;\nvoid main() { a = rand() % 100; b = rand() % 100; }";
+  cm::MachineOptions m1;
+  m1.seed = 7;
+  auto r1 = run_uc(src, m1);
+  auto r2 = run_uc(src, m1);
+  EXPECT_EQ(r1.global_scalar("a").as_int(), r2.global_scalar("a").as_int());
+  EXPECT_EQ(r1.global_scalar("b").as_int(), r2.global_scalar("b").as_int());
+  cm::MachineOptions m2;
+  m2.seed = 8;
+  auto r3 = run_uc(src, m2);
+  EXPECT_TRUE(r1.global_scalar("a").as_int() !=
+                  r3.global_scalar("a").as_int() ||
+              r1.global_scalar("b").as_int() !=
+                  r3.global_scalar("b").as_int());
+}
+
+TEST(InterpBasic, SrandReseeds) {
+  auto r = run(
+      "int a, b;\n"
+      "void main() { srand(5); a = rand(); srand(5); b = rand(); }");
+  EXPECT_EQ(r.global_scalar("a").as_int(), r.global_scalar("b").as_int());
+}
+
+TEST(InterpBasic, PrintOutput) {
+  auto r = run(
+      "void main() { print(\"hello\", 42, 1.5); print(\"bye\"); }");
+  EXPECT_EQ(r.output(), "hello 42 1.5\nbye\n");
+}
+
+TEST(InterpBasic, GlobalInitializersRunInOrder) {
+  auto r = run("int a = 3;\nint b = 4;\nint c;\nvoid main() { c = a + b; }");
+  EXPECT_EQ(r.global_scalar("c").as_int(), 7);
+}
+
+TEST(InterpBasic, InfConstant) {
+  auto r = run("int x;\nvoid main() { x = INF > 1000000000 ? 1 : 0; }");
+  EXPECT_EQ(r.global_scalar("x").as_int(), 1);
+}
+
+TEST(InterpBasic, MissingMainReported) {
+  EXPECT_THROW(run("int x;"), support::UcRuntimeError);
+}
+
+TEST(InterpBasic, CompileErrorThrows) {
+  EXPECT_THROW(run("void main() { undefined_var = 1; }"),
+               support::UcCompileError);
+}
+
+TEST(InterpBasic, FrontendWorkIsCharged) {
+  auto r = run("int x;\nvoid main() { x = 1 + 2 + 3; }");
+  EXPECT_GT(r.stats().frontend_ops, 0u);
+  EXPECT_EQ(r.stats().vector_ops, 0u);  // no parallel work issued
+}
+
+TEST(InterpBasic, CharLiteralsAreInts) {
+  auto r = run("int x;\nvoid main() { x = 'b' - 'a'; }");
+  EXPECT_EQ(r.global_scalar("x").as_int(), 1);
+}
+
+}  // namespace
+}  // namespace uc::vm

@@ -1,0 +1,130 @@
+// Runtime error reporting: bounds, conflicts, iteration limits, misuse.
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "ucvm/interp.hpp"
+
+namespace uc::vm {
+namespace {
+
+void expect_error(const std::string& src, const std::string& needle,
+                  ExecOptions opts = {}) {
+  try {
+    run_uc(src, {}, opts);
+    FAIL() << "expected UcRuntimeError containing '" << needle << "'";
+  } catch (const support::UcRuntimeError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(InterpErrors, SubscriptOutOfRange) {
+  expect_error("int a[4];\nvoid main() { a[4] = 1; }", "out of range");
+}
+
+TEST(InterpErrors, SubscriptNegative) {
+  expect_error("int a[4];\nvoid main() { int k; k = 0 - 1; a[k] = 1; }",
+               "out of range");
+}
+
+TEST(InterpErrors, ErrorMessageNamesArrayAndIndices) {
+  expect_error(
+      "int d[4][4];\nvoid main() { int k; k = 7; d[2][k] = 1; }",
+      "d[2][7]");
+}
+
+TEST(InterpErrors, ErrorMessageCarriesSourceLocation) {
+  expect_error("int a[4];\nvoid main() { a[9] = 1; }", "program.uc:2:");
+}
+
+TEST(InterpErrors, DivisionByZero) {
+  expect_error("int x;\nvoid main() { int z; z = 0; x = 1 / z; }",
+               "division by zero");
+}
+
+TEST(InterpErrors, ModuloByZero) {
+  expect_error("int x;\nvoid main() { int z; z = 0; x = 1 % z; }",
+               "modulo by zero");
+}
+
+TEST(InterpErrors, ConflictNamesLocation) {
+  expect_error(
+      "index_set I:i = {0..3};\nint x[1];\n"
+      "void main() { par (I) x[0] = i; }",
+      "x[0]");
+}
+
+TEST(InterpErrors, Power2OutOfRange) {
+  expect_error("int x;\nvoid main() { int k; k = 70; x = power2(k); }",
+               "power2");
+}
+
+TEST(InterpErrors, StarParIterationLimit) {
+  ExecOptions opts;
+  opts.max_iterations = 8;
+  expect_error(
+      "index_set I:i = {0..3};\nint a[4];\n"
+      "void main() { *par (I) st (1) a[i] = a[i] + 1; }",
+      "iteration limit", opts);
+}
+
+TEST(InterpErrors, SolveCircularNamesProblem) {
+  expect_error(
+      "index_set I:i = {0..1};\nint a[2];\n"
+      "void main() { solve (I) a[i] = a[1-i] + 1; }",
+      "circular");
+}
+
+TEST(InterpErrors, TransitiveParallelCallCaughtAtRuntime) {
+  // Sema catches direct calls; the f->g->par chain is caught by the VM.
+  expect_error(
+      "index_set I:i = {0..3};\nint a[4];\n"
+      "void g() { par (I) a[i] = 0; }\n"
+      "void f() { g(); }\n"
+      "void main() { par (I) st (i==0) f(); }",
+      "parallel");
+}
+
+TEST(InterpErrors, BreakInsideParBodyRejectedAtCompileTime) {
+  // Sema's "break outside a loop" fires before the VM ever runs.
+  EXPECT_THROW(run_uc("index_set I:i = {0..3};\nint a[4];\n"
+                      "void main() { par (I) { a[i] = 1; break; } }"),
+               support::UcCompileError);
+}
+
+TEST(InterpErrors, BreakInLoopInsideParBodyRejectedAtRuntime) {
+  // Legal for sema (break sits in a while loop) but the data-parallel VM
+  // does not support divergent early exit.
+  expect_error(
+      "index_set I:i = {0..3};\nint a[4];\n"
+      "void main() { par (I) { while (a[i] < 3) { a[i] = a[i] + 1; break; } } }",
+      "break");
+}
+
+TEST(InterpErrors, SrandInParallelContextRejected) {
+  expect_error(
+      "index_set I:i = {0..3};\nint a[4];\n"
+      "void main() { par (I) { srand(i); a[i] = 0; } }",
+      "front end");
+}
+
+TEST(InterpErrors, LocalArrayPassedAfterDeclarationWorks) {
+  auto r = run_uc(
+      "int probe(int v[]) { return v[0]; }\n"
+      "int x;\n"
+      "void pick(int flag) { int t[2]; t[0] = 42; if (flag) x = probe(t); }\n"
+      "void main() { pick(1); }");
+  EXPECT_EQ(r.global_scalar("x").as_int(), 42);
+}
+
+TEST(InterpErrors, WhileLimitInsideParBody) {
+  ExecOptions opts;
+  opts.max_iterations = 8;
+  expect_error(
+      "index_set I:i = {0..3};\nint a[4];\n"
+      "void main() { par (I) { int c; c = 0; while (1) c = c + 1; } }",
+      "iteration limit", opts);
+}
+
+}  // namespace
+}  // namespace uc::vm

@@ -1,0 +1,175 @@
+// End-to-end validation of the paper's programs (src/uc/paper_programs)
+// against the sequential references (src/seqref).
+#include <gtest/gtest.h>
+
+#include "seqref/seqref.hpp"
+#include "uc/paper_programs.hpp"
+#include "ucvm/interp.hpp"
+
+namespace uc::vm {
+namespace {
+
+RunResult run(const std::string& src) { return run_uc(src); }
+
+std::vector<std::int64_t> ints(const std::vector<Value>& vs) {
+  std::vector<std::int64_t> out;
+  for (const auto& v : vs) out.push_back(v.as_int());
+  return out;
+}
+
+// Extracts the initial random graph by running a program that stops after
+// init(); the deterministic per-lane RNG guarantees the full programs see
+// the same matrix (identical prelude + statement structure).
+std::vector<std::int64_t> initial_graph(std::int64_t n, std::uint64_t seed) {
+  auto full = papers::shortest_path_on2(n, seed);
+  auto pos = full.find("  seq (K)");
+  EXPECT_NE(pos, std::string::npos);
+  std::string init_only = full.substr(0, pos) + "}\n";
+  return ints(run(init_only).global_array("d"));
+}
+
+class ShortestPathP : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ShortestPathP, On2MatchesFloydWarshall) {
+  const auto n = GetParam();
+  auto graph = initial_graph(n, 11);
+  auto expect = graph;
+  seqref::floyd_warshall(expect, n);
+  auto got = ints(run(papers::shortest_path_on2(n, 11)).global_array("d"));
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(ShortestPathP, On3MatchesFloydWarshall) {
+  const auto n = GetParam();
+  auto graph = initial_graph(n, 11);
+  auto expect = graph;
+  seqref::floyd_warshall(expect, n);
+  auto got = ints(run(papers::shortest_path_on3(n, 11)).global_array("d"));
+  EXPECT_EQ(got, expect);
+}
+
+TEST_P(ShortestPathP, StarSolveMatchesFloydWarshall) {
+  const auto n = GetParam();
+  auto graph = initial_graph(n, 11);
+  auto expect = graph;
+  seqref::floyd_warshall(expect, n);
+  auto got =
+      ints(run(papers::shortest_path_star_solve(n, 11)).global_array("d"));
+  EXPECT_EQ(got, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ShortestPathP,
+                         ::testing::Values(2, 3, 5, 8, 12));
+
+TEST(PaperPrograms, PrefixSumsBothVariantsMatchReference) {
+  for (std::int64_t n : {1, 2, 8, 16, 33}) {
+    std::vector<std::int64_t> in(static_cast<std::size_t>(n));
+    for (std::int64_t k = 0; k < n; ++k) in[static_cast<std::size_t>(k)] = k;
+    auto expect = seqref::prefix_sums(in);
+    auto star = ints(run(papers::prefix_sums_star_par(n)).global_array("a"));
+    auto seqp = ints(run(papers::prefix_sums_seq_par(n)).global_array("a"));
+    EXPECT_EQ(star, expect) << "n=" << n;
+    EXPECT_EQ(seqp, expect) << "n=" << n;
+  }
+}
+
+TEST(PaperPrograms, RanksortSorts) {
+  for (std::int64_t n : {2, 7, 16, 31}) {
+    auto got = ints(run(papers::ranksort(n)).global_array("a"));
+    EXPECT_EQ(got, seqref::sorted(got)) << "n=" << n;
+    // Distinctness of keys implies a strictly increasing result.
+    for (std::size_t k = 1; k < got.size(); ++k) {
+      EXPECT_LT(got[k - 1], got[k]);
+    }
+  }
+}
+
+TEST(PaperPrograms, OddEvenSortSorts) {
+  for (std::int64_t n : {2, 5, 16}) {
+    auto got = ints(run(papers::odd_even_sort(n)).global_array("x"));
+    EXPECT_EQ(got, seqref::sorted(got)) << "n=" << n;
+  }
+}
+
+TEST(PaperPrograms, WavefrontMatchesReference) {
+  for (std::int64_t n : {1, 2, 5, 9}) {
+    auto got = ints(run(papers::wavefront(n)).global_array("a"));
+    EXPECT_EQ(got, seqref::wavefront(n)) << "n=" << n;
+  }
+}
+
+TEST(PaperPrograms, HistogramCountsSumToN) {
+  auto r = run(papers::histogram(64));
+  auto counts = ints(r.global_array("count"));
+  std::int64_t total = 0;
+  for (auto c : counts) {
+    EXPECT_GE(c, 0);
+    total += c;
+  }
+  EXPECT_EQ(total, 64);
+}
+
+class GridP : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(GridP, GridShortestPathMatchesBfsWithObstacle) {
+  const auto rows = GetParam();
+  const auto cols = rows;
+  auto wall = seqref::paper_obstacle(rows, cols);
+  auto expect = seqref::grid_bfs(rows, cols, wall, lang::kUcInf, nullptr);
+  auto r = run(papers::grid_shortest_path(rows, cols, true));
+  auto got = ints(r.global_array("d"));
+  for (std::int64_t idx = 0; idx < rows * cols; ++idx) {
+    const auto i = static_cast<std::size_t>(idx);
+    if (wall[i] != 0) {
+      EXPECT_EQ(got[i], -2) << "wall cell " << idx;  // WALL marker
+    } else {
+      EXPECT_EQ(got[i], expect[i]) << "cell " << idx;
+    }
+  }
+}
+
+TEST_P(GridP, GridShortestPathMatchesBfsNoObstacle) {
+  const auto rows = GetParam();
+  const auto cols = rows;
+  std::vector<std::uint8_t> wall(static_cast<std::size_t>(rows * cols), 0);
+  auto expect = seqref::grid_bfs(rows, cols, wall, lang::kUcInf, nullptr);
+  auto got =
+      ints(run(papers::grid_shortest_path(rows, cols, false)).global_array("d"));
+  for (std::int64_t idx = 0; idx < rows * cols; ++idx) {
+    EXPECT_EQ(got[static_cast<std::size_t>(idx)],
+              expect[static_cast<std::size_t>(idx)])
+        << "cell " << idx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GridP, ::testing::Values(4, 8, 12));
+
+TEST(PaperPrograms, SequentialRelaxationAgreesWithBfs) {
+  // The honest Fig 8 baseline (sequential sweeps) must compute the same
+  // distances as BFS.
+  const std::int64_t rows = 12, cols = 12;
+  auto wall = seqref::paper_obstacle(rows, cols);
+  auto bfs = seqref::grid_bfs(rows, cols, wall, lang::kUcInf, nullptr);
+  auto relax =
+      seqref::grid_relax_sequential(rows, cols, wall, lang::kUcInf, nullptr);
+  for (std::size_t k = 0; k < bfs.size(); ++k) {
+    if (wall[k] != 0) continue;
+    EXPECT_EQ(relax[k], bfs[k]) << k;
+  }
+}
+
+TEST(PaperPrograms, ObstacleDisconnectsBand) {
+  // Sanity on the obstacle shape: it blocks the anti-diagonal except j=0.
+  auto wall = seqref::paper_obstacle(8, 8);
+  EXPECT_EQ(wall[static_cast<std::size_t>(3 * 8 + 4)], 1);  // i=3,j=4: band
+  EXPECT_EQ(wall[static_cast<std::size_t>(7 * 8 + 0)], 0);  // j=0 gap
+}
+
+TEST(PaperPrograms, ShortestPathCostGrowsWithN) {
+  auto small = run(papers::shortest_path_on2(4, 11));
+  auto large = run(papers::shortest_path_on2(16, 11));
+  EXPECT_GT(large.stats().cycles, small.stats().cycles);
+}
+
+}  // namespace
+}  // namespace uc::vm

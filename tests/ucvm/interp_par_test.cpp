@@ -1,0 +1,365 @@
+// The par / *par / seq / oneof constructs: synchronous semantics, masks,
+// nesting, per-lane locals, iteration.
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "ucvm/interp.hpp"
+
+namespace uc::vm {
+namespace {
+
+RunResult run(const std::string& src) { return run_uc(src); }
+
+std::vector<std::int64_t> ints(const std::vector<Value>& vs) {
+  std::vector<std::int64_t> out;
+  for (const auto& v : vs) out.push_back(v.as_int());
+  return out;
+}
+
+TEST(InterpPar, SimpleParallelAssignment) {
+  auto r = run(
+      "index_set I:i = {0..7};\nint a[8];\n"
+      "void main() { par (I) a[i] = i * i; }");
+  EXPECT_EQ(ints(r.global_array("a")),
+            (std::vector<std::int64_t>{0, 1, 4, 9, 16, 25, 36, 49}));
+}
+
+TEST(InterpPar, PredicateSelectsSubset) {
+  auto r = run(
+      "index_set I:i = {0..7};\nint a[8];\n"
+      "void main() { par (I) st (i % 2 == 0) a[i] = 1; }");
+  EXPECT_EQ(ints(r.global_array("a")),
+            (std::vector<std::int64_t>{1, 0, 1, 0, 1, 0, 1, 0}));
+}
+
+TEST(InterpPar, OthersClause) {
+  auto r = run(
+      "index_set I:i = {0..5};\nint a[6];\n"
+      "void main() { par (I) st (i%2==1) a[i] = 0; others a[i] = 1; }");
+  EXPECT_EQ(ints(r.global_array("a")),
+            (std::vector<std::int64_t>{1, 0, 1, 0, 1, 0}));
+}
+
+TEST(InterpPar, SynchronousSemanticsReadThenWrite) {
+  // Parallel shift: every a[i] = a[i+1] must read the OLD neighbour value.
+  auto r = run(
+      "index_set I:i = {0..6};\nint a[8];\n"
+      "void main() {\n"
+      "  par (I) a[i] = i;\n"
+      "  a[7] = 7;\n"
+      "  par (I) a[i] = a[i+1];\n"
+      "}");
+  EXPECT_EQ(ints(r.global_array("a")),
+            (std::vector<std::int64_t>{1, 2, 3, 4, 5, 6, 7, 7}));
+}
+
+TEST(InterpPar, ParallelSwapIsSynchronous) {
+  auto r = run(
+      "index_set I:i = {0..7};\nint a[8], b[8];\n"
+      "void main() {\n"
+      "  par (I) { a[i] = i; b[i] = 10 + i; }\n"
+      "  par (I) { int t; t = a[i]; a[i] = b[i]; b[i] = t; }\n"
+      "}");
+  EXPECT_EQ(r.global_element("a", {3}).as_int(), 13);
+  EXPECT_EQ(r.global_element("b", {3}).as_int(), 3);
+}
+
+TEST(InterpPar, CartesianProductTwoSets) {
+  auto r = run(
+      "index_set I:i = {0..3}, J:j = I;\nint d[4][4];\n"
+      "void main() { par (I, J) d[i][j] = 10*i + j; }");
+  EXPECT_EQ(r.global_element("d", {2, 3}).as_int(), 23);
+  EXPECT_EQ(r.global_element("d", {0, 0}).as_int(), 0);
+}
+
+TEST(InterpPar, MultipleScBlocksEachRun) {
+  auto r = run(
+      "index_set I:i = {0..5};\nint a[6];\n"
+      "void main() {\n"
+      "  par (I)\n"
+      "    st (i < 2) a[i] = 1;\n"
+      "    st (i >= 4) a[i] = 2;\n"
+      "    others a[i] = 3;\n"
+      "}");
+  EXPECT_EQ(ints(r.global_array("a")),
+            (std::vector<std::int64_t>{1, 1, 3, 3, 2, 2}));
+}
+
+TEST(InterpPar, ExplicitListIndexSet) {
+  auto r = run(
+      "index_set K:k = {4, 2, 9};\nint a[10];\n"
+      "void main() { par (K) a[k] = 1; }");
+  EXPECT_EQ(ints(r.global_array("a")),
+            (std::vector<std::int64_t>{0, 0, 1, 0, 1, 0, 0, 0, 0, 1}));
+}
+
+TEST(InterpPar, SameValueDoubleWriteIsLegal) {
+  // Paper §3.4: multiple assignments must be identical — identical is OK.
+  auto r = run(
+      "index_set I:i = {0..7};\nint x[1];\n"
+      "void main() { par (I) x[0] = 5; }");
+  EXPECT_EQ(r.global_element("x", {0}).as_int(), 5);
+}
+
+TEST(InterpPar, ConflictingWritesAreAnError) {
+  EXPECT_THROW(run("index_set I:i = {0..7};\nint x[1];\n"
+                   "void main() { par (I) x[0] = i; }"),
+               support::UcRuntimeError);
+}
+
+TEST(InterpPar, PaperIllegalBroadcastExampleRejected) {
+  // Fig in §3.4: par (I,J) a[i] = b[j]; assigns N values to each a[i].
+  EXPECT_THROW(
+      run("index_set I:i = {0..3}, J:j = I;\n"
+          "int a[4], b[4];\n"
+          "void main() { par (I) b[i] = i; par (I, J) a[i] = b[j]; }"),
+      support::UcRuntimeError);
+}
+
+TEST(InterpPar, PerLaneLocalsAreIndependent) {
+  auto r = run(
+      "index_set I:i = {0..7};\nint a[8];\n"
+      "void main() { par (I) { int t; t = i * 2; a[i] = t + 1; } }");
+  EXPECT_EQ(r.global_element("a", {5}).as_int(), 11);
+}
+
+TEST(InterpPar, NestedParOverSecondSet) {
+  auto r = run(
+      "index_set I:i = {0..2}, J:j = {0..3};\nint d[3][4];\n"
+      "void main() { par (I) par (J) d[i][j] = i + j; }");
+  EXPECT_EQ(r.global_element("d", {2, 3}).as_int(), 5);
+}
+
+TEST(InterpPar, SeqIteratesInOrder) {
+  // Running sum via seq proves ordering: a[k] = a[k-1] + 1 works only when
+  // k goes 1,2,3,... in order.
+  auto r = run(
+      "index_set K:k = {1..7};\nint a[8];\n"
+      "void main() {\n"
+      "  a[0] = 1;\n"
+      "  seq (K) a[k] = a[k-1] + 1;\n"
+      "}");
+  EXPECT_EQ(ints(r.global_array("a")),
+            (std::vector<std::int64_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(InterpPar, SeqRespectsDeclarationOrderOfListedSet) {
+  auto r = run(
+      "index_set K:k = {2, 0, 1};\nint a[3], pos;\n"
+      "void main() {\n"
+      "  pos = 0;\n"
+      "  seq (K) { a[k] = pos; pos = pos + 1; }\n"
+      "}");
+  // visit order 2,0,1
+  EXPECT_EQ(ints(r.global_array("a")), (std::vector<std::int64_t>{1, 2, 0}));
+}
+
+TEST(InterpPar, SeqNestedInParPartialSums) {
+  // Paper Fig 3: partial sums with seq inside par.
+  auto r = run(
+      "#define N 8\n#define LOGN 3\n"
+      "index_set I:i = {0..N-1}, J:j = {0..LOGN-1};\n"
+      "int a[N];\n"
+      "void main() {\n"
+      "  par (I)\n"
+      "  { a[i] = i;\n"
+      "    seq (J) st (i - power2(j) >= 0)\n"
+      "      a[i] = a[i] + a[i - power2(j)];\n"
+      "  }\n"
+      "}");
+  // psum[i] = 0+1+...+i
+  EXPECT_EQ(ints(r.global_array("a")),
+            (std::vector<std::int64_t>{0, 1, 3, 6, 10, 15, 21, 28}));
+}
+
+TEST(InterpPar, StarParPrefixSums) {
+  // Paper Fig 2: iterative *par prefix sums.
+  auto r = run(
+      "#define N 16\n"
+      "index_set I:i = {0..N-1};\n"
+      "int a[N], cnt[N];\n"
+      "void main() {\n"
+      "  par (I) { a[i] = i; cnt[i] = 0; }\n"
+      "  *par (I) st (i >= power2(cnt[i]) && cnt[i] < 4)\n"
+      "  { a[i] = a[i] + a[i - power2(cnt[i])];\n"
+      "    cnt[i] = cnt[i] + 1;\n"
+      "  }\n"
+      "}");
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(r.global_element("a", {i}).as_int(), i * (i + 1) / 2) << i;
+  }
+}
+
+TEST(InterpPar, StarParTerminatesWhenNoLaneEnabled) {
+  auto r = run(
+      "index_set I:i = {0..7};\nint a[8];\n"
+      "void main() {\n"
+      "  par (I) a[i] = i;\n"
+      "  *par (I) st (a[i] < 5) a[i] = a[i] + 1;\n"
+      "}");
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(r.global_element("a", {i}).as_int(), std::max<std::int64_t>(i, 5));
+  }
+}
+
+TEST(InterpPar, RanksortFromPaper) {
+  auto r = run(
+      "#define N 8\n"
+      "index_set I:i = {0..N-1}, J:j = I;\n"
+      "int a[N];\n"
+      "void main() {\n"
+      "  a[0]=5; a[1]=3; a[2]=9; a[3]=1; a[4]=7; a[5]=2; a[6]=8; a[7]=4;\n"
+      "  par (I)\n"
+      "  { int rank;\n"
+      "    rank = $+(J st (a[j] < a[i]) 1);\n"
+      "    a[rank] = a[i];\n"
+      "  }\n"
+      "}");
+  EXPECT_EQ(ints(r.global_array("a")),
+            (std::vector<std::int64_t>{1, 2, 3, 4, 5, 7, 8, 9}));
+}
+
+TEST(InterpPar, OddEvenTranspositionSortFromPaper) {
+  auto r = run(
+      "#define N 8\n"
+      "int x[N];\n"
+      "index_set I:i = {0..N-2};\n"
+      "void main() {\n"
+      "  x[0]=8; x[1]=6; x[2]=7; x[3]=5; x[4]=3; x[5]=0; x[6]=9; x[7]=1;\n"
+      "  *oneof (I)\n"
+      "    st (i%2==0 && x[i]>x[i+1]) swap(x[i], x[i+1]);\n"
+      "    st (i%2!=0 && x[i]>x[i+1]) swap(x[i], x[i+1]);\n"
+      "}");
+  EXPECT_EQ(ints(r.global_array("x")),
+            (std::vector<std::int64_t>{0, 1, 3, 5, 6, 7, 8, 9}));
+}
+
+TEST(InterpPar, OneofExecutesExactlyOneEnabledBlock) {
+  auto r = run(
+      "index_set I:i = {0..3};\nint a[4], b[4];\n"
+      "void main() {\n"
+      "  oneof (I)\n"
+      "    st (1) a[i] = 1;\n"
+      "    st (1) b[i] = 1;\n"
+      "}");
+  auto a = ints(r.global_array("a"));
+  auto b = ints(r.global_array("b"));
+  const bool a_ran = a == std::vector<std::int64_t>{1, 1, 1, 1};
+  const bool b_ran = b == std::vector<std::int64_t>{1, 1, 1, 1};
+  EXPECT_NE(a_ran, b_ran) << "exactly one block must run";
+}
+
+TEST(InterpPar, OneofWithNoEnabledBlockDoesNothing) {
+  auto r = run(
+      "index_set I:i = {0..3};\nint a[4];\n"
+      "void main() { oneof (I) st (0) a[i] = 1; }");
+  EXPECT_EQ(ints(r.global_array("a")), (std::vector<std::int64_t>{0, 0, 0, 0}));
+}
+
+TEST(InterpPar, IfDivergenceInsideParBody) {
+  auto r = run(
+      "index_set I:i = {0..7};\nint a[8];\n"
+      "void main() {\n"
+      "  par (I) {\n"
+      "    if (i < 4) a[i] = 1; else a[i] = 2;\n"
+      "  }\n"
+      "}");
+  EXPECT_EQ(ints(r.global_array("a")),
+            (std::vector<std::int64_t>{1, 1, 1, 1, 2, 2, 2, 2}));
+}
+
+TEST(InterpPar, WhileDivergenceInsideParBody) {
+  auto r = run(
+      "index_set I:i = {0..5};\nint a[6];\n"
+      "void main() {\n"
+      "  par (I) {\n"
+      "    int c; c = 0;\n"
+      "    while (c < i) c = c + 1;\n"
+      "    a[i] = c;\n"
+      "  }\n"
+      "}");
+  EXPECT_EQ(ints(r.global_array("a")),
+            (std::vector<std::int64_t>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(InterpPar, FunctionCalledPerLane) {
+  auto r = run(
+      "int sq(int v) { return v * v; }\n"
+      "index_set I:i = {0..4};\nint a[5];\n"
+      "void main() { par (I) a[i] = sq(i); }");
+  EXPECT_EQ(ints(r.global_array("a")),
+            (std::vector<std::int64_t>{0, 1, 4, 9, 16}));
+}
+
+TEST(InterpPar, IndexSetShadowingInReduction) {
+  // Paper §3.4 example: the reduction over I rebinds i, unaffected by the
+  // par predicate.
+  auto r = run(
+      "index_set I:i = {0..9};\nint a[10];\n"
+      "void main() { par (I) st (i%2==0) a[i] = $+(I; i); }");
+  EXPECT_EQ(r.global_element("a", {0}).as_int(), 45);
+  EXPECT_EQ(r.global_element("a", {1}).as_int(), 0);
+  EXPECT_EQ(r.global_element("a", {4}).as_int(), 45);
+}
+
+TEST(InterpPar, VectorOpsAreCharged) {
+  auto r = run(
+      "index_set I:i = {0..63};\nint a[64];\n"
+      "void main() { par (I) a[i] = i; }");
+  EXPECT_GT(r.stats().vector_ops, 0u);
+  EXPECT_GT(r.stats().cycles, 0u);
+}
+
+TEST(InterpPar, StarParChargesGlobalOr) {
+  auto r = run(
+      "index_set I:i = {0..7};\nint a[8];\n"
+      "void main() { *par (I) st (a[i] < 3) a[i] = a[i] + 1; }");
+  EXPECT_GT(r.stats().global_ors, 0u);
+}
+
+TEST(InterpPar, ParallelRandIsDeterministicAcrossThreadCounts) {
+  const char* src =
+      "index_set I:i = {0..31};\nint a[32];\n"
+      "void main() { par (I) a[i] = rand() % 1000; }";
+  cm::MachineOptions one;
+  one.host_threads = 1;
+  cm::MachineOptions four;
+  four.host_threads = 4;
+  auto r1 = run_uc(src, one);
+  auto r4 = run_uc(src, four);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(r1.global_element("a", {i}).as_int(),
+              r4.global_element("a", {i}).as_int())
+        << i;
+  }
+}
+
+TEST(InterpPar, ResultsIdenticalAcrossThreadCounts) {
+  const char* src =
+      "#define N 32\n"
+      "index_set I:i = {0..N-1}, J:j = I;\n"
+      "int a[N];\n"
+      "void main() {\n"
+      "  par (I) a[i] = (i * 37) % N;\n"
+      "  par (I) { int rank; rank = $+(J st (a[j] < a[i]) 1); a[rank] = a[i]; }\n"
+      "}";
+  cm::MachineOptions one;
+  one.host_threads = 1;
+  cm::MachineOptions eight;
+  eight.host_threads = 8;
+  auto r1 = run_uc(src, one);
+  auto r8 = run_uc(src, eight);
+  EXPECT_EQ(ints(r1.global_array("a")), ints(r8.global_array("a")));
+  EXPECT_EQ(r1.stats().cycles, r8.stats().cycles)
+      << "cost charges must not depend on host threading";
+}
+
+TEST(InterpPar, EmptyIndexSetParIsNoop) {
+  auto r = run(
+      "index_set E:e = {5..2};\nint a[4];\n"
+      "void main() { a[0] = 9; par (E) a[e] = 1; }");
+  EXPECT_EQ(r.global_element("a", {0}).as_int(), 9);
+}
+
+}  // namespace
+}  // namespace uc::vm

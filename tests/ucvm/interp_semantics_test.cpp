@@ -1,0 +1,256 @@
+// Additional semantic coverage: float data-parallel arithmetic, deep
+// construct nesting, multi-set seq, *seq, print ordering, replicated
+// (copy-mapped) writes, index-set aliases and element shadowing.
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "ucvm/interp.hpp"
+
+namespace uc::vm {
+namespace {
+
+RunResult run(const std::string& src) { return run_uc(src); }
+
+std::vector<std::int64_t> ints(const std::vector<Value>& vs) {
+  std::vector<std::int64_t> out;
+  for (const auto& v : vs) out.push_back(v.as_int());
+  return out;
+}
+
+TEST(Semantics, FloatParallelArithmetic) {
+  auto r = run(
+      "index_set I:i = {0..7};\nfloat f[8];\n"
+      "void main() { par (I) f[i] = i / 2.0 + 0.25; }");
+  EXPECT_DOUBLE_EQ(r.global_element("f", {5}).as_float(), 2.75);
+}
+
+TEST(Semantics, FloatIntMixedStorageTruncation) {
+  auto r = run(
+      "index_set I:i = {0..3};\nint a[4];\nfloat f[4];\n"
+      "void main() {\n"
+      "  par (I) f[i] = i + 0.9;\n"
+      "  par (I) a[i] = f[i];\n"  // store truncates toward zero
+      "}");
+  EXPECT_EQ(ints(r.global_array("a")), (std::vector<std::int64_t>{0, 1, 2, 3}));
+}
+
+TEST(Semantics, FloatReductionInsidePar) {
+  auto r = run(
+      "index_set I:i = {0..3}, J:j = I;\nfloat m[4][4], rowsum[4];\n"
+      "void main() {\n"
+      "  par (I, J) m[i][j] = i + j * 0.5;\n"
+      "  par (I) rowsum[i] = $+(J; m[i][j]);\n"
+      "}");
+  EXPECT_DOUBLE_EQ(r.global_element("rowsum", {2}).as_float(),
+                   4 * 2 + 0.5 * (0 + 1 + 2 + 3));
+}
+
+TEST(Semantics, ThreeLevelNesting) {
+  // par over I, seq over J, par over K — all bindings visible inside.
+  auto r = run(
+      "index_set I:i = {0..2}, J:j = {0..2}, K:k = {0..2};\n"
+      "int c[3][3][3];\n"
+      "void main() {\n"
+      "  par (I)\n"
+      "    seq (J)\n"
+      "      par (K)\n"
+      "        c[i][j][k] = 100*i + 10*j + k;\n"
+      "}");
+  EXPECT_EQ(r.global_element("c", {2, 1, 0}).as_int(), 210);
+  EXPECT_EQ(r.global_element("c", {0, 2, 2}).as_int(), 22);
+}
+
+TEST(Semantics, SeqOverTwoSetsOdometerOrder) {
+  auto r = run(
+      "index_set I:i = {0..1}, J:j = {0..2};\n"
+      "int order[6], tick;\n"
+      "void main() {\n"
+      "  tick = 0;\n"
+      "  seq (I, J) { order[tick] = 10*i + j; tick = tick + 1; }\n"
+      "}");
+  EXPECT_EQ(ints(r.global_array("order")),
+            (std::vector<std::int64_t>{0, 1, 2, 10, 11, 12}));
+}
+
+TEST(Semantics, StarSeqIteratesUntilNoPredicateHolds) {
+  // Each sweep decrements positive elements once per matching k.
+  auto r = run(
+      "index_set K:k = {0..3};\nint a[4], sweeps;\n"
+      "void main() {\n"
+      "  a[0]=0; a[1]=1; a[2]=2; a[3]=3;\n"
+      "  sweeps = 0;\n"
+      "  *seq (K) st (a[k] > 0) { a[k] = a[k] - 1; sweeps = sweeps + 1; }\n"
+      "}");
+  EXPECT_EQ(ints(r.global_array("a")), (std::vector<std::int64_t>{0, 0, 0, 0}));
+  EXPECT_EQ(r.global_scalar("sweeps").as_int(), 1 + 2 + 3);
+}
+
+TEST(Semantics, PrintInsideParIsLaneOrdered) {
+  auto r = run(
+      "index_set I:i = {0..3};\nint a[4];\n"
+      "void main() { par (I) { a[i] = i; print(\"lane\", i); } }");
+  EXPECT_EQ(r.output(), "lane 0\nlane 1\nlane 2\nlane 3\n");
+}
+
+TEST(Semantics, PrintLaneOrderIndependentOfThreads) {
+  const char* src =
+      "index_set I:i = {0..31};\nint a[32];\n"
+      "void main() { par (I) { a[i] = i; print(i); } }";
+  cm::MachineOptions one;
+  one.host_threads = 1;
+  cm::MachineOptions four;
+  four.host_threads = 4;
+  EXPECT_EQ(run_uc(src, one).output(), run_uc(src, four).output());
+}
+
+TEST(Semantics, CopyMappedArrayWritesStayConsistent) {
+  // Writing a replicated array updates every copy (modelled as the single
+  // backing field plus a broadcast charge) — reads after writes see the
+  // new values.
+  auto r = run(
+      "#define N 8\n"
+      "index_set I:i = {0..N-1}, J:j = I;\n"
+      "int v[N], m[N][N];\n"
+      "map (I) { copy (J) v; }\n"
+      "void main() {\n"
+      "  par (I) v[i] = i;\n"
+      "  par (I) v[i] = v[i] * 10;\n"
+      "  par (I, J) m[i][j] = v[j];\n"
+      "}");
+  EXPECT_EQ(r.global_element("m", {3, 5}).as_int(), 50);
+  EXPECT_GT(r.stats().broadcasts, 0u);
+}
+
+TEST(Semantics, AliasSetsShareValuesButNotElements) {
+  auto r = run(
+      "index_set I:i = {2..4}, J:j = I;\n"
+      "int a[5][5];\n"
+      "void main() { par (I, J) a[i][j] = i * 10 + j; }");
+  EXPECT_EQ(r.global_element("a", {2, 4}).as_int(), 24);
+  EXPECT_EQ(r.global_element("a", {4, 2}).as_int(), 42);
+  EXPECT_EQ(r.global_element("a", {0, 0}).as_int(), 0);  // untouched
+}
+
+TEST(Semantics, NonZeroBasedRangeSets) {
+  auto r = run(
+      "index_set I:i = {5..9};\nint a[10];\n"
+      "void main() { par (I) a[i] = i * i; }");
+  EXPECT_EQ(r.global_element("a", {7}).as_int(), 49);
+  EXPECT_EQ(r.global_element("a", {4}).as_int(), 0);
+}
+
+TEST(Semantics, ElementShadowingInNestedConstructs) {
+  // Inner par over the same set rebinds the element (paper §3.4).
+  auto r = run(
+      "index_set I:i = {0..3};\n"
+      "int outer_seen[4], inner_sum[4];\n"
+      "void main() {\n"
+      "  par (I) {\n"
+      "    outer_seen[i] = i;\n"
+      "    inner_sum[i] = $+(I; i * i);\n"  // inner i sweeps 0..3
+      "  }\n"
+      "}");
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(r.global_element("outer_seen", {k}).as_int(), k);
+    EXPECT_EQ(r.global_element("inner_sum", {k}).as_int(), 0 + 1 + 4 + 9);
+  }
+}
+
+TEST(Semantics, ChainedAssignmentInPar) {
+  auto r = run(
+      "index_set I:i = {0..3};\nint a[4], b[4];\n"
+      "void main() { par (I) a[i] = b[i] = i + 1; }");
+  EXPECT_EQ(ints(r.global_array("a")), (std::vector<std::int64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(ints(r.global_array("b")), (std::vector<std::int64_t>{1, 2, 3, 4}));
+}
+
+TEST(Semantics, ForLoopInsideParBody) {
+  auto r = run(
+      "index_set I:i = {0..3};\nint a[4];\n"
+      "void main() {\n"
+      "  par (I) {\n"
+      "    int acc; acc = 0;\n"
+      "    for (int k = 0; k <= i; k++) acc = acc + k;\n"
+      "    a[i] = acc;\n"
+      "  }\n"
+      "}");
+  EXPECT_EQ(ints(r.global_array("a")), (std::vector<std::int64_t>{0, 1, 3, 6}));
+}
+
+TEST(Semantics, FunctionWithArrayParamFromFrontendTouchesCmMemory) {
+  auto r = run(
+      "index_set I:i = {0..7};\n"
+      "int a[8], s;\n"
+      "int sum8(int v[]) {\n"
+      "  int acc; acc = 0;\n"
+      "  for (int k = 0; k < 8; k++) acc = acc + v[k];\n"
+      "  return acc;\n"
+      "}\n"
+      "void main() { par (I) a[i] = i; s = sum8(a); }");
+  EXPECT_EQ(r.global_scalar("s").as_int(), 28);
+  EXPECT_GT(r.stats().frontend_ops, 0u);  // front end pulled CM data
+}
+
+TEST(Semantics, OneofIsSeededDeterministic) {
+  const char* src =
+      "index_set I:i = {0..3};\nint a[4], b[4];\n"
+      "void main() { oneof (I) st (1) a[i] = 1; st (1) b[i] = 1; }";
+  cm::MachineOptions m;
+  m.seed = 42;
+  auto r1 = run_uc(src, m);
+  auto r2 = run_uc(src, m);
+  EXPECT_EQ(ints(r1.global_array("a")), ints(r2.global_array("a")));
+  EXPECT_EQ(ints(r1.global_array("b")), ints(r2.global_array("b")));
+}
+
+TEST(Semantics, WhileAtFrontendDrivingParallelSteps) {
+  // A front-end loop issuing parallel steps (the dynamic-test driver
+  // pattern): count rounds until all elements reach a threshold.
+  auto r = run(
+      "index_set I:i = {0..7};\nint a[8], rounds, done;\n"
+      "void main() {\n"
+      "  par (I) a[i] = i;\n"
+      "  rounds = 0;\n"
+      "  done = 0;\n"
+      "  while (!done) {\n"
+      "    par (I) st (a[i] < 7) a[i] = a[i] + 1;\n"
+      "    done = $&&(I; a[i] >= 7);\n"
+      "    rounds = rounds + 1;\n"
+      "  }\n"
+      "}");
+  EXPECT_EQ(r.global_scalar("rounds").as_int(), 7);
+  EXPECT_EQ(r.global_element("a", {0}).as_int(), 7);
+}
+
+TEST(Semantics, ParallelWriteToFrontEndLocalIsConflictChecked) {
+  // Lanes writing different values into a front-end (main-frame) scalar
+  // violate the single-value rule even though the target is not an array.
+  EXPECT_THROW(run("index_set I:i = {0..3};\n"
+                   "void main() { int s; par (I) s = i; }"),
+               support::UcRuntimeError);
+  // Same value from every lane is fine.
+  auto r = run(
+      "index_set I:i = {0..3};\nint out;\n"
+      "void main() { int s; par (I) s = 7; out = s; }");
+  EXPECT_EQ(r.global_scalar("out").as_int(), 7);
+}
+
+TEST(Semantics, FunctionLocalLoopStateIsPrivatePerLane) {
+  // Regression: locals of a function called per lane update immediately
+  // (they are private), while the caller-visible writes stay synchronous.
+  auto r = run(
+      "int count_bits(int v) {\n"
+      "  int n; n = 0;\n"
+      "  while (v > 0) { n = n + (v % 2); v = v / 2; }\n"
+      "  return n;\n"
+      "}\n"
+      "index_set I:i = {0..7};\nint a[8];\n"
+      "void main() { par (I) a[i] = count_bits(i); }");
+  const std::int64_t expect[] = {0, 1, 1, 2, 1, 2, 2, 3};
+  for (int k = 0; k < 8; ++k) {
+    EXPECT_EQ(r.global_element("a", {k}).as_int(), expect[k]) << k;
+  }
+}
+
+}  // namespace
+}  // namespace uc::vm

@@ -1,0 +1,135 @@
+// Array slices as function arguments (paper §3: pointers may pass "an
+// array (or an array slice)").
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "ucvm/interp.hpp"
+
+namespace uc::vm {
+namespace {
+
+RunResult run(const std::string& src) { return run_uc(src); }
+
+TEST(Slices, RowOfMatrixReadThroughFunction) {
+  auto r = run(
+      "#define N 4\n"
+      "int sum_row(int v[], int n) {\n"
+      "  int acc; acc = 0;\n"
+      "  for (int k = 0; k < n; k++) acc = acc + v[k];\n"
+      "  return acc;\n"
+      "}\n"
+      "index_set I:i = {0..N-1}, J:j = I;\n"
+      "int m[N][N], s;\n"
+      "void main() {\n"
+      "  par (I, J) m[i][j] = 10*i + j;\n"
+      "  s = sum_row(m[2], N);\n"
+      "}");
+  EXPECT_EQ(r.global_scalar("s").as_int(), 20 + 21 + 22 + 23);
+}
+
+TEST(Slices, WritesThroughSliceReachTheParent) {
+  auto r = run(
+      "#define N 4\n"
+      "void fill(int v[], int n, int base) {\n"
+      "  for (int k = 0; k < n; k++) v[k] = base + k;\n"
+      "}\n"
+      "int m[N][N];\n"
+      "void main() {\n"
+      "  fill(m[0], N, 100);\n"
+      "  fill(m[3], N, 400);\n"
+      "}");
+  EXPECT_EQ(r.global_element("m", {0, 2}).as_int(), 102);
+  EXPECT_EQ(r.global_element("m", {3, 3}).as_int(), 403);
+  EXPECT_EQ(r.global_element("m", {1, 0}).as_int(), 0);  // untouched
+}
+
+TEST(Slices, SliceOf3DArrayIs2D) {
+  auto r = run(
+      "#define N 3\n"
+      "int corner(int plane[][]) { return plane[0][0] + plane[N-1][N-1]; }\n"
+      "index_set I:i = {0..N-1}, J:j = I, K:k = I;\n"
+      "int c[N][N][N], s;\n"
+      "void main() {\n"
+      "  par (I, J, K) c[i][j][k] = 100*i + 10*j + k;\n"
+      "  s = corner(c[1]);\n"
+      "}");
+  EXPECT_EQ(r.global_scalar("s").as_int(), 100 + 122);
+}
+
+TEST(Slices, DoublySubscriptedSliceIs1D) {
+  auto r = run(
+      "#define N 3\n"
+      "int first(int v[]) { return v[0]; }\n"
+      "index_set I:i = {0..N-1}, J:j = I, K:k = I;\n"
+      "int c[N][N][N], s;\n"
+      "void main() {\n"
+      "  par (I, J, K) c[i][j][k] = 100*i + 10*j + k;\n"
+      "  s = first(c[2][1]);\n"
+      "}");
+  EXPECT_EQ(r.global_scalar("s").as_int(), 210);
+}
+
+TEST(Slices, SliceIndexMayBeAnExpression) {
+  auto r = run(
+      "#define N 4\n"
+      "int head(int v[]) { return v[0]; }\n"
+      "index_set I:i = {0..N-1}, J:j = I;\n"
+      "int m[N][N], pick, s;\n"
+      "void main() {\n"
+      "  par (I, J) m[i][j] = 10*i + j;\n"
+      "  pick = 1;\n"
+      "  s = head(m[pick + 1]);\n"
+      "}");
+  EXPECT_EQ(r.global_scalar("s").as_int(), 20);
+}
+
+TEST(Slices, PerLaneSliceCallInsidePar) {
+  // Every lane passes its own row to a scalar helper.
+  auto r = run(
+      "#define N 4\n"
+      "int rowmax(int v[], int n) {\n"
+      "  int best; best = v[0];\n"
+      "  for (int k = 1; k < n; k++) best = max(best, v[k]);\n"
+      "  return best;\n"
+      "}\n"
+      "index_set I:i = {0..N-1}, J:j = I;\n"
+      "int m[N][N], mx[N];\n"
+      "void main() {\n"
+      "  par (I, J) m[i][j] = (7 * i + 3 * j) % 11;\n"
+      "  par (I) mx[i] = rowmax(m[i], N);\n"
+      "}");
+  for (int i = 0; i < 4; ++i) {
+    std::int64_t best = 0;
+    for (int j = 0; j < 4; ++j) {
+      best = std::max<std::int64_t>(best, (7 * i + 3 * j) % 11);
+    }
+    EXPECT_EQ(r.global_element("mx", {i}).as_int(), best) << i;
+  }
+}
+
+TEST(Slices, RankMismatchRejectedAtCompileTime) {
+  EXPECT_THROW(run("int f(int v[]) { return v[0]; }\n"
+                   "int m[4][4];\n"
+                   "void main() { f(m); }"),
+               support::UcCompileError);
+  EXPECT_THROW(run("int f(int v[][]) { return v[0][0]; }\n"
+                   "int m[4][4];\n"
+                   "void main() { f(m[1]); }"),
+               support::UcCompileError);
+}
+
+TEST(Slices, OutOfRangeSliceSubscriptIsRuntimeError) {
+  EXPECT_THROW(run("int f(int v[]) { return v[0]; }\n"
+                   "int m[4][4], k;\n"
+                   "void main() { k = 5; f(m[k]); }"),
+               support::UcRuntimeError);
+}
+
+TEST(Slices, ScalarExpressionStillRejectedForArrayParam) {
+  EXPECT_THROW(run("int f(int v[]) { return v[0]; }\n"
+                   "void main() { f(1 + 2); }"),
+               support::UcCompileError);
+}
+
+}  // namespace
+}  // namespace uc::vm

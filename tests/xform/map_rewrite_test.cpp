@@ -1,0 +1,156 @@
+#include "xform/map_rewrite.hpp"
+
+#include <gtest/gtest.h>
+
+#include "codegen/pretty.hpp"
+#include "uclang/frontend.hpp"
+#include "ucvm/interp.hpp"
+
+namespace uc::xform {
+namespace {
+
+// A shifted-access program safe under the +1 rewrite: b's used elements
+// are 1..N-1, which land on 0..N-2 after the shift.  `rounds` repeats the
+// shifted access — the mapping trades one remote init write for local
+// steady-state reads, so its benefit shows at rounds > 1 (exactly the
+// paper's argument for separating mapping from logic).
+std::string shifted_program(bool with_map, int rounds = 1) {
+  std::string src =
+      "#define N 16\n"
+      "index_set I:i = {0..N-1};\n"
+      "index_set T:t = {1.." +
+      std::to_string(rounds) +
+      "};\n"
+      "int a[N], b[N];\n";
+  if (with_map) src += "map (I) { permute (I) b[i+1] :- a[i]; }\n";
+  src +=
+      "void main() {\n"
+      "  par (I) a[i] = i;\n"
+      "  par (I) st (i > 0) b[i] = 2 * i;\n"
+      "  seq (T)\n"
+      "    par (I) st (i < N-1) a[i] = a[i] + b[i+1];\n"
+      "}";
+  return src;
+}
+
+TEST(MapRewrite, RewritesSubscriptsAndDropsMapping) {
+  auto unit = lang::compile("t.uc", shifted_program(true));
+  ASSERT_TRUE(unit->ok()) << unit->diags.render_all();
+  auto rw = rewrite_affine_permutes(*unit->program);
+  EXPECT_EQ(rw.rewritten_mappings, 1u);
+  EXPECT_EQ(rw.rewritten_subscripts, 2u);  // b[i] and b[i+1]
+  auto text = codegen::print_program(*unit->program);
+  EXPECT_NE(text.find("b[i + 1 - 1]"), std::string::npos) << text;
+  EXPECT_NE(text.find("b[i - 1]"), std::string::npos) << text;
+  EXPECT_EQ(text.find("permute"), std::string::npos) << text;
+}
+
+TEST(MapRewrite, RewrittenProgramComputesSameValues) {
+  // Reference: the program without any mapping.
+  auto plain = vm::run_uc(shifted_program(false));
+
+  auto unit = lang::compile("t.uc", shifted_program(true));
+  ASSERT_TRUE(unit->ok());
+  rewrite_affine_permutes(*unit->program);
+  lang::reanalyze(*unit);
+  ASSERT_TRUE(unit->ok()) << unit->diags.render_all();
+  cm::Machine machine;
+  vm::Interp interp(*unit, machine);
+  auto rewritten = interp.run();
+  for (int k = 0; k < 16; ++k) {
+    EXPECT_EQ(rewritten.global_element("a", {k}).as_int(),
+              plain.global_element("a", {k}).as_int())
+        << k;
+  }
+}
+
+TEST(MapRewrite, RewrittenProgramCutsSteadyStateComm) {
+  const int kRounds = 8;
+  auto unmapped = vm::run_uc(shifted_program(false, kRounds));
+
+  auto unit = lang::compile("t.uc", shifted_program(true, kRounds));
+  ASSERT_TRUE(unit->ok());
+  rewrite_affine_permutes(*unit->program);
+  lang::reanalyze(*unit);
+  cm::Machine machine;
+  vm::Interp interp(*unit, machine);
+  auto r = interp.run();
+  // Unmapped: every round fetches b[i+1] over the NEWS grid (kRounds news
+  // instructions).  Rewritten: only the one-time init write b[i-1] is a
+  // hop; the repeated access is local.
+  EXPECT_GE(unmapped.stats().news_ops, static_cast<std::uint64_t>(kRounds));
+  EXPECT_LE(r.stats().news_ops, 1u);
+  EXPECT_EQ(r.stats().router_messages, 0u);
+}
+
+TEST(MapRewrite, MatchesRuntimeMappingEngineSpeedup) {
+  // Source rewrite and runtime owner tables are two implementations of the
+  // same optimisation: both must eliminate the repeated remote accesses
+  // that the unmapped program performs.
+  const int kRounds = 8;
+  auto unmapped = vm::run_uc(shifted_program(false, kRounds));
+  EXPECT_GE(unmapped.stats().news_ops, static_cast<std::uint64_t>(kRounds));
+
+  auto runtime_mapped = vm::run_uc(shifted_program(true, kRounds));
+  EXPECT_LE(runtime_mapped.stats().news_ops, 1u);
+}
+
+TEST(MapRewrite, NegativeOffset) {
+  auto unit = lang::compile(
+      "t.uc",
+      "#define N 8\n"
+      "index_set I:i = {0..N-1};\n"
+      "int a[N], b[N];\n"
+      "map (I) { permute (I) b[i-2] :- a[i]; }\n"
+      "void main() { par (I) st (i >= 2) a[i] = b[i-2]; }");
+  ASSERT_TRUE(unit->ok());
+  auto rw = rewrite_affine_permutes(*unit->program);
+  EXPECT_EQ(rw.rewritten_mappings, 1u);
+  auto text = codegen::print_program(*unit->program);
+  EXPECT_NE(text.find("b[i - 2 - -2]"), std::string::npos) << text;
+}
+
+TEST(MapRewrite, NonAffineMappingLeftForRuntime) {
+  auto unit = lang::compile(
+      "t.uc",
+      "#define N 8\n"
+      "index_set I:i = {0..N-1};\n"
+      "int a[N], b[N];\n"
+      "map (I) { permute (I) b[N-1-i] :- a[i]; }\n"
+      "void main() { par (I) a[i] = b[N-1-i]; }");
+  ASSERT_TRUE(unit->ok());
+  auto rw = rewrite_affine_permutes(*unit->program);
+  EXPECT_EQ(rw.rewritten_mappings, 0u);
+  auto text = codegen::print_program(*unit->program);
+  EXPECT_NE(text.find("permute"), std::string::npos) << text;
+}
+
+TEST(MapRewrite, FoldAndCopyUntouched) {
+  auto unit = lang::compile(
+      "t.uc",
+      "#define N 8\n"
+      "index_set I:i = {0..N-1}, H:h = {0..3};\n"
+      "int a[N];\n"
+      "map (H) { fold (H) a[N-1-h] :- a[h]; copy (I) a; }\n"
+      "void main() { }");
+  ASSERT_TRUE(unit->ok());
+  auto rw = rewrite_affine_permutes(*unit->program);
+  EXPECT_EQ(rw.rewritten_mappings, 0u);
+}
+
+TEST(MapRewrite, ZeroOffsetPermuteRemovedWithoutRewrites) {
+  auto unit = lang::compile(
+      "t.uc",
+      "#define N 8\n"
+      "index_set I:i = {0..N-1};\n"
+      "int a[N], b[N];\n"
+      "map (I) { permute (I) b[i] :- a[i]; }\n"
+      "void main() { par (I) a[i] = b[i]; }");
+  ASSERT_TRUE(unit->ok());
+  auto rw = rewrite_affine_permutes(*unit->program);
+  EXPECT_EQ(rw.rewritten_mappings, 1u);
+  EXPECT_EQ(rw.rewritten_subscripts, 0u);  // shift of 0 changes nothing
+}
+
+}  // namespace
+}  // namespace uc::xform

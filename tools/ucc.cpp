@@ -1,0 +1,158 @@
+// ucc — the UC compiler/runner command-line driver.
+//
+//   ucc run program.uc            compile and execute on a simulated CM-2
+//   ucc check program.uc          report diagnostics only
+//   ucc emit-cstar program.uc     print the C* translation (paper §5)
+//   ucc emit-uc program.uc        print the canonical UC rendering
+//
+// Options:
+//   --stats                 print machine statistics after a run
+//   --trace                 print the Paris-style instruction trace
+//   --seed=<n>              machine RNG seed (default 1)
+//   --procs=<n>             physical processors (default 16384)
+//   --threads=<n>           host threads for the data-parallel runtime
+//   --no-mappings           ignore map sections
+//   --no-procopt            disable the §4 processor optimisation
+//   --lower-solve           lower solve to *par at the source level
+//   --rewrite-permutes      apply affine permutes as subscript rewrites
+//   --fold / --no-fold      constant folding (default on)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "support/error.hpp"
+#include "uc/uc.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ucc <run|check|emit-cstar|emit-uc> <file.uc> "
+               "[options]\n"
+               "see the header of tools/ucc.cpp for the option list\n");
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+struct Options {
+  std::string command;
+  std::string file;
+  bool stats = false;
+  bool trace = false;
+  uc::cm::MachineOptions machine;
+  uc::vm::ExecOptions exec;
+  uc::CompileOptions compile;
+};
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  if (argc < 3) return false;
+  opts.command = argv[1];
+  opts.file = argv[2];
+  for (int k = 3; k < argc; ++k) {
+    std::string arg = argv[k];
+    auto int_value = [&](const char* prefix, std::uint64_t& out) {
+      if (arg.rfind(prefix, 0) != 0) return false;
+      out = std::strtoull(arg.c_str() + std::strlen(prefix), nullptr, 10);
+      return true;
+    };
+    std::uint64_t v = 0;
+    if (arg == "--stats") {
+      opts.stats = true;
+    } else if (arg == "--trace") {
+      opts.trace = true;
+      opts.machine.record_paris_trace = true;
+    } else if (int_value("--seed=", v)) {
+      opts.machine.seed = v;
+    } else if (int_value("--procs=", v)) {
+      opts.machine.cost.physical_processors = v;
+    } else if (int_value("--threads=", v)) {
+      opts.machine.host_threads = static_cast<unsigned>(v);
+    } else if (arg == "--no-mappings") {
+      opts.exec.apply_mappings = false;
+    } else if (arg == "--no-procopt") {
+      opts.exec.processor_optimization = false;
+    } else if (arg == "--lower-solve") {
+      opts.compile.lower_solve = true;
+    } else if (arg == "--rewrite-permutes") {
+      opts.compile.rewrite_permutes = true;
+    } else if (arg == "--fold") {
+      opts.compile.fold_constants = true;
+    } else if (arg == "--no-fold") {
+      opts.compile.fold_constants = false;
+    } else {
+      std::fprintf(stderr, "ucc: unknown option '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) return usage();
+
+  std::string source;
+  if (!read_file(opts.file, source)) {
+    std::fprintf(stderr, "ucc: cannot read '%s'\n", opts.file.c_str());
+    return 2;
+  }
+
+  if (opts.command == "check") {
+    auto diags = uc::Program::check(opts.file, source);
+    if (diags.empty()) {
+      std::printf("%s: ok\n", opts.file.c_str());
+      return 0;
+    }
+    std::fputs(diags.c_str(), stderr);
+    return 1;
+  }
+
+  try {
+    auto program =
+        uc::Program::compile(opts.file, std::move(source), opts.compile);
+    if (opts.command == "emit-cstar") {
+      std::fputs(program.to_cstar_source().c_str(), stdout);
+      return 0;
+    }
+    if (opts.command == "emit-uc") {
+      std::fputs(program.to_uc_source().c_str(), stdout);
+      return 0;
+    }
+    if (opts.command != "run") return usage();
+
+    uc::cm::Machine machine(opts.machine);
+    auto result = program.run_on(machine, opts.exec);
+    std::fputs(result.output().c_str(), stdout);
+    if (opts.trace) {
+      for (const auto& line : machine.paris_trace()) {
+        std::fprintf(stderr, "%s\n", line.c_str());
+      }
+    }
+    if (opts.stats) {
+      std::fprintf(stderr, "%s\n",
+                   result.stats()
+                       .to_string(opts.machine.cost)
+                       .c_str());
+    }
+    return 0;
+  } catch (const uc::support::UcCompileError& e) {
+    std::fputs(e.what(), stderr);
+    return 1;
+  } catch (const uc::support::UcRuntimeError& e) {
+    std::fprintf(stderr, "runtime error: %s\n", e.what());
+    return 1;
+  }
+}
