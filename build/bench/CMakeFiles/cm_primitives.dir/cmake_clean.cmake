@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cm_primitives.dir/cm_primitives.cpp.o"
+  "CMakeFiles/cm_primitives.dir/cm_primitives.cpp.o.d"
+  "cm_primitives"
+  "cm_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cm_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/code_opt.dir/code_opt.cpp.o"
+  "CMakeFiles/code_opt.dir/code_opt.cpp.o.d"
+  "code_opt"
+  "code_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/code_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

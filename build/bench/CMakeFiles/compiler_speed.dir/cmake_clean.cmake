@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_speed.dir/compiler_speed.cpp.o"
+  "CMakeFiles/compiler_speed.dir/compiler_speed.cpp.o.d"
+  "compiler_speed"
+  "compiler_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

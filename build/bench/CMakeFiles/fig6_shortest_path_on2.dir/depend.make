@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_shortest_path_on2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_shortest_path_on3.dir/fig7_shortest_path_on3.cpp.o"
+  "CMakeFiles/fig7_shortest_path_on3.dir/fig7_shortest_path_on3.cpp.o.d"
+  "fig7_shortest_path_on3"
+  "fig7_shortest_path_on3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_shortest_path_on3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

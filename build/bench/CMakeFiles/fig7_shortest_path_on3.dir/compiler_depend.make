@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_shortest_path_on3.
+# This may be replaced when dependencies are built.

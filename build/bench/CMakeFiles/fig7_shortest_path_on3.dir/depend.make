@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_shortest_path_on3.
+# This may be replaced when dependencies are built.

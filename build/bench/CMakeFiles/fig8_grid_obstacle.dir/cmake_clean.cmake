@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_grid_obstacle.dir/fig8_grid_obstacle.cpp.o"
+  "CMakeFiles/fig8_grid_obstacle.dir/fig8_grid_obstacle.cpp.o.d"
+  "fig8_grid_obstacle"
+  "fig8_grid_obstacle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_grid_obstacle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

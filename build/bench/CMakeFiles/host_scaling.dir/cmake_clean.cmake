@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_scaling.dir/host_scaling.cpp.o"
+  "CMakeFiles/host_scaling.dir/host_scaling.cpp.o.d"
+  "host_scaling"
+  "host_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

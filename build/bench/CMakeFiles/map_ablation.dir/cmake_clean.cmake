@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/map_ablation.dir/map_ablation.cpp.o"
+  "CMakeFiles/map_ablation.dir/map_ablation.cpp.o.d"
+  "map_ablation"
+  "map_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/map_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/procopt_histogram.dir/procopt_histogram.cpp.o"
+  "CMakeFiles/procopt_histogram.dir/procopt_histogram.cpp.o.d"
+  "procopt_histogram"
+  "procopt_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/procopt_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solve_vs_par.dir/solve_vs_par.cpp.o"
+  "CMakeFiles/solve_vs_par.dir/solve_vs_par.cpp.o.d"
+  "solve_vs_par"
+  "solve_vs_par.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solve_vs_par.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

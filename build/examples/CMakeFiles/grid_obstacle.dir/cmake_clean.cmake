@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_obstacle.dir/grid_obstacle.cpp.o"
+  "CMakeFiles/grid_obstacle.dir/grid_obstacle.cpp.o.d"
+  "grid_obstacle"
+  "grid_obstacle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_obstacle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

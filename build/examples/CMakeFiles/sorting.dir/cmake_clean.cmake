@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sorting.dir/sorting.cpp.o"
+  "CMakeFiles/sorting.dir/sorting.cpp.o.d"
+  "sorting"
+  "sorting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sorting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

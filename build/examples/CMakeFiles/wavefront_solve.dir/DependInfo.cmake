@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/wavefront_solve.cpp" "examples/CMakeFiles/wavefront_solve.dir/wavefront_solve.cpp.o" "gcc" "examples/CMakeFiles/wavefront_solve.dir/wavefront_solve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uc/CMakeFiles/uc_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/ucvm/CMakeFiles/uc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cm/CMakeFiles/uc_cm.dir/DependInfo.cmake"
+  "/root/repo/build/src/xform/CMakeFiles/uc_xform.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/uc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/uclang/CMakeFiles/uc_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/uc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavefront_solve.dir/wavefront_solve.cpp.o"
+  "CMakeFiles/wavefront_solve.dir/wavefront_solve.cpp.o.d"
+  "wavefront_solve"
+  "wavefront_solve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavefront_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

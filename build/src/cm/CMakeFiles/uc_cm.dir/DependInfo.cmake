@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cm/context.cpp" "src/cm/CMakeFiles/uc_cm.dir/context.cpp.o" "gcc" "src/cm/CMakeFiles/uc_cm.dir/context.cpp.o.d"
+  "/root/repo/src/cm/cost.cpp" "src/cm/CMakeFiles/uc_cm.dir/cost.cpp.o" "gcc" "src/cm/CMakeFiles/uc_cm.dir/cost.cpp.o.d"
+  "/root/repo/src/cm/field.cpp" "src/cm/CMakeFiles/uc_cm.dir/field.cpp.o" "gcc" "src/cm/CMakeFiles/uc_cm.dir/field.cpp.o.d"
+  "/root/repo/src/cm/geometry.cpp" "src/cm/CMakeFiles/uc_cm.dir/geometry.cpp.o" "gcc" "src/cm/CMakeFiles/uc_cm.dir/geometry.cpp.o.d"
+  "/root/repo/src/cm/machine.cpp" "src/cm/CMakeFiles/uc_cm.dir/machine.cpp.o" "gcc" "src/cm/CMakeFiles/uc_cm.dir/machine.cpp.o.d"
+  "/root/repo/src/cm/ops.cpp" "src/cm/CMakeFiles/uc_cm.dir/ops.cpp.o" "gcc" "src/cm/CMakeFiles/uc_cm.dir/ops.cpp.o.d"
+  "/root/repo/src/cm/thread_pool.cpp" "src/cm/CMakeFiles/uc_cm.dir/thread_pool.cpp.o" "gcc" "src/cm/CMakeFiles/uc_cm.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/uc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

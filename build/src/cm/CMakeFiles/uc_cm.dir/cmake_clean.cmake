@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uc_cm.dir/context.cpp.o"
+  "CMakeFiles/uc_cm.dir/context.cpp.o.d"
+  "CMakeFiles/uc_cm.dir/cost.cpp.o"
+  "CMakeFiles/uc_cm.dir/cost.cpp.o.d"
+  "CMakeFiles/uc_cm.dir/field.cpp.o"
+  "CMakeFiles/uc_cm.dir/field.cpp.o.d"
+  "CMakeFiles/uc_cm.dir/geometry.cpp.o"
+  "CMakeFiles/uc_cm.dir/geometry.cpp.o.d"
+  "CMakeFiles/uc_cm.dir/machine.cpp.o"
+  "CMakeFiles/uc_cm.dir/machine.cpp.o.d"
+  "CMakeFiles/uc_cm.dir/ops.cpp.o"
+  "CMakeFiles/uc_cm.dir/ops.cpp.o.d"
+  "CMakeFiles/uc_cm.dir/thread_pool.cpp.o"
+  "CMakeFiles/uc_cm.dir/thread_pool.cpp.o.d"
+  "libuc_cm.a"
+  "libuc_cm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uc_cm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

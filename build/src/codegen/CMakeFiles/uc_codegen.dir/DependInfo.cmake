@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/cstar_emit.cpp" "src/codegen/CMakeFiles/uc_codegen.dir/cstar_emit.cpp.o" "gcc" "src/codegen/CMakeFiles/uc_codegen.dir/cstar_emit.cpp.o.d"
+  "/root/repo/src/codegen/pretty.cpp" "src/codegen/CMakeFiles/uc_codegen.dir/pretty.cpp.o" "gcc" "src/codegen/CMakeFiles/uc_codegen.dir/pretty.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uclang/CMakeFiles/uc_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/uc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

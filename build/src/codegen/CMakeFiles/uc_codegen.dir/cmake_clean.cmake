@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uc_codegen.dir/cstar_emit.cpp.o"
+  "CMakeFiles/uc_codegen.dir/cstar_emit.cpp.o.d"
+  "CMakeFiles/uc_codegen.dir/pretty.cpp.o"
+  "CMakeFiles/uc_codegen.dir/pretty.cpp.o.d"
+  "libuc_codegen.a"
+  "libuc_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uc_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cstar/domain.cpp" "src/cstar/CMakeFiles/uc_cstar.dir/domain.cpp.o" "gcc" "src/cstar/CMakeFiles/uc_cstar.dir/domain.cpp.o.d"
+  "/root/repo/src/cstar/paths.cpp" "src/cstar/CMakeFiles/uc_cstar.dir/paths.cpp.o" "gcc" "src/cstar/CMakeFiles/uc_cstar.dir/paths.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cm/CMakeFiles/uc_cm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/uc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

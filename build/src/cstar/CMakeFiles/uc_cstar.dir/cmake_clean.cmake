@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uc_cstar.dir/domain.cpp.o"
+  "CMakeFiles/uc_cstar.dir/domain.cpp.o.d"
+  "CMakeFiles/uc_cstar.dir/paths.cpp.o"
+  "CMakeFiles/uc_cstar.dir/paths.cpp.o.d"
+  "libuc_cstar.a"
+  "libuc_cstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uc_cstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

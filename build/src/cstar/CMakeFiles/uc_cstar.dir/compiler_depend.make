@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for uc_cstar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uc_seqref.dir/seqref.cpp.o"
+  "CMakeFiles/uc_seqref.dir/seqref.cpp.o.d"
+  "libuc_seqref.a"
+  "libuc_seqref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uc_seqref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uc_support.dir/diag.cpp.o"
+  "CMakeFiles/uc_support.dir/diag.cpp.o.d"
+  "CMakeFiles/uc_support.dir/source.cpp.o"
+  "CMakeFiles/uc_support.dir/source.cpp.o.d"
+  "CMakeFiles/uc_support.dir/str.cpp.o"
+  "CMakeFiles/uc_support.dir/str.cpp.o.d"
+  "libuc_support.a"
+  "libuc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

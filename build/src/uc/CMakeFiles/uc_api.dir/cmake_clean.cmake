@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uc_api.dir/paper_programs.cpp.o"
+  "CMakeFiles/uc_api.dir/paper_programs.cpp.o.d"
+  "CMakeFiles/uc_api.dir/uc.cpp.o"
+  "CMakeFiles/uc_api.dir/uc.cpp.o.d"
+  "libuc_api.a"
+  "libuc_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uc_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uclang/ast.cpp" "src/uclang/CMakeFiles/uc_lang.dir/ast.cpp.o" "gcc" "src/uclang/CMakeFiles/uc_lang.dir/ast.cpp.o.d"
+  "/root/repo/src/uclang/frontend.cpp" "src/uclang/CMakeFiles/uc_lang.dir/frontend.cpp.o" "gcc" "src/uclang/CMakeFiles/uc_lang.dir/frontend.cpp.o.d"
+  "/root/repo/src/uclang/lexer.cpp" "src/uclang/CMakeFiles/uc_lang.dir/lexer.cpp.o" "gcc" "src/uclang/CMakeFiles/uc_lang.dir/lexer.cpp.o.d"
+  "/root/repo/src/uclang/parser.cpp" "src/uclang/CMakeFiles/uc_lang.dir/parser.cpp.o" "gcc" "src/uclang/CMakeFiles/uc_lang.dir/parser.cpp.o.d"
+  "/root/repo/src/uclang/sema.cpp" "src/uclang/CMakeFiles/uc_lang.dir/sema.cpp.o" "gcc" "src/uclang/CMakeFiles/uc_lang.dir/sema.cpp.o.d"
+  "/root/repo/src/uclang/symbols.cpp" "src/uclang/CMakeFiles/uc_lang.dir/symbols.cpp.o" "gcc" "src/uclang/CMakeFiles/uc_lang.dir/symbols.cpp.o.d"
+  "/root/repo/src/uclang/token.cpp" "src/uclang/CMakeFiles/uc_lang.dir/token.cpp.o" "gcc" "src/uclang/CMakeFiles/uc_lang.dir/token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/uc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uc_lang.dir/ast.cpp.o"
+  "CMakeFiles/uc_lang.dir/ast.cpp.o.d"
+  "CMakeFiles/uc_lang.dir/frontend.cpp.o"
+  "CMakeFiles/uc_lang.dir/frontend.cpp.o.d"
+  "CMakeFiles/uc_lang.dir/lexer.cpp.o"
+  "CMakeFiles/uc_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/uc_lang.dir/parser.cpp.o"
+  "CMakeFiles/uc_lang.dir/parser.cpp.o.d"
+  "CMakeFiles/uc_lang.dir/sema.cpp.o"
+  "CMakeFiles/uc_lang.dir/sema.cpp.o.d"
+  "CMakeFiles/uc_lang.dir/symbols.cpp.o"
+  "CMakeFiles/uc_lang.dir/symbols.cpp.o.d"
+  "CMakeFiles/uc_lang.dir/token.cpp.o"
+  "CMakeFiles/uc_lang.dir/token.cpp.o.d"
+  "libuc_lang.a"
+  "libuc_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uc_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ucvm/arrays.cpp" "src/ucvm/CMakeFiles/uc_vm.dir/arrays.cpp.o" "gcc" "src/ucvm/CMakeFiles/uc_vm.dir/arrays.cpp.o.d"
+  "/root/repo/src/ucvm/interp.cpp" "src/ucvm/CMakeFiles/uc_vm.dir/interp.cpp.o" "gcc" "src/ucvm/CMakeFiles/uc_vm.dir/interp.cpp.o.d"
+  "/root/repo/src/ucvm/interp_constructs.cpp" "src/ucvm/CMakeFiles/uc_vm.dir/interp_constructs.cpp.o" "gcc" "src/ucvm/CMakeFiles/uc_vm.dir/interp_constructs.cpp.o.d"
+  "/root/repo/src/ucvm/interp_expr.cpp" "src/ucvm/CMakeFiles/uc_vm.dir/interp_expr.cpp.o" "gcc" "src/ucvm/CMakeFiles/uc_vm.dir/interp_expr.cpp.o.d"
+  "/root/repo/src/ucvm/interp_solve.cpp" "src/ucvm/CMakeFiles/uc_vm.dir/interp_solve.cpp.o" "gcc" "src/ucvm/CMakeFiles/uc_vm.dir/interp_solve.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uclang/CMakeFiles/uc_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/cm/CMakeFiles/uc_cm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/uc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uc_vm.dir/arrays.cpp.o"
+  "CMakeFiles/uc_vm.dir/arrays.cpp.o.d"
+  "CMakeFiles/uc_vm.dir/interp.cpp.o"
+  "CMakeFiles/uc_vm.dir/interp.cpp.o.d"
+  "CMakeFiles/uc_vm.dir/interp_constructs.cpp.o"
+  "CMakeFiles/uc_vm.dir/interp_constructs.cpp.o.d"
+  "CMakeFiles/uc_vm.dir/interp_expr.cpp.o"
+  "CMakeFiles/uc_vm.dir/interp_expr.cpp.o.d"
+  "CMakeFiles/uc_vm.dir/interp_solve.cpp.o"
+  "CMakeFiles/uc_vm.dir/interp_solve.cpp.o.d"
+  "libuc_vm.a"
+  "libuc_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uc_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

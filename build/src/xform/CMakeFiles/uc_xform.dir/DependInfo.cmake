@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xform/const_fold.cpp" "src/xform/CMakeFiles/uc_xform.dir/const_fold.cpp.o" "gcc" "src/xform/CMakeFiles/uc_xform.dir/const_fold.cpp.o.d"
+  "/root/repo/src/xform/map_rewrite.cpp" "src/xform/CMakeFiles/uc_xform.dir/map_rewrite.cpp.o" "gcc" "src/xform/CMakeFiles/uc_xform.dir/map_rewrite.cpp.o.d"
+  "/root/repo/src/xform/solve_lower.cpp" "src/xform/CMakeFiles/uc_xform.dir/solve_lower.cpp.o" "gcc" "src/xform/CMakeFiles/uc_xform.dir/solve_lower.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uclang/CMakeFiles/uc_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/uc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

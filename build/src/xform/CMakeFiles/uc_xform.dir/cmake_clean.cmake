@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uc_xform.dir/const_fold.cpp.o"
+  "CMakeFiles/uc_xform.dir/const_fold.cpp.o.d"
+  "CMakeFiles/uc_xform.dir/map_rewrite.cpp.o"
+  "CMakeFiles/uc_xform.dir/map_rewrite.cpp.o.d"
+  "CMakeFiles/uc_xform.dir/solve_lower.cpp.o"
+  "CMakeFiles/uc_xform.dir/solve_lower.cpp.o.d"
+  "libuc_xform.a"
+  "libuc_xform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uc_xform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("cm")
+subdirs("uclang")
+subdirs("ucvm")
+subdirs("cstar")
+subdirs("xform")
+subdirs("codegen")
+subdirs("uc")
+subdirs("seqref")
+subdirs("tools")
+subdirs("programs")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cm/context_test.cpp" "tests/cm/CMakeFiles/test_cm.dir/context_test.cpp.o" "gcc" "tests/cm/CMakeFiles/test_cm.dir/context_test.cpp.o.d"
+  "/root/repo/tests/cm/geometry_test.cpp" "tests/cm/CMakeFiles/test_cm.dir/geometry_test.cpp.o" "gcc" "tests/cm/CMakeFiles/test_cm.dir/geometry_test.cpp.o.d"
+  "/root/repo/tests/cm/machine_test.cpp" "tests/cm/CMakeFiles/test_cm.dir/machine_test.cpp.o" "gcc" "tests/cm/CMakeFiles/test_cm.dir/machine_test.cpp.o.d"
+  "/root/repo/tests/cm/ops_test.cpp" "tests/cm/CMakeFiles/test_cm.dir/ops_test.cpp.o" "gcc" "tests/cm/CMakeFiles/test_cm.dir/ops_test.cpp.o.d"
+  "/root/repo/tests/cm/thread_pool_test.cpp" "tests/cm/CMakeFiles/test_cm.dir/thread_pool_test.cpp.o" "gcc" "tests/cm/CMakeFiles/test_cm.dir/thread_pool_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cm/CMakeFiles/uc_cm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/uc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cm.dir/context_test.cpp.o"
+  "CMakeFiles/test_cm.dir/context_test.cpp.o.d"
+  "CMakeFiles/test_cm.dir/geometry_test.cpp.o"
+  "CMakeFiles/test_cm.dir/geometry_test.cpp.o.d"
+  "CMakeFiles/test_cm.dir/machine_test.cpp.o"
+  "CMakeFiles/test_cm.dir/machine_test.cpp.o.d"
+  "CMakeFiles/test_cm.dir/ops_test.cpp.o"
+  "CMakeFiles/test_cm.dir/ops_test.cpp.o.d"
+  "CMakeFiles/test_cm.dir/thread_pool_test.cpp.o"
+  "CMakeFiles/test_cm.dir/thread_pool_test.cpp.o.d"
+  "test_cm"
+  "test_cm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/cm
+# Build directory: /root/repo/build/tests/cm
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_cm "/root/repo/build/tests/cm/test_cm")
+set_tests_properties(test_cm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/cm/CMakeLists.txt;1;uc_add_test;/root/repo/tests/cm/CMakeLists.txt;0;")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codegen.dir/cstar_emit_test.cpp.o"
+  "CMakeFiles/test_codegen.dir/cstar_emit_test.cpp.o.d"
+  "CMakeFiles/test_codegen.dir/pretty_test.cpp.o"
+  "CMakeFiles/test_codegen.dir/pretty_test.cpp.o.d"
+  "test_codegen"
+  "test_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

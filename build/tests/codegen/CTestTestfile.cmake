@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/codegen
+# Build directory: /root/repo/build/tests/codegen
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_codegen "/root/repo/build/tests/codegen/test_codegen")
+set_tests_properties(test_codegen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/codegen/CMakeLists.txt;1;uc_add_test;/root/repo/tests/codegen/CMakeLists.txt;0;")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cstar/domain_test.cpp" "tests/cstar/CMakeFiles/test_cstar.dir/domain_test.cpp.o" "gcc" "tests/cstar/CMakeFiles/test_cstar.dir/domain_test.cpp.o.d"
+  "/root/repo/tests/cstar/paths_test.cpp" "tests/cstar/CMakeFiles/test_cstar.dir/paths_test.cpp.o" "gcc" "tests/cstar/CMakeFiles/test_cstar.dir/paths_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cstar/CMakeFiles/uc_cstar.dir/DependInfo.cmake"
+  "/root/repo/build/src/seqref/CMakeFiles/uc_seqref.dir/DependInfo.cmake"
+  "/root/repo/build/src/cm/CMakeFiles/uc_cm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/uc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

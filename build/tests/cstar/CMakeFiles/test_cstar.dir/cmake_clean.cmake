@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cstar.dir/domain_test.cpp.o"
+  "CMakeFiles/test_cstar.dir/domain_test.cpp.o.d"
+  "CMakeFiles/test_cstar.dir/paths_test.cpp.o"
+  "CMakeFiles/test_cstar.dir/paths_test.cpp.o.d"
+  "test_cstar"
+  "test_cstar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cstar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

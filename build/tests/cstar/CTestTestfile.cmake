@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/cstar
+# Build directory: /root/repo/build/tests/cstar
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_cstar "/root/repo/build/tests/cstar/test_cstar")
+set_tests_properties(test_cstar PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/cstar/CMakeLists.txt;1;uc_add_test;/root/repo/tests/cstar/CMakeLists.txt;0;")

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/programs
+# Build directory: /root/repo/build/tests/programs
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_programs "/root/repo/build/tests/programs/test_programs")
+set_tests_properties(test_programs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/programs/CMakeLists.txt;1;uc_add_test;/root/repo/tests/programs/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_seqref.dir/seqref_test.cpp.o"
+  "CMakeFiles/test_seqref.dir/seqref_test.cpp.o.d"
+  "test_seqref"
+  "test_seqref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_seqref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/seqref
+# Build directory: /root/repo/build/tests/seqref
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_seqref "/root/repo/build/tests/seqref/test_seqref")
+set_tests_properties(test_seqref PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/seqref/CMakeLists.txt;1;uc_add_test;/root/repo/tests/seqref/CMakeLists.txt;0;")

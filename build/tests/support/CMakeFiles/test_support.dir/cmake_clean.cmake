@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support.dir/diag_test.cpp.o"
+  "CMakeFiles/test_support.dir/diag_test.cpp.o.d"
+  "CMakeFiles/test_support.dir/rng_test.cpp.o"
+  "CMakeFiles/test_support.dir/rng_test.cpp.o.d"
+  "CMakeFiles/test_support.dir/source_test.cpp.o"
+  "CMakeFiles/test_support.dir/source_test.cpp.o.d"
+  "CMakeFiles/test_support.dir/str_test.cpp.o"
+  "CMakeFiles/test_support.dir/str_test.cpp.o.d"
+  "test_support"
+  "test_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ucc_cli.dir/ucc_cli_test.cpp.o"
+  "CMakeFiles/test_ucc_cli.dir/ucc_cli_test.cpp.o.d"
+  "test_ucc_cli"
+  "test_ucc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ucc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

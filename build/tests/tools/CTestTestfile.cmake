@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/tools
+# Build directory: /root/repo/build/tests/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_ucc_cli "/root/repo/build/tests/tools/test_ucc_cli")
+set_tests_properties(test_ucc_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/tools/CMakeLists.txt;1;uc_add_test;/root/repo/tests/tools/CMakeLists.txt;0;")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uc_api.dir/api_test.cpp.o"
+  "CMakeFiles/test_uc_api.dir/api_test.cpp.o.d"
+  "CMakeFiles/test_uc_api.dir/differential_test.cpp.o"
+  "CMakeFiles/test_uc_api.dir/differential_test.cpp.o.d"
+  "test_uc_api"
+  "test_uc_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uc_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

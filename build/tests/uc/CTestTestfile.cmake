@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/uc
+# Build directory: /root/repo/build/tests/uc
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_uc_api "/root/repo/build/tests/uc/test_uc_api")
+set_tests_properties(test_uc_api PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/uc/CMakeLists.txt;1;uc_add_test;/root/repo/tests/uc/CMakeLists.txt;0;")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/uclang/diagnostics_test.cpp" "tests/uclang/CMakeFiles/test_uclang.dir/diagnostics_test.cpp.o" "gcc" "tests/uclang/CMakeFiles/test_uclang.dir/diagnostics_test.cpp.o.d"
+  "/root/repo/tests/uclang/lexer_test.cpp" "tests/uclang/CMakeFiles/test_uclang.dir/lexer_test.cpp.o" "gcc" "tests/uclang/CMakeFiles/test_uclang.dir/lexer_test.cpp.o.d"
+  "/root/repo/tests/uclang/parser_test.cpp" "tests/uclang/CMakeFiles/test_uclang.dir/parser_test.cpp.o" "gcc" "tests/uclang/CMakeFiles/test_uclang.dir/parser_test.cpp.o.d"
+  "/root/repo/tests/uclang/sema_test.cpp" "tests/uclang/CMakeFiles/test_uclang.dir/sema_test.cpp.o" "gcc" "tests/uclang/CMakeFiles/test_uclang.dir/sema_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uclang/CMakeFiles/uc_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/uc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

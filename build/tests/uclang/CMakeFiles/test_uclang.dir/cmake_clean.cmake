@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uclang.dir/diagnostics_test.cpp.o"
+  "CMakeFiles/test_uclang.dir/diagnostics_test.cpp.o.d"
+  "CMakeFiles/test_uclang.dir/lexer_test.cpp.o"
+  "CMakeFiles/test_uclang.dir/lexer_test.cpp.o.d"
+  "CMakeFiles/test_uclang.dir/parser_test.cpp.o"
+  "CMakeFiles/test_uclang.dir/parser_test.cpp.o.d"
+  "CMakeFiles/test_uclang.dir/sema_test.cpp.o"
+  "CMakeFiles/test_uclang.dir/sema_test.cpp.o.d"
+  "test_uclang"
+  "test_uclang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uclang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

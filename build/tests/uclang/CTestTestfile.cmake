@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/uclang
+# Build directory: /root/repo/build/tests/uclang
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_uclang "/root/repo/build/tests/uclang/test_uclang")
+set_tests_properties(test_uclang PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/uclang/CMakeLists.txt;1;uc_add_test;/root/repo/tests/uclang/CMakeLists.txt;0;")

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ucvm/interp_basic_test.cpp" "tests/ucvm/CMakeFiles/test_ucvm.dir/interp_basic_test.cpp.o" "gcc" "tests/ucvm/CMakeFiles/test_ucvm.dir/interp_basic_test.cpp.o.d"
+  "/root/repo/tests/ucvm/interp_cse_test.cpp" "tests/ucvm/CMakeFiles/test_ucvm.dir/interp_cse_test.cpp.o" "gcc" "tests/ucvm/CMakeFiles/test_ucvm.dir/interp_cse_test.cpp.o.d"
+  "/root/repo/tests/ucvm/interp_errors_test.cpp" "tests/ucvm/CMakeFiles/test_ucvm.dir/interp_errors_test.cpp.o" "gcc" "tests/ucvm/CMakeFiles/test_ucvm.dir/interp_errors_test.cpp.o.d"
+  "/root/repo/tests/ucvm/interp_extensions_test.cpp" "tests/ucvm/CMakeFiles/test_ucvm.dir/interp_extensions_test.cpp.o" "gcc" "tests/ucvm/CMakeFiles/test_ucvm.dir/interp_extensions_test.cpp.o.d"
+  "/root/repo/tests/ucvm/interp_mapping_test.cpp" "tests/ucvm/CMakeFiles/test_ucvm.dir/interp_mapping_test.cpp.o" "gcc" "tests/ucvm/CMakeFiles/test_ucvm.dir/interp_mapping_test.cpp.o.d"
+  "/root/repo/tests/ucvm/interp_paper_programs_test.cpp" "tests/ucvm/CMakeFiles/test_ucvm.dir/interp_paper_programs_test.cpp.o" "gcc" "tests/ucvm/CMakeFiles/test_ucvm.dir/interp_paper_programs_test.cpp.o.d"
+  "/root/repo/tests/ucvm/interp_par_test.cpp" "tests/ucvm/CMakeFiles/test_ucvm.dir/interp_par_test.cpp.o" "gcc" "tests/ucvm/CMakeFiles/test_ucvm.dir/interp_par_test.cpp.o.d"
+  "/root/repo/tests/ucvm/interp_reduce_test.cpp" "tests/ucvm/CMakeFiles/test_ucvm.dir/interp_reduce_test.cpp.o" "gcc" "tests/ucvm/CMakeFiles/test_ucvm.dir/interp_reduce_test.cpp.o.d"
+  "/root/repo/tests/ucvm/interp_semantics_test.cpp" "tests/ucvm/CMakeFiles/test_ucvm.dir/interp_semantics_test.cpp.o" "gcc" "tests/ucvm/CMakeFiles/test_ucvm.dir/interp_semantics_test.cpp.o.d"
+  "/root/repo/tests/ucvm/interp_slices_test.cpp" "tests/ucvm/CMakeFiles/test_ucvm.dir/interp_slices_test.cpp.o" "gcc" "tests/ucvm/CMakeFiles/test_ucvm.dir/interp_slices_test.cpp.o.d"
+  "/root/repo/tests/ucvm/interp_solve_test.cpp" "tests/ucvm/CMakeFiles/test_ucvm.dir/interp_solve_test.cpp.o" "gcc" "tests/ucvm/CMakeFiles/test_ucvm.dir/interp_solve_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ucvm/CMakeFiles/uc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/uc/CMakeFiles/uc_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/seqref/CMakeFiles/uc_seqref.dir/DependInfo.cmake"
+  "/root/repo/build/src/cm/CMakeFiles/uc_cm.dir/DependInfo.cmake"
+  "/root/repo/build/src/xform/CMakeFiles/uc_xform.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/uc_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/uclang/CMakeFiles/uc_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/uc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

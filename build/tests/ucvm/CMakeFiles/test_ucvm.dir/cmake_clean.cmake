@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ucvm.dir/interp_basic_test.cpp.o"
+  "CMakeFiles/test_ucvm.dir/interp_basic_test.cpp.o.d"
+  "CMakeFiles/test_ucvm.dir/interp_cse_test.cpp.o"
+  "CMakeFiles/test_ucvm.dir/interp_cse_test.cpp.o.d"
+  "CMakeFiles/test_ucvm.dir/interp_errors_test.cpp.o"
+  "CMakeFiles/test_ucvm.dir/interp_errors_test.cpp.o.d"
+  "CMakeFiles/test_ucvm.dir/interp_extensions_test.cpp.o"
+  "CMakeFiles/test_ucvm.dir/interp_extensions_test.cpp.o.d"
+  "CMakeFiles/test_ucvm.dir/interp_mapping_test.cpp.o"
+  "CMakeFiles/test_ucvm.dir/interp_mapping_test.cpp.o.d"
+  "CMakeFiles/test_ucvm.dir/interp_paper_programs_test.cpp.o"
+  "CMakeFiles/test_ucvm.dir/interp_paper_programs_test.cpp.o.d"
+  "CMakeFiles/test_ucvm.dir/interp_par_test.cpp.o"
+  "CMakeFiles/test_ucvm.dir/interp_par_test.cpp.o.d"
+  "CMakeFiles/test_ucvm.dir/interp_reduce_test.cpp.o"
+  "CMakeFiles/test_ucvm.dir/interp_reduce_test.cpp.o.d"
+  "CMakeFiles/test_ucvm.dir/interp_semantics_test.cpp.o"
+  "CMakeFiles/test_ucvm.dir/interp_semantics_test.cpp.o.d"
+  "CMakeFiles/test_ucvm.dir/interp_slices_test.cpp.o"
+  "CMakeFiles/test_ucvm.dir/interp_slices_test.cpp.o.d"
+  "CMakeFiles/test_ucvm.dir/interp_solve_test.cpp.o"
+  "CMakeFiles/test_ucvm.dir/interp_solve_test.cpp.o.d"
+  "test_ucvm"
+  "test_ucvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ucvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

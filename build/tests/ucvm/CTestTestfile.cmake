@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/ucvm
+# Build directory: /root/repo/build/tests/ucvm
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_ucvm "/root/repo/build/tests/ucvm/test_ucvm")
+set_tests_properties(test_ucvm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/ucvm/CMakeLists.txt;1;uc_add_test;/root/repo/tests/ucvm/CMakeLists.txt;0;")

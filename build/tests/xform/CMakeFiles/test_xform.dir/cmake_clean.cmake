@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xform.dir/const_fold_test.cpp.o"
+  "CMakeFiles/test_xform.dir/const_fold_test.cpp.o.d"
+  "CMakeFiles/test_xform.dir/map_rewrite_test.cpp.o"
+  "CMakeFiles/test_xform.dir/map_rewrite_test.cpp.o.d"
+  "CMakeFiles/test_xform.dir/solve_lower_test.cpp.o"
+  "CMakeFiles/test_xform.dir/solve_lower_test.cpp.o.d"
+  "test_xform"
+  "test_xform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/xform
+# Build directory: /root/repo/build/tests/xform
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_xform "/root/repo/build/tests/xform/test_xform")
+set_tests_properties(test_xform PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/xform/CMakeLists.txt;1;uc_add_test;/root/repo/tests/xform/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucc.dir/ucc.cpp.o"
+  "CMakeFiles/ucc.dir/ucc.cpp.o.d"
+  "ucc"
+  "ucc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
