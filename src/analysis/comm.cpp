@@ -1,0 +1,228 @@
+// Communication-pattern classification (UC-A2xx + summary).
+//
+// Every array access inside a parallel site is classified by the machine
+// communication it needs on a CM-2 style grid: local (subscripts align
+// with the lane indices), news (constant-offset neighbour), scan
+// (uniform spread / reduce-shaped), or router (everything else).  Permute
+// placements from map sections are composed into the subscripts so the
+// classification reflects *physical* positions; mappings that turn
+// NEWS-servable access patterns into router traffic are flagged.
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/pass.hpp"
+
+namespace uc::analysis {
+
+namespace {
+
+using lang::Symbol;
+
+std::uint64_t ceil_log2(std::uint64_t n) {
+  std::uint64_t bits = 0;
+  while ((std::uint64_t{1} << bits) < n) ++bits;
+  return bits;
+}
+
+struct Classified {
+  CommClass cls = CommClass::kLocal;
+  std::string detail;
+};
+
+Classified classify(const ParSite& site, const std::vector<DimView>& views) {
+  for (const auto& v : views) {
+    if (v.kind == DimKind::kUnknown) {
+      return {CommClass::kRouter, "subscript not affine in lane indices"};
+    }
+    if (v.kind == DimKind::kMulti) {
+      return {CommClass::kRouter, "subscript mixes lane indices"};
+    }
+  }
+  for (const auto& v : views) {
+    if (v.kind == DimKind::kScaled) {
+      return {CommClass::kRouter, "strided or permuted subscript"};
+    }
+  }
+  for (const auto& v : views) {
+    if (v.kind == DimKind::kScan) {
+      return {CommClass::kScan, "reduce-bound subscript sweeps its set"};
+    }
+  }
+  bool any_uniform = false;
+  for (const auto& v : views) {
+    if (v.kind == DimKind::kUniform) any_uniform = true;
+  }
+  if (any_uniform) {
+    return {CommClass::kScan, "uniform subscript (spread/broadcast)"};
+  }
+
+  // All dims are kIdent / kOffset on distinct lane elements.  A repeated
+  // element (a[i][i]) or a transposed order (a[j][i] under par (I,J))
+  // needs general communication.
+  std::vector<const Symbol*> order;
+  for (const auto& v : views) {
+    if (std::find(order.begin(), order.end(), v.elem) != order.end()) {
+      return {CommClass::kRouter, "lane index repeated across dimensions"};
+    }
+    order.push_back(v.elem);
+  }
+  std::size_t lane_pos = 0;
+  for (const auto* elem : order) {
+    while (lane_pos < site.lanes.size() &&
+           site.lanes[lane_pos].elem != elem) {
+      ++lane_pos;
+    }
+    if (lane_pos == site.lanes.size()) {
+      return {CommClass::kRouter, "lane indices used in transposed order"};
+    }
+    ++lane_pos;
+  }
+
+  std::int64_t max_off = 0;
+  for (const auto& v : views) {
+    max_off = std::max(max_off, std::abs(v.offset));
+  }
+  if (max_off != 0) {
+    return {CommClass::kNews,
+            "constant offset " + std::to_string(max_off) + " on the grid"};
+  }
+  return {CommClass::kLocal, ""};
+}
+
+std::uint64_t estimate_cycles(const cm::CostModel& cost, CommClass cls,
+                              std::uint64_t space) {
+  std::uint64_t vp = cost.vp_ratio(space);
+  switch (cls) {
+    case CommClass::kLocal:
+      return cost.mem_op * vp;
+    case CommClass::kNews:
+      return cost.news_op * vp;
+    case CommClass::kScan:
+      return cost.scan_step * std::max<std::uint64_t>(1, ceil_log2(space)) *
+             vp;
+    case CommClass::kRouter:
+      return cost.router_op * vp;
+  }
+  return cost.mem_op * vp;
+}
+
+class CommPass : public Pass {
+ public:
+  const char* name() const override { return "comm"; }
+
+  void run(PassContext& ctx) override {
+    std::map<std::string, FunctionComm> by_fn;
+    // Per-array classification with and without the permute placement,
+    // for the mapping diagnostics.
+    std::map<const Symbol*, bool> any_placed_router;
+    std::map<const Symbol*, bool> all_identity_cheap;
+    std::map<const Symbol*, std::size_t> access_count;
+
+    for (const auto& site : ctx.model.sites) {
+      for (const auto& sa : site.accesses) {
+        if (sa.access.subscript == nullptr) continue;  // scalars are local
+        const Symbol* base = sa.access.base;
+        if (base == nullptr || site.per_lane.count(base) != 0) continue;
+
+        auto placed = subscript_views(site, sa, ctx.model,
+                                      /*apply_placement=*/true);
+        Classified c = classify(site, placed);
+
+        std::uint64_t space = site.lane_count();
+        const lang::ReduceExpr* reduce =
+            sa.access.reduce != nullptr ? sa.access.reduce : site.reduce;
+        if (reduce != nullptr) {
+          for (const auto* set : reduce->index_set_syms) {
+            if (set != nullptr && set->index_set != nullptr &&
+                !set->index_set->values.empty()) {
+              space *= set->index_set->values.size();
+            }
+          }
+        }
+
+        CommAccess ca;
+        ca.cls = c.cls;
+        ca.is_write = sa.access.is_write;
+        ca.array = base->name;
+        ca.detail = c.detail;
+        ca.range = sa.access.site->range;
+        ca.lanes = space;
+        ca.est_cycles = estimate_cycles(ctx.options.cost, c.cls, space);
+
+        std::string fn =
+            site.function != nullptr ? site.function->name : "<global>";
+        auto [it, inserted] = by_fn.try_emplace(fn);
+        if (inserted) it->second.function = fn;
+        it->second.accesses.push_back(std::move(ca));
+
+        // Bookkeeping for UC-A201/A202.
+        ++access_count[base];
+        if (ctx.model.placements.count(base) != 0) {
+          auto identity = subscript_views(site, sa, ctx.model,
+                                          /*apply_placement=*/false);
+          Classified ci = classify(site, identity);
+          bool cheap = ci.cls == CommClass::kLocal ||
+                       ci.cls == CommClass::kNews;
+          auto [ai, ains] = all_identity_cheap.try_emplace(base, true);
+          (void)ains;
+          ai->second = ai->second && cheap;
+          if (c.cls == CommClass::kRouter) any_placed_router[base] = true;
+        }
+      }
+    }
+
+    for (auto& [fn, comm] : by_fn) {
+      ctx.report.functions.push_back(std::move(comm));
+    }
+
+    report_mapping_findings(ctx, any_placed_router, all_identity_cheap,
+                            access_count);
+  }
+
+ private:
+  void report_mapping_findings(
+      PassContext& ctx,
+      const std::map<const Symbol*, bool>& any_placed_router,
+      const std::map<const Symbol*, bool>& all_identity_cheap,
+      const std::map<const Symbol*, std::size_t>& access_count) {
+    // UC-A201: a permute that turns otherwise NEWS/local traffic into
+    // router traffic.  The default (identity) mapping would have served
+    // every access from the grid.
+    for (const auto& [target, placement] : ctx.model.placements) {
+      auto routed = any_placed_router.find(target);
+      auto cheap = all_identity_cheap.find(target);
+      if (routed == any_placed_router.end() || !routed->second) continue;
+      if (cheap == all_identity_cheap.end() || !cheap->second) continue;
+      std::string msg =
+          "permute mapping of '" + target->name +
+          "' forces router traffic: without it every parallel access to "
+          "this array is NEWS or local; consider dropping the permute or "
+          "using a constant-offset mapping";
+      ctx.report.add("UC-A201", support::Severity::kWarning,
+                     placement.mapping->range, std::move(msg));
+    }
+
+    // UC-A202: mappings whose target has no parallel accesses at all.
+    for (const auto& ref : ctx.model.mappings) {
+      auto n = access_count.find(ref.target);
+      if (n != access_count.end() && n->second > 0) continue;
+      std::string msg =
+          "mapping targets '" + ref.target->name +
+          "' but no parallel access to it was found; the mapping has no "
+          "effect on communication";
+      ctx.report.add("UC-A202", support::Severity::kNote, ref.mapping->range,
+                     std::move(msg));
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_comm_pass() {
+  return std::make_unique<CommPass>();
+}
+
+}  // namespace uc::analysis

@@ -1,0 +1,387 @@
+// Par-block interference detection (UC-A1xx).
+//
+// For each parallel site, pairs of accesses to the same base are tested
+// for lane overlap: can two *different* lanes touch the same storage
+// location?  The test solves for the lane-index deltas forced by the
+// affine subscripts, then checks them against the arms' `st` guard
+// constraints (congruences, pins, element equalities) and the index
+// sets' value ranges.  Anything the solver cannot decide degrades to
+// "possible" (a note), never silence — and never a hard warning.
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/pass.hpp"
+
+namespace uc::analysis {
+
+namespace {
+
+using lang::Symbol;
+
+enum class Overlap : std::uint8_t { kNone, kPossible, kDefinite };
+
+struct PairResult {
+  Overlap overlap = Overlap::kNone;
+  // True when some lane-index delta is forced nonzero or a free lane
+  // dimension lets the two accesses come from different lanes.
+  bool cross_lane = false;
+};
+
+std::int64_t floor_mod(std::int64_t a, std::int64_t m) {
+  return ((a % m) + m) % m;
+}
+
+// Solves whether accesses A and B of one site can land on the same
+// location from two different lanes.
+PairResult lane_overlap(const ParSite& site, const SiteAccess& a,
+                        const SiteAccess& b, const ProgramModel& model) {
+  PairResult r;
+  const Guard* ga =
+      a.guard_index >= 0 ? &site.guards[a.guard_index] : nullptr;
+  const Guard* gb =
+      b.guard_index >= 0 ? &site.guards[b.guard_index] : nullptr;
+  bool fuzzy = (ga != nullptr && (ga->data_dependent || ga->is_others)) ||
+               (gb != nullptr && (gb->data_dependent || gb->is_others));
+
+  // Scalar base: every lane hits the same storage.
+  if (a.access.subscript == nullptr || b.access.subscript == nullptr) {
+    bool all_pinned = !site.lanes.empty();
+    for (const auto& le : site.lanes) {
+      bool pinned = (ga != nullptr && ga->pins_elem(le.elem)) &&
+                    (gb != nullptr && gb->pins_elem(le.elem));
+      all_pinned = all_pinned && (pinned || le.size < 2);
+    }
+    if (site.lane_count() < 2 || all_pinned) return r;
+    r.cross_lane = true;
+    r.overlap = fuzzy ? Overlap::kPossible : Overlap::kDefinite;
+    return r;
+  }
+
+  auto va = subscript_views(site, a, model, /*apply_placement=*/false);
+  auto vb = subscript_views(site, b, model, /*apply_placement=*/false);
+
+  // Forced per-element deltas (lane of B minus lane of A) implied by the
+  // requirement that every dimension index matches.
+  std::map<const Symbol*, std::int64_t> delta;
+  bool freedom = false;  // some lane dimension can differ between A and B
+
+  auto range_of = [](const Symbol* elem, std::int64_t& lo, std::int64_t& hi,
+                     std::int64_t& n) {
+    return elem_value_range(elem, lo, hi, n);
+  };
+
+  std::size_t common = std::min(va.size(), vb.size());
+  if (va.size() != vb.size()) {
+    // Rank mismatch (e.g. partial subscripting): be conservative.
+    fuzzy = true;
+    freedom = true;
+  }
+
+  for (std::size_t d = 0; d < common; ++d) {
+    const DimView& da = va[d];
+    const DimView& db = vb[d];
+
+    auto is_elemish = [](const DimView& v) {
+      return v.kind == DimKind::kIdent || v.kind == DimKind::kOffset ||
+             v.kind == DimKind::kScaled || v.kind == DimKind::kScan;
+    };
+
+    if (da.kind == DimKind::kUnknown || db.kind == DimKind::kUnknown ||
+        da.kind == DimKind::kMulti || db.kind == DimKind::kMulti) {
+      fuzzy = true;
+      freedom = true;
+      continue;
+    }
+
+    if (da.kind == DimKind::kUniform && db.kind == DimKind::kUniform) {
+      if (da.uniform_key == db.uniform_key) {
+        if (da.offset != db.offset) return r;  // provably disjoint
+        continue;                              // provably equal: neutral
+      }
+      fuzzy = true;  // two different runtime values: may or may not match
+      continue;
+    }
+
+    if (is_elemish(da) && is_elemish(db) && da.elem == db.elem &&
+        da.uniform_key == db.uniform_key && da.coeff == db.coeff &&
+        da.coeff != 0) {
+      // c*e_a + oa == c*e_b + ob  =>  e_b - e_a = (oa - ob) / c.
+      std::int64_t num = da.offset - db.offset;
+      if (num % da.coeff != 0) return r;  // no integer solution
+      std::int64_t dd = num / da.coeff;
+      auto [it, inserted] = delta.try_emplace(da.elem, dd);
+      if (!inserted && it->second != dd) return r;  // inconsistent
+      continue;
+    }
+
+    // Mixed shapes (uniform vs element, different elements, different
+    // coefficients, scan vs lane): a match is possible whenever the value
+    // ranges intersect; decide disjointness where we can.
+    if (is_elemish(da) && db.kind == DimKind::kUniform &&
+        da.uniform_key.empty() && db.uniform_key.empty()) {
+      std::int64_t lo, hi, n;
+      if (range_of(da.elem, lo, hi, n) && da.coeff != 0) {
+        std::int64_t vlo = std::min(da.coeff * lo, da.coeff * hi) + da.offset;
+        std::int64_t vhi = std::max(da.coeff * lo, da.coeff * hi) + da.offset;
+        if (db.offset < vlo || db.offset > vhi) return r;
+        if (n >= 2 && site.is_lane_elem(da.elem)) freedom = true;
+        continue;
+      }
+    }
+    if (is_elemish(db) && da.kind == DimKind::kUniform &&
+        da.uniform_key.empty() && db.uniform_key.empty()) {
+      std::int64_t lo, hi, n;
+      if (range_of(db.elem, lo, hi, n) && db.coeff != 0) {
+        std::int64_t vlo = std::min(db.coeff * lo, db.coeff * hi) + db.offset;
+        std::int64_t vhi = std::max(db.coeff * lo, db.coeff * hi) + db.offset;
+        if (da.offset < vlo || da.offset > vhi) return r;
+        if (n >= 2 && site.is_lane_elem(db.elem)) freedom = true;
+        continue;
+      }
+    }
+    if (is_elemish(da) && is_elemish(db) && da.elem != db.elem &&
+        da.uniform_key.empty() && db.uniform_key.empty()) {
+      std::int64_t alo, ahi, an, blo, bhi, bn;
+      if (range_of(da.elem, alo, ahi, an) && da.coeff != 0 &&
+          range_of(db.elem, blo, bhi, bn) && db.coeff != 0) {
+        std::int64_t valo = std::min(da.coeff * alo, da.coeff * ahi) + da.offset;
+        std::int64_t vahi = std::max(da.coeff * alo, da.coeff * ahi) + da.offset;
+        std::int64_t vblo = std::min(db.coeff * blo, db.coeff * bhi) + db.offset;
+        std::int64_t vbhi = std::max(db.coeff * blo, db.coeff * bhi) + db.offset;
+        if (vahi < vblo || vbhi < valo) return r;  // disjoint ranges
+        if ((an >= 2 && site.is_lane_elem(da.elem)) ||
+            (bn >= 2 && site.is_lane_elem(db.elem))) {
+          freedom = true;
+        }
+        // An ElemEq guard (i == j + c) on both arms can still separate
+        // the dimensions, but only equality of guarded elems is handled
+        // below through deltas; stay conservative here.
+        fuzzy = fuzzy || !(is_elemish(da) && is_elemish(db) &&
+                           !site.is_lane_elem(da.elem) &&
+                           !site.is_lane_elem(db.elem));
+        continue;
+      }
+    }
+
+    // Anything else: shapes we cannot relate.
+    fuzzy = true;
+    freedom = true;
+  }
+
+  // Check forced deltas against guards and ranges.
+  for (const auto& [elem, dd] : delta) {
+    const LaneElem* le = site.lane_of(elem);
+    std::int64_t lo, hi, n;
+    bool have_range = range_of(elem, lo, hi, n);
+    if (le != nullptr) {
+      lo = le->min_value;
+      hi = le->max_value;
+      n = le->size;
+      have_range = n > 0;
+    }
+    if (have_range && std::abs(dd) > hi - lo) return r;  // delta too large
+
+    // Congruence guards: lane of A satisfies ga's congruence, lane of B
+    // satisfies gb's; e_b = e_a + dd must be consistent.
+    const Congruence* ca = ga != nullptr ? ga->congruence_on(elem) : nullptr;
+    const Congruence* cb = gb != nullptr ? gb->congruence_on(elem) : nullptr;
+    if (ca != nullptr && cb != nullptr && ca->mod == cb->mod) {
+      if (floor_mod(ca->rem + dd, ca->mod) != floor_mod(cb->rem, cb->mod)) {
+        return r;  // guard congruences rule the collision out
+      }
+    }
+    // Pinned on both arms: the element is a single uniform value, so a
+    // nonzero delta is impossible.
+    bool pinned = ga != nullptr && gb != nullptr && ga->pins_elem(elem) &&
+                  gb->pins_elem(elem);
+    if (pinned && dd != 0) return r;
+    if (dd != 0 && le != nullptr && !pinned) freedom = true;
+  }
+
+  // Lane elements not mentioned (or pinned) anywhere: if such a dimension
+  // has at least two values, two distinct lanes reach the same location.
+  for (const auto& le : site.lanes) {
+    if (le.size < 2) continue;
+    if (delta.count(le.elem) != 0) continue;
+    bool constrained_a = true, constrained_b = true;
+    auto mentions = [&](const std::vector<DimView>& vs) {
+      for (const auto& v : vs) {
+        if (v.elem == le.elem && v.kind != DimKind::kUniform) return true;
+      }
+      return false;
+    };
+    constrained_a = mentions(va) || (ga != nullptr && ga->pins_elem(le.elem));
+    constrained_b = mentions(vb) || (gb != nullptr && gb->pins_elem(le.elem));
+    if (!constrained_a && !constrained_b) freedom = true;
+    if (!constrained_a || !constrained_b) {
+      // One side sweeps the dimension the other ignores.
+      freedom = true;
+    }
+  }
+
+  if (!freedom) return r;  // same lane touches it twice: not interference
+  r.cross_lane = true;
+  r.overlap = fuzzy ? Overlap::kPossible : Overlap::kDefinite;
+  return r;
+}
+
+class InterferencePass : public Pass {
+ public:
+  const char* name() const override { return "interference"; }
+
+  void run(PassContext& ctx) override {
+    for (const auto& site : ctx.model.sites) {
+      if (site.construct == nullptr) continue;  // reduce sites cannot race
+      // oneof commits exactly one lane; solve arbitrates writes by design.
+      if (site.op == lang::UcOp::kOneof || site.op == lang::UcOp::kSolve) {
+        continue;
+      }
+      if (site.lane_count() < 2) continue;
+      analyze_site(ctx, site);
+    }
+  }
+
+ private:
+  void analyze_site(PassContext& ctx, const ParSite& site) {
+    if (site.has_user_call) {
+      ctx.report.add(
+          "UC-A105", support::Severity::kNote, site.construct->range,
+          "call to a user function inside this parallel block limits "
+          "interference analysis (its accesses are not tracked)");
+    }
+
+    // Group accesses by base symbol, skipping per-lane locals and index
+    // elements (reads of `i` are lane-private by construction).
+    std::map<const Symbol*, std::vector<const SiteAccess*>> by_base;
+    for (const auto& sa : site.accesses) {
+      const Symbol* base = sa.access.base;
+      if (base == nullptr) continue;
+      if (site.per_lane.count(base) != 0) continue;
+      if (base->kind == lang::SymbolKind::kIndexElem) continue;
+      by_base[base].push_back(&sa);
+    }
+
+    for (const auto& [base, accs] : by_base) {
+      check_write_write(ctx, site, base, accs);
+      check_read_after_write(ctx, site, base, accs);
+      check_st_escape(ctx, site, base, accs);
+    }
+  }
+
+  void check_write_write(PassContext& ctx, const ParSite& site,
+                         const Symbol* base,
+                         const std::vector<const SiteAccess*>& accs) {
+    bool definite_reported = false;
+    bool possible_reported = false;
+    for (std::size_t i = 0; i < accs.size(); ++i) {
+      if (!accs[i]->access.is_write) continue;
+      for (std::size_t j = i; j < accs.size(); ++j) {
+        if (!accs[j]->access.is_write) continue;
+        // A single syntactic write conflicts with itself only across
+        // lanes; the solver handles i == j correctly (delta freedom).
+        PairResult pr = lane_overlap(site, *accs[i], *accs[j], ctx.model);
+        if (pr.overlap == Overlap::kNone || !pr.cross_lane) continue;
+        const auto& ra = accs[i]->access.site->range;
+        const auto& rb = accs[j]->access.site->range;
+        if (pr.overlap == Overlap::kDefinite && !definite_reported) {
+          definite_reported = true;
+          std::string msg =
+              "write-write conflict on '" + base->name +
+              "': two lanes of this par block store to the same "
+              "location (writes at line " +
+              std::to_string(ctx.line(ra.begin)) + " and line " +
+              std::to_string(ctx.line(rb.begin)) +
+              "); the stored value depends on lane scheduling";
+          ctx.report.add("UC-A101", support::Severity::kWarning, ra,
+                         std::move(msg));
+        } else if (pr.overlap == Overlap::kPossible && !possible_reported &&
+                   !definite_reported) {
+          possible_reported = true;
+          std::string msg =
+              "possible write-write conflict on '" + base->name +
+              "': writes at line " + std::to_string(ctx.line(ra.begin)) +
+              " and line " + std::to_string(ctx.line(rb.begin)) +
+              " may target the same location (subscripts or guards are "
+              "not statically decidable)";
+          ctx.report.add("UC-A102", support::Severity::kNote, ra,
+                         std::move(msg));
+        }
+      }
+      if (definite_reported) break;
+    }
+  }
+
+  void check_read_after_write(PassContext& ctx, const ParSite& site,
+                              const Symbol* base,
+                              const std::vector<const SiteAccess*>& accs) {
+    // Old-value semantics: reads inside a par block observe the values
+    // from *before* the block (copy-in).  Flag read/write pairs that can
+    // cross lanes so readers are not surprised.
+    for (const auto* rd : accs) {
+      if (!rd->access.is_read || rd->access.subscript == nullptr) continue;
+      for (const auto* wr : accs) {
+        if (!wr->access.is_write) continue;
+        if (rd == wr && rd->access.is_write) continue;  // swap/compound
+        PairResult pr = lane_overlap(site, *rd, *wr, ctx.model);
+        if (pr.overlap == Overlap::kNone) continue;
+        std::string msg =
+            "reads of '" + base->name +
+            "' in this par block observe its pre-block (copy-in) values; "
+            "the write at line " +
+            std::to_string(ctx.line(wr->access.site->range.begin)) +
+            " becomes visible only after the block completes";
+        ctx.report.add("UC-A103", support::Severity::kNote,
+                       rd->access.site->range, std::move(msg));
+        return;  // one note per (site, base)
+      }
+    }
+  }
+
+  void check_st_escape(PassContext& ctx, const ParSite& site,
+                       const Symbol* base,
+                       const std::vector<const SiteAccess*>& accs) {
+    // A write like `st (i % 2 == 0) a[i+1] = ...` stores to elements the
+    // predicate did not select.  Legal UC (the paper's odd-even sort
+    // relies on it) but worth a note: the "selected subset" intuition
+    // does not bound the write set.
+    for (const auto* sa : accs) {
+      if (!sa->access.is_write || sa->access.subscript == nullptr) continue;
+      if (sa->guard_index < 0) continue;
+      const Guard& g = site.guards[static_cast<std::size_t>(sa->guard_index)];
+      if (g.is_others || !g.has_index_constraints()) continue;
+      auto views =
+          subscript_views(site, *sa, ctx.model, /*apply_placement=*/false);
+      for (const auto& v : views) {
+        bool escapes = false;
+        if (v.kind == DimKind::kOffset && v.uniform_key.empty()) {
+          const Congruence* c = g.congruence_on(v.elem);
+          if (c != nullptr && floor_mod(v.offset, c->mod) != 0) {
+            escapes = true;  // offset moves to the other residue class
+          }
+          if (g.pins_elem(v.elem)) escapes = true;
+        }
+        if (escapes) {
+          std::string msg =
+              "write to '" + base->name +
+              "' stores outside the subset selected by the st predicate "
+              "(subscript offsets the selected index)";
+          ctx.report.add("UC-A104", support::Severity::kNote,
+                         sa->access.site->range, std::move(msg));
+          return;  // one note per (site, base)
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_interference_pass() {
+  return std::make_unique<InterferencePass>();
+}
+
+}  // namespace uc::analysis

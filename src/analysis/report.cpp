@@ -1,0 +1,102 @@
+#include "analysis/report.hpp"
+
+#include <sstream>
+
+namespace uc::analysis {
+
+const char* comm_class_name(CommClass c) {
+  switch (c) {
+    case CommClass::kLocal:
+      return "local";
+    case CommClass::kNews:
+      return "news";
+    case CommClass::kScan:
+      return "scan";
+    case CommClass::kRouter:
+      return "router";
+  }
+  return "unknown";
+}
+
+std::size_t FunctionComm::count(CommClass c) const {
+  std::size_t n = 0;
+  for (const auto& a : accesses) {
+    if (a.cls == c) ++n;
+  }
+  return n;
+}
+
+std::uint64_t FunctionComm::est_cycles() const {
+  std::uint64_t total = 0;
+  for (const auto& a : accesses) total += a.est_cycles;
+  return total;
+}
+
+std::size_t Report::error_count() const {
+  std::size_t n = 0;
+  for (const auto& f : findings) {
+    if (f.severity == support::Severity::kError) ++n;
+  }
+  return n;
+}
+
+std::size_t Report::warning_count() const {
+  std::size_t n = 0;
+  for (const auto& f : findings) {
+    if (f.severity == support::Severity::kWarning) ++n;
+  }
+  return n;
+}
+
+std::size_t Report::note_count() const {
+  std::size_t n = 0;
+  for (const auto& f : findings) {
+    if (f.severity == support::Severity::kNote) ++n;
+  }
+  return n;
+}
+
+void Report::add(const char* code, support::Severity severity,
+                 support::SourceRange range, std::string message) {
+  findings.push_back(Finding{code, severity, range, std::move(message)});
+}
+
+std::string Report::render(const support::SourceFile* file,
+                           const RenderOptions& opts) const {
+  support::DiagnosticEngine engine(file);
+  for (const auto& f : findings) {
+    if (!opts.include_notes && f.severity == support::Severity::kNote) {
+      continue;
+    }
+    engine.report(f.severity, f.range,
+                  "[" + std::string(f.code) + "] " + f.message);
+  }
+  std::string out = engine.render_all();
+
+  if (opts.include_summary && !functions.empty()) {
+    std::ostringstream os;
+    os << "communication summary:\n";
+    for (const auto& fn : functions) {
+      os << "  " << fn.function << "():"
+         << " local=" << fn.count(CommClass::kLocal)
+         << " news=" << fn.count(CommClass::kNews)
+         << " scan=" << fn.count(CommClass::kScan)
+         << " router=" << fn.count(CommClass::kRouter)
+         << "  est_cycles=" << fn.est_cycles() << '\n';
+      for (const auto& a : fn.accesses) {
+        os << "    ";
+        if (file != nullptr) {
+          os << "line " << file->line_col(a.range.begin).line << ": ";
+        }
+        os << (a.is_write ? "write " : "read ") << a.array << " -> "
+           << comm_class_name(a.cls);
+        if (!a.detail.empty()) os << " (" << a.detail << ")";
+        os << " [" << a.lanes << " lanes, ~" << a.est_cycles << " cycles]\n";
+      }
+    }
+    out += os.str();
+  }
+  return out;
+}
+
+}  // namespace uc::analysis

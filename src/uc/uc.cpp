@@ -1,5 +1,6 @@
 #include "uc/uc.hpp"
 
+#include "analysis/pass.hpp"
 #include "codegen/cstar_emit.hpp"
 #include "codegen/pretty.hpp"
 #include "support/error.hpp"
@@ -47,6 +48,31 @@ Program Program::compile(std::string name, std::string source,
 std::string Program::check(std::string name, std::string source) {
   auto unit = lang::compile(std::move(name), std::move(source));
   return unit->ok() ? std::string() : unit->diags.render_all();
+}
+
+AnalyzeResult analyze(std::string name, std::string source,
+                      const AnalyzeOptions& options) {
+  AnalyzeResult result;
+  auto unit = lang::compile(std::move(name), std::move(source));
+  if (!unit->ok()) {
+    result.text = unit->diags.render_all();
+    result.errors = unit->diags.error_count();
+    return result;
+  }
+  result.compiled = true;
+
+  analysis::AnalysisOptions opts;
+  opts.cost = options.machine.cost;
+  analysis::Report report = analysis::run_default_analysis(*unit, opts);
+
+  analysis::RenderOptions render;
+  render.include_notes = options.include_notes;
+  render.include_summary = options.include_summary;
+  result.text = report.render(unit->file.get(), render);
+  result.errors = report.error_count();
+  result.warnings = report.warning_count();
+  result.notes = report.note_count();
+  return result;
 }
 
 vm::RunResult Program::run(cm::MachineOptions machine_options,

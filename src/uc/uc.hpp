@@ -37,6 +37,29 @@ struct CompileOptions {
   bool rewrite_permutes = false;
 };
 
+// Options for the static-analysis passes (`ucc analyze`, docs/ANALYSIS.md).
+struct AnalyzeOptions {
+  bool include_notes = true;    // UC-Axxx notes in the rendered text
+  bool include_summary = true;  // per-function communication summary
+  cm::MachineOptions machine;   // cost model for the comm estimates
+};
+
+// Result of running the analysis passes over one source file.
+struct AnalyzeResult {
+  bool compiled = false;  // front end succeeded; analysis ran
+  std::string text;       // rendered findings (+ summary), or front-end diags
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t notes = 0;
+};
+
+// Compiles (front end only, no transforms) and runs the analysis passes:
+// par-block interference detection and communication classification.
+// When the front end fails, `compiled` is false and `text`/`errors` carry
+// the front-end diagnostics instead.
+AnalyzeResult analyze(std::string name, std::string source,
+                      const AnalyzeOptions& options = {});
+
 class Program {
  public:
   // Throws support::UcCompileError (message = rendered diagnostics) when

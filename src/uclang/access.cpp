@@ -1,0 +1,191 @@
+#include "uclang/access.hpp"
+
+#include "uclang/symbols.hpp"
+
+namespace uc::lang {
+
+namespace {
+
+enum class Mode { kRead, kWrite, kReadWrite };
+
+bool is_variable(const Symbol* sym) {
+  if (sym == nullptr) return false;
+  switch (sym->kind) {
+    case SymbolKind::kGlobalVar:
+    case SymbolKind::kLocalVar:
+    case SymbolKind::kParam:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct Walker {
+  AccessSet& out;
+  const ReduceExpr* reduce = nullptr;
+
+  void record(const Expr& site, const Symbol* base,
+              const SubscriptExpr* subscript, Mode mode) {
+    if (!is_variable(base)) return;
+    Access a;
+    a.site = &site;
+    a.base = base;
+    a.subscript = subscript;
+    a.is_read = mode != Mode::kWrite;
+    a.is_write = mode != Mode::kRead;
+    a.reduce = reduce;
+    out.accesses.push_back(a);
+  }
+
+  void expr(const Expr& e, Mode mode) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+      case ExprKind::kFloatLit:
+      case ExprKind::kStringLit:
+        return;
+      case ExprKind::kIdent: {
+        const auto& id = static_cast<const IdentExpr&>(e);
+        record(e, id.symbol, nullptr, mode);
+        return;
+      }
+      case ExprKind::kSubscript: {
+        const auto& s = static_cast<const SubscriptExpr&>(e);
+        const Symbol* base = nullptr;
+        if (s.base->kind == ExprKind::kIdent) {
+          base = static_cast<const IdentExpr&>(*s.base).symbol;
+        }
+        record(e, base, &s, mode);
+        for (const auto& idx : s.indices) expr(*idx, Mode::kRead);
+        return;
+      }
+      case ExprKind::kCall: {
+        const auto& c = static_cast<const CallExpr&>(e);
+        bool is_swap =
+            c.symbol != nullptr && c.symbol->kind == SymbolKind::kBuiltin &&
+            c.symbol->builtin_id ==
+                static_cast<std::int32_t>(BuiltinId::kSwap);
+        bool is_builtin =
+            c.symbol != nullptr && c.symbol->kind == SymbolKind::kBuiltin;
+        if (!is_builtin) out.has_user_call = true;
+        for (const auto& a : c.args) {
+          expr(*a, is_swap ? Mode::kReadWrite : Mode::kRead);
+        }
+        return;
+      }
+      case ExprKind::kUnary:
+        expr(*static_cast<const UnaryExpr&>(e).operand, Mode::kRead);
+        return;
+      case ExprKind::kBinary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        expr(*b.lhs, Mode::kRead);
+        expr(*b.rhs, Mode::kRead);
+        return;
+      }
+      case ExprKind::kAssign: {
+        const auto& a = static_cast<const AssignExpr&>(e);
+        expr(*a.lhs,
+             a.op == AssignOp::kAssign ? Mode::kWrite : Mode::kReadWrite);
+        expr(*a.rhs, Mode::kRead);
+        return;
+      }
+      case ExprKind::kTernary: {
+        const auto& t = static_cast<const TernaryExpr&>(e);
+        expr(*t.cond, Mode::kRead);
+        expr(*t.then_expr, Mode::kRead);
+        expr(*t.else_expr, Mode::kRead);
+        return;
+      }
+      case ExprKind::kReduce: {
+        const auto& r = static_cast<const ReduceExpr&>(e);
+        const ReduceExpr* saved = reduce;
+        reduce = &r;
+        for (const auto& arm : r.arms) {
+          if (arm.pred) expr(*arm.pred, Mode::kRead);
+          expr(*arm.value, Mode::kRead);
+        }
+        if (r.others) expr(*r.others, Mode::kRead);
+        reduce = saved;
+        return;
+      }
+      case ExprKind::kIncDec:
+        expr(*static_cast<const IncDecExpr&>(e).operand, Mode::kReadWrite);
+        return;
+    }
+  }
+
+  void stmt(const Stmt& s, bool enter_constructs) {
+    switch (s.kind) {
+      case StmtKind::kExpr:
+        expr(*static_cast<const ExprStmt&>(s).expr, Mode::kRead);
+        return;
+      case StmtKind::kCompound:
+        for (const auto& child : static_cast<const CompoundStmt&>(s).body) {
+          stmt(*child, enter_constructs);
+        }
+        return;
+      case StmtKind::kIf: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        expr(*i.cond, Mode::kRead);
+        stmt(*i.then_stmt, enter_constructs);
+        if (i.else_stmt) stmt(*i.else_stmt, enter_constructs);
+        return;
+      }
+      case StmtKind::kWhile: {
+        const auto& w = static_cast<const WhileStmt&>(s);
+        expr(*w.cond, Mode::kRead);
+        stmt(*w.body, enter_constructs);
+        return;
+      }
+      case StmtKind::kFor: {
+        const auto& f = static_cast<const ForStmt&>(s);
+        if (f.init) stmt(*f.init, enter_constructs);
+        if (f.cond) expr(*f.cond, Mode::kRead);
+        if (f.step) expr(*f.step, Mode::kRead);
+        stmt(*f.body, enter_constructs);
+        return;
+      }
+      case StmtKind::kReturn: {
+        const auto& r = static_cast<const ReturnStmt&>(s);
+        if (r.value) expr(*r.value, Mode::kRead);
+        return;
+      }
+      case StmtKind::kVarDecl: {
+        const auto& d = static_cast<const VarDeclStmt&>(s);
+        for (const auto& dec : d.declarators) {
+          if (dec.init) expr(*dec.init, Mode::kRead);
+        }
+        return;
+      }
+      case StmtKind::kUcConstruct: {
+        if (!enter_constructs) return;
+        const auto& u = static_cast<const UcConstructStmt&>(s);
+        for (const auto& block : u.blocks) {
+          if (block.pred) expr(*block.pred, Mode::kRead);
+          stmt(*block.body, enter_constructs);
+        }
+        if (u.others) stmt(*u.others, enter_constructs);
+        return;
+      }
+      case StmtKind::kIndexSetDecl:
+      case StmtKind::kMapSection:
+      case StmtKind::kBreak:
+      case StmtKind::kContinue:
+      case StmtKind::kEmpty:
+        return;
+    }
+  }
+};
+
+}  // namespace
+
+void collect_accesses(const Expr& e, AccessSet& out) {
+  Walker w{out};
+  w.expr(e, Mode::kRead);
+}
+
+void collect_accesses(const Stmt& s, AccessSet& out, bool enter_constructs) {
+  Walker w{out};
+  w.stmt(s, enter_constructs);
+}
+
+}  // namespace uc::lang

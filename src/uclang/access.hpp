@@ -1,0 +1,48 @@
+// Read/write-set extraction over a sema'd AST.
+//
+// Walks expressions and statements collecting every variable and array
+// access together with its direction (read, write, or both).  Assignment
+// left-hand sides, ++/-- operands and the lvalue arguments of the swap
+// builtin count as writes; compound assignments and swap count as
+// read+write.  Subscript index expressions are always reads.
+//
+// The walker reports the reduce expression an access sits inside (if any)
+// so clients can treat reduce-bound index elements specially, and does
+// NOT descend into nested UC constructs when asked to stay shallow — the
+// analysis passes visit each construct on its own.
+#pragma once
+
+#include <vector>
+
+#include "uclang/ast.hpp"
+
+namespace uc::lang {
+
+struct Access {
+  const Expr* site = nullptr;       // the IdentExpr or SubscriptExpr
+  const Symbol* base = nullptr;     // resolved variable / array symbol
+  const SubscriptExpr* subscript = nullptr;  // null for scalar accesses
+  bool is_read = false;
+  bool is_write = false;
+  // Innermost reduce expression enclosing the access, when any.
+  const ReduceExpr* reduce = nullptr;
+};
+
+// True when the statement (or an expression inside it) contains a call to
+// a user-defined (non-builtin) function — such calls make read/write sets
+// incomplete, so analyses must degrade gracefully.
+struct AccessSet {
+  std::vector<Access> accesses;
+  bool has_user_call = false;
+};
+
+// Collects accesses from an expression tree.
+void collect_accesses(const Expr& e, AccessSet& out);
+
+// Collects accesses from a statement tree.  When `enter_constructs` is
+// false the walk stops at nested UcConstructStmt nodes (their predicates
+// and bodies are skipped).
+void collect_accesses(const Stmt& s, AccessSet& out,
+                      bool enter_constructs = true);
+
+}  // namespace uc::lang

@@ -4,45 +4,13 @@
 #include <unordered_map>
 
 #include "uclang/symbols.hpp"
+#include "xform/affine.hpp"
 
 namespace uc::xform {
 
 using namespace lang;
 
 namespace {
-
-// Matches `elem`, `elem + c`, `elem - c`, `c + elem`; returns the offset c.
-std::optional<std::int64_t> affine_offset(const Expr& e, const Symbol* elem) {
-  if (e.kind == ExprKind::kIdent) {
-    return static_cast<const IdentExpr&>(e).symbol == elem
-               ? std::optional<std::int64_t>(0)
-               : std::nullopt;
-  }
-  if (e.kind != ExprKind::kBinary) return std::nullopt;
-  const auto& b = static_cast<const BinaryExpr&>(e);
-  auto ident_is_elem = [&](const Expr& x) {
-    return x.kind == ExprKind::kIdent &&
-           static_cast<const IdentExpr&>(x).symbol == elem;
-  };
-  auto int_of = [&](const Expr& x) -> std::optional<std::int64_t> {
-    if (x.kind == ExprKind::kIntLit) {
-      return static_cast<const IntLitExpr&>(x).value;
-    }
-    return std::nullopt;
-  };
-  if (b.op == BinaryOp::kAdd) {
-    if (ident_is_elem(*b.lhs)) {
-      if (auto c = int_of(*b.rhs)) return *c;
-    }
-    if (ident_is_elem(*b.rhs)) {
-      if (auto c = int_of(*b.lhs)) return *c;
-    }
-  }
-  if (b.op == BinaryOp::kSub && ident_is_elem(*b.lhs)) {
-    if (auto c = int_of(*b.rhs)) return -*c;
-  }
-  return std::nullopt;
-}
 
 struct Rewriter {
   MapRewrite result;

@@ -65,6 +65,84 @@ TEST(UccCli, CheckReportsDiagnosticsAndFails) {
   std::remove(path.c_str());
 }
 
+TEST(UccCli, AnalyzeCleanProgramSummarizes) {
+  auto r = run_command(ucc() + " analyze " + program("shortest_path.uc"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("communication summary:"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("0 warnings"), std::string::npos) << r.output;
+}
+
+TEST(UccCli, AnalyzeReportsWriteWriteConflict) {
+  const std::string path = "/tmp/ucc_cli_racy.uc";
+  {
+    std::ofstream out(path);
+    out << "const int N = 8;\n"
+           "index_set I:i = {0..N-1};\n"
+           "int a[N];\n"
+           "void main() {\n"
+           "  par (I) { a[i] = 1; a[i+1] = 2; }\n"
+           "}\n";
+  }
+  auto r = run_command(ucc() + " analyze " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;  // warnings do not fail the exit
+  EXPECT_NE(r.output.find("UC-A101"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("write-write conflict"), std::string::npos)
+      << r.output;
+
+  auto w = run_command(ucc() + " analyze " + path + " --werror");
+  EXPECT_EQ(w.exit_code, 1) << w.output;
+  std::remove(path.c_str());
+}
+
+TEST(UccCli, AnalyzeClassifiesNewsAndRouter) {
+  const std::string path = "/tmp/ucc_cli_comm.uc";
+  {
+    std::ofstream out(path);
+    out << "const int N = 8;\n"
+           "index_set I:i = {0..N-1};\n"
+           "int a[N], b[N], c[N], p[N];\n"
+           "void main() {\n"
+           "  par (I) b[i] = a[i+1];\n"
+           "  par (I) c[i] = a[p[i]];\n"
+           "}\n";
+  }
+  auto r = run_command(ucc() + " analyze " + path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("-> news"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("-> router"), std::string::npos) << r.output;
+  std::remove(path.c_str());
+}
+
+TEST(UccCli, AnalyzeFailsOnFrontEndErrors) {
+  const std::string path = "/tmp/ucc_cli_analyze_bad.uc";
+  {
+    std::ofstream out(path);
+    out << "void main() { undeclared = 1; }\n";
+  }
+  auto r = run_command(ucc() + " analyze " + path);
+  EXPECT_EQ(r.exit_code, 1);
+  std::remove(path.c_str());
+}
+
+TEST(UccCli, CheckStillOkOnProgramWithAnalysisNotes) {
+  // ranksort triggers analysis notes; check must stay quiet and green.
+  auto r = run_command(ucc() + " check " + program("ranksort.uc"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find(": ok"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("UC-A1"), std::string::npos) << r.output;
+}
+
+TEST(UccCli, UsageListsAllSubcommands) {
+  auto r = run_command(ucc());
+  EXPECT_EQ(r.exit_code, 2);
+  for (const char* cmd : {"run", "check", "analyze", "emit-cstar",
+                          "emit-uc"}) {
+    EXPECT_NE(r.output.find(cmd), std::string::npos) << cmd << "\n"
+                                                     << r.output;
+  }
+}
+
 TEST(UccCli, EmitCstarProducesDomains) {
   auto r = run_command(ucc() + " emit-cstar " + program("shortest_path.uc"));
   EXPECT_EQ(r.exit_code, 0);

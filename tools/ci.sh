@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verification, plain and under ASan/UBSan.
+#
+#   tools/ci.sh          both configurations
+#   tools/ci.sh plain    plain RelWithDebInfo build + ctest only
+#   tools/ci.sh asan     sanitized build + ctest only
+#
+# Build trees go to build/ (plain) and build-asan/ (sanitized) under the
+# repository root.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+mode="${1:-all}"
+
+run_suite() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S "$root" "$@"
+  cmake --build "$dir" -j
+  ctest --test-dir "$dir" --output-on-failure -j
+}
+
+case "$mode" in
+  plain) run_suite "$root/build" ;;
+  asan)  run_suite "$root/build-asan" -DUC_SANITIZE="address;undefined" ;;
+  all)
+    run_suite "$root/build"
+    run_suite "$root/build-asan" -DUC_SANITIZE="address;undefined"
+    ;;
+  *)
+    echo "usage: tools/ci.sh [plain|asan|all]" >&2
+    exit 2
+    ;;
+esac

@@ -1,7 +1,9 @@
 // ucc — the UC compiler/runner command-line driver.
 //
 //   ucc run program.uc            compile and execute on a simulated CM-2
-//   ucc check program.uc          report diagnostics only
+//   ucc check program.uc          report diagnostics (+ analysis warnings)
+//   ucc analyze program.uc        static analysis: interference + comm
+//                                 classification (docs/ANALYSIS.md)
 //   ucc emit-cstar program.uc     print the C* translation (paper §5)
 //   ucc emit-uc program.uc        print the canonical UC rendering
 //
@@ -16,6 +18,9 @@
 //   --lower-solve           lower solve to *par at the source level
 //   --rewrite-permutes      apply affine permutes as subscript rewrites
 //   --fold / --no-fold      constant folding (default on)
+//   --no-notes              analyze: drop UC-Axxx notes, keep warnings
+//   --no-summary            analyze: drop the communication summary
+//   --werror                analyze: nonzero exit on any warning
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,10 +34,32 @@
 namespace {
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: ucc <run|check|emit-cstar|emit-uc> <file.uc> "
-               "[options]\n"
-               "see the header of tools/ucc.cpp for the option list\n");
+  std::fprintf(
+      stderr,
+      "usage: ucc <command> <file.uc> [options]\n"
+      "\n"
+      "commands:\n"
+      "  run         compile and execute on a simulated CM-2\n"
+      "  check       report diagnostics (plus analysis warnings)\n"
+      "  analyze     static analysis: par-block interference and\n"
+      "              communication-pattern classification\n"
+      "  emit-cstar  print the C* translation\n"
+      "  emit-uc     print the canonical UC rendering\n"
+      "\n"
+      "options:\n"
+      "  --stats               print machine statistics after a run\n"
+      "  --trace               print the Paris-style instruction trace\n"
+      "  --seed=<n>            machine RNG seed (default 1)\n"
+      "  --procs=<n>           physical processors (default 16384)\n"
+      "  --threads=<n>         host threads for the runtime\n"
+      "  --no-mappings         ignore map sections\n"
+      "  --no-procopt          disable the processor optimisation\n"
+      "  --lower-solve         lower solve to *par at the source level\n"
+      "  --rewrite-permutes    apply affine permutes as subscript rewrites\n"
+      "  --fold / --no-fold    constant folding (default on)\n"
+      "  --no-notes            analyze: drop UC-Axxx notes\n"
+      "  --no-summary          analyze: drop the communication summary\n"
+      "  --werror              analyze: nonzero exit on any warning\n");
   return 2;
 }
 
@@ -50,9 +77,11 @@ struct Options {
   std::string file;
   bool stats = false;
   bool trace = false;
+  bool werror = false;
   uc::cm::MachineOptions machine;
   uc::vm::ExecOptions exec;
   uc::CompileOptions compile;
+  uc::AnalyzeOptions analyze;
 };
 
 bool parse_args(int argc, char** argv, Options& opts) {
@@ -90,6 +119,12 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.compile.fold_constants = true;
     } else if (arg == "--no-fold") {
       opts.compile.fold_constants = false;
+    } else if (arg == "--no-notes") {
+      opts.analyze.include_notes = false;
+    } else if (arg == "--no-summary") {
+      opts.analyze.include_summary = false;
+    } else if (arg == "--werror") {
+      opts.werror = true;
     } else {
       std::fprintf(stderr, "ucc: unknown option '%s'\n", arg.c_str());
       return false;
@@ -112,12 +147,35 @@ int main(int argc, char** argv) {
 
   if (opts.command == "check") {
     auto diags = uc::Program::check(opts.file, source);
-    if (diags.empty()) {
-      std::printf("%s: ok\n", opts.file.c_str());
-      return 0;
+    if (!diags.empty()) {
+      std::fputs(diags.c_str(), stderr);
+      return 1;
     }
-    std::fputs(diags.c_str(), stderr);
-    return 1;
+    // Surface analysis warnings (not notes) without failing the check.
+    uc::AnalyzeOptions aopts = opts.analyze;
+    aopts.include_notes = false;
+    aopts.include_summary = false;
+    aopts.machine = opts.machine;
+    auto analysis = uc::analyze(opts.file, source, aopts);
+    if (analysis.warnings > 0) std::fputs(analysis.text.c_str(), stderr);
+    std::printf("%s: ok\n", opts.file.c_str());
+    return 0;
+  }
+
+  if (opts.command == "analyze") {
+    uc::AnalyzeOptions aopts = opts.analyze;
+    aopts.machine = opts.machine;
+    auto analysis = uc::analyze(opts.file, std::move(source), aopts);
+    if (!analysis.compiled) {
+      std::fputs(analysis.text.c_str(), stderr);
+      return 1;
+    }
+    std::fputs(analysis.text.c_str(), stdout);
+    std::printf("%zu errors, %zu warnings, %zu notes\n", analysis.errors,
+                analysis.warnings, analysis.notes);
+    if (analysis.errors > 0) return 1;
+    if (opts.werror && analysis.warnings > 0) return 1;
+    return 0;
   }
 
   try {
