@@ -1,0 +1,131 @@
+// VM engine comparison: tree-walk vs bytecode lane kernels on the paper
+// workloads (Figs 6-8).  Each program runs a few times per engine on
+// fresh simulated machines (best-of-N wall clock, to shrug off scheduler
+// noise); we report host wall-clock and modeled cycles and fail (nonzero
+// exit) if the engines disagree on output or cycles in any repetition.
+//
+//   vm_engine [--smoke] [--json=PATH]
+//
+// --smoke shrinks the problem sizes (for CI); --json writes the rows as a
+// JSON array (tools/bench.sh uses this to produce BENCH_vm.json).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "uc/paper_programs.hpp"
+#include "uc/uc.hpp"
+
+namespace {
+
+struct Row {
+  std::string program;
+  std::string engine;
+  double host_ms = 0.0;
+  std::uint64_t cycles = 0;
+  std::string output;
+};
+
+Row run_one(const std::string& name, const std::string& source,
+            uc::vm::ExecEngine engine, int reps) {
+  auto program = uc::Program::compile(name + ".uc", source);
+  Row row;
+  row.program = name;
+  row.engine = engine == uc::vm::ExecEngine::kWalk ? "walk" : "bytecode";
+  for (int r = 0; r < reps; ++r) {
+    uc::cm::Machine machine;
+    uc::vm::ExecOptions eopts;
+    eopts.engine = engine;
+    uc::bench::WallTimer timer;
+    auto result = program.run_on(machine, eopts);
+    const double ms = timer.elapsed_ms();
+    if (r == 0 || ms < row.host_ms) row.host_ms = ms;
+    row.cycles = result.stats().cycles;
+    row.output = result.output();
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strncmp(argv[k], "--json=", 7) == 0) {
+      json_path = argv[k] + 7;
+    } else {
+      std::fprintf(stderr, "vm_engine: unknown option '%s'\n", argv[k]);
+      return 2;
+    }
+  }
+
+  struct Workload {
+    std::string name;
+    std::string source;
+  };
+  const std::int64_t fig6_n = smoke ? 8 : 32;
+  const std::int64_t fig7_n = smoke ? 8 : 24;
+  const std::int64_t fig8_n = smoke ? 8 : 24;
+  const std::vector<Workload> workloads = {
+      {"fig6_shortest_path_on2", uc::papers::shortest_path_on2(fig6_n)},
+      {"fig7_shortest_path_on3", uc::papers::shortest_path_on3(fig7_n)},
+      {"fig8_grid_obstacle", uc::papers::grid_shortest_path(fig8_n, fig8_n)},
+  };
+
+  uc::bench::header("VM engines: tree walk vs bytecode lane kernels",
+                    "program                    engine     host(ms)   "
+                    "modeled cycles   speedup  agree");
+
+  const int reps = smoke ? 1 : 3;
+  std::vector<Row> rows;
+  bool all_agree = true;
+  for (const auto& w : workloads) {
+    Row walk = run_one(w.name, w.source, uc::vm::ExecEngine::kWalk, reps);
+    Row byte = run_one(w.name, w.source, uc::vm::ExecEngine::kBytecode, reps);
+    const bool agree =
+        walk.output == byte.output && walk.cycles == byte.cycles;
+    all_agree = all_agree && agree;
+    const double speedup = byte.host_ms > 0 ? walk.host_ms / byte.host_ms : 0;
+    std::printf("%-26s %-9s %10.2f %16llu %9s  %s\n", w.name.c_str(), "walk",
+                walk.host_ms, static_cast<unsigned long long>(walk.cycles),
+                "", "");
+    std::printf("%-26s %-9s %10.2f %16llu %8.2fx  %s\n", w.name.c_str(),
+                "bytecode", byte.host_ms,
+                static_cast<unsigned long long>(byte.cycles), speedup,
+                agree ? "yes" : "NO!");
+    rows.push_back(walk);
+    rows.push_back(byte);
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "vm_engine: cannot write '%s'\n",
+                   json_path.c_str());
+      return 2;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(f,
+                   "  {\"program\": \"%s\", \"engine\": \"%s\", "
+                   "\"host_ms\": %.3f, \"cycles\": %llu}%s\n",
+                   rows[i].program.c_str(), rows[i].engine.c_str(),
+                   rows[i].host_ms,
+                   static_cast<unsigned long long>(rows[i].cycles),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+  }
+
+  if (!all_agree) {
+    std::fprintf(stderr,
+                 "vm_engine: engines disagree on output or modeled cycles\n");
+    return 1;
+  }
+  return 0;
+}

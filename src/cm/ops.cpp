@@ -47,15 +47,21 @@ void news_shift(Machine& m, const ContextStack& ctx, Field& dst,
                 static_cast<std::uint64_t>(delta < 0 ? -delta : delta));
   const auto& mask = ctx.current();
   const auto& src_raw = src.raw();
-  // Copy source first: dst may alias src (in-place shifts are legal).
-  std::vector<Bits> snapshot(src_raw.begin(), src_raw.end());
+  // Snapshot only when dst aliases src (in-place shifts are legal); the
+  // common distinct-field case reads the source directly.
+  std::vector<Bits> snapshot;
+  const Bits* in = src_raw.data();
+  if (&dst == &src) {
+    snapshot.assign(src_raw.begin(), src_raw.end());
+    in = snapshot.data();
+  }
   auto& out = dst.raw();
   m.pool().parallel_for(0, geom.size(), [&](std::int64_t b, std::int64_t e) {
     for (std::int64_t vp = b; vp < e; ++vp) {
       if (mask[static_cast<std::size_t>(vp)] == 0) continue;
       auto nb = geom.neighbor(vp, axis, delta);
       if (nb) out[static_cast<std::size_t>(vp)] =
-          snapshot[static_cast<std::size_t>(*nb)];
+          in[static_cast<std::size_t>(*nb)];
     }
   });
 }
@@ -69,7 +75,14 @@ void router_get(Machine& m, const ContextStack& ctx, Field& dst,
   }
   const auto& mask = ctx.current();
   const auto& src_raw = src.raw();
-  std::vector<Bits> snapshot(src_raw.begin(), src_raw.end());
+  // Snapshot only when dst aliases src; a get from a distinct field can
+  // read the source in place.
+  std::vector<Bits> snapshot;
+  const Bits* in = src_raw.data();
+  if (&dst == &src) {
+    snapshot.assign(src_raw.begin(), src_raw.end());
+    in = snapshot.data();
+  }
   auto& out = dst.raw();
   std::int64_t messages = 0;
   // Count messages serially first (cheap), then fetch in parallel.
@@ -85,7 +98,7 @@ void router_get(Machine& m, const ContextStack& ctx, Field& dst,
       if (*a < 0 || *a >= src.size()) {
         throw support::UcRuntimeError("router_get: address out of range");
       }
-      out[static_cast<std::size_t>(vp)] = snapshot[static_cast<std::size_t>(*a)];
+      out[static_cast<std::size_t>(vp)] = in[static_cast<std::size_t>(*a)];
     }
   });
 }

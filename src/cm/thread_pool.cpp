@@ -8,9 +8,10 @@ ThreadPool::ThreadPool(unsigned thread_count) {
   if (thread_count == 0) {
     thread_count = std::max(1u, std::thread::hardware_concurrency());
   }
-  // The calling thread participates in parallel_for, so spawn one fewer.
+  // The calling thread participates in parallel_for (as worker 0), so
+  // spawn one fewer; pool workers take ids 1..thread_count-1.
   for (unsigned i = 1; i < thread_count; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -27,10 +28,20 @@ void ThreadPool::parallel_for(
     std::int64_t begin, std::int64_t end,
     const std::function<void(std::int64_t, std::int64_t)>& fn,
     std::int64_t min_grain) {
+  parallel_for_indexed(
+      begin, end,
+      [&fn](unsigned, std::int64_t b, std::int64_t e) { fn(b, e); },
+      min_grain);
+}
+
+void ThreadPool::parallel_for_indexed(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(unsigned, std::int64_t, std::int64_t)>& fn,
+    std::int64_t min_grain) {
   if (begin >= end) return;
   const std::int64_t n = end - begin;
   if (workers_.empty() || n <= min_grain) {
-    fn(begin, end);
+    fn(0, begin, end);
     return;
   }
   // Aim for a few chunks per worker so stragglers re-balance.
@@ -49,7 +60,7 @@ void ThreadPool::parallel_for(
   work_cv_.notify_all();
 
   lock.lock();
-  run_chunks(lock);
+  run_chunks(lock, /*worker_id=*/0);
   done_cv_.wait(lock, [this] {
     return job_.next >= job_.end && job_.outstanding == 0;
   });
@@ -59,7 +70,8 @@ void ThreadPool::parallel_for(
   if (error) std::rethrow_exception(error);
 }
 
-void ThreadPool::run_chunks(std::unique_lock<std::mutex>& lock) {
+void ThreadPool::run_chunks(std::unique_lock<std::mutex>& lock,
+                            unsigned worker_id) {
   while (job_.fn != nullptr && job_.next < job_.end) {
     const std::int64_t chunk_begin = job_.next;
     const std::int64_t chunk_end =
@@ -70,7 +82,7 @@ void ThreadPool::run_chunks(std::unique_lock<std::mutex>& lock) {
     lock.unlock();
     std::exception_ptr error;
     try {
-      (*fn)(chunk_begin, chunk_end);
+      (*fn)(worker_id, chunk_begin, chunk_end);
     } catch (...) {
       error = std::current_exception();
     }
@@ -83,7 +95,7 @@ void ThreadPool::run_chunks(std::unique_lock<std::mutex>& lock) {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(unsigned worker_id) {
   std::unique_lock<std::mutex> lock(mu_);
   std::uint64_t seen_epoch = 0;
   for (;;) {
@@ -93,7 +105,7 @@ void ThreadPool::worker_loop() {
     });
     if (quit_) return;
     seen_epoch = job_.epoch;
-    run_chunks(lock);
+    run_chunks(lock, worker_id);
   }
 }
 

@@ -42,9 +42,19 @@ class ThreadPool {
                     const std::function<void(std::int64_t, std::int64_t)>& fn,
                     std::int64_t min_grain = 1024);
 
+  // Like parallel_for, but fn also receives a stable worker id in
+  // [0, thread_count()): 0 is the calling thread, 1.. are pool workers.  At
+  // most one chunk runs per worker id at a time, so callers can index
+  // per-worker scratch state (arenas) without synchronisation.
+  void parallel_for_indexed(
+      std::int64_t begin, std::int64_t end,
+      const std::function<void(unsigned, std::int64_t, std::int64_t)>& fn,
+      std::int64_t min_grain = 1024);
+
  private:
   struct Job {
-    const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+    const std::function<void(unsigned, std::int64_t, std::int64_t)>* fn =
+        nullptr;
     std::int64_t end = 0;
     std::int64_t grain = 1;
     std::int64_t next = 0;        // next unclaimed chunk start
@@ -53,9 +63,9 @@ class ThreadPool {
     std::exception_ptr error;
   };
 
-  void worker_loop();
+  void worker_loop(unsigned worker_id);
   // Claims and runs chunks of the current job until none remain.
-  void run_chunks(std::unique_lock<std::mutex>& lock);
+  void run_chunks(std::unique_lock<std::mutex>& lock, unsigned worker_id);
 
   std::mutex mu_;
   std::condition_variable work_cv_;  // signalled when a job is posted / quit

@@ -79,6 +79,24 @@ void ArrayObj::unflatten(std::int64_t flat, std::int64_t* out) const {
   }
 }
 
+const std::int64_t* ArrayObj::coord_table() const {
+  if (coord_table_.empty()) {
+    const std::size_t rank = dims_.size();
+    coord_table_.resize(static_cast<std::size_t>(size_) * rank);
+    std::vector<std::int64_t> cur(rank, 0);
+    for (std::int64_t e = 0; e < size_; ++e) {
+      for (std::size_t r = 0; r < rank; ++r) {
+        coord_table_[static_cast<std::size_t>(e) * rank + r] = cur[r];
+      }
+      for (std::size_t r = rank; r-- > 0;) {
+        if (++cur[r] < dims_[r]) break;
+        cur[r] = 0;
+      }
+    }
+  }
+  return coord_table_.data();
+}
+
 Value ArrayObj::load(std::int64_t flat) const {
   return Value::from_bits(field().get(offset_ + flat), is_float());
 }

@@ -46,6 +46,9 @@ class ArrayObj {
   // depending on context).
   std::int64_t flatten(const std::int64_t* indices, std::size_t count) const;
 
+  // Row-major strides matching dims() (strides()[rank-1] == 1).
+  const std::vector<std::int64_t>& strides() const { return strides_; }
+
   // Element coordinates of a flat index (row-major).
   void unflatten(std::int64_t flat, std::int64_t* out) const;
 
@@ -82,6 +85,22 @@ class ArrayObj {
   cm::Field& field() const {
     return parent_ ? parent_->field() : machine_.field(field_);
   }
+
+  // Hot-loop accessors for the bytecode engine: contiguous element storage
+  // and owner table with the slice offset already applied, so element e of
+  // this view is raw_data()[e] / owner_data()[e].  Read-only — stores must
+  // go through store(), which maintains the field's defined flags.
+  const cm::Bits* raw_data() const { return field().raw().data() + offset_; }
+  const cm::VpIndex* owner_data() const {
+    return parent_ ? parent_->owner_data() + offset_ : owner_.data();
+  }
+
+  // Lazily-built row-major coordinate table: coord_table()[v * rank + d]
+  // is coordinate d of flat index v.  Pure geometry (never invalidated);
+  // the bytecode engine's NEWS classification uses it in place of
+  // per-access division.  Build it from one thread (the engine's link
+  // step) before lanes run.
+  const std::int64_t* coord_table() const;
   const cm::Geometry& geometry() const {
     return parent_ ? parent_->geometry() : machine_.geometry(geom_);
   }
@@ -96,6 +115,7 @@ class ArrayObj {
   cm::GeomId geom_;
   cm::FieldId field_;
   std::vector<cm::VpIndex> owner_;
+  mutable std::vector<std::int64_t> coord_table_;
   bool replicated_ = false;
   std::int64_t replica_count_ = 1;
 

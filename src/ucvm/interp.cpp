@@ -7,6 +7,7 @@
 #include "support/error.hpp"
 #include "support/str.hpp"
 #include "ucvm/interp_detail.hpp"
+#include "ucvm/kernel/kernel.hpp"
 
 namespace uc::vm {
 

@@ -35,6 +35,14 @@ namespace detail {
 struct Impl;
 }
 
+// How eval_lanes executes a synchronous statement over its lanes:
+//   * kWalk      — re-walk the sema'd expression tree per lane (reference).
+//   * kBytecode  — compile the statement once into lane-kernel bytecode and
+//     run a switch-dispatch loop per lane (docs/VM.md).  Statements the
+//     lowering does not cover transparently fall back to the walk, so the
+//     two engines are observationally identical.
+enum class ExecEngine : std::uint8_t { kWalk, kBytecode };
+
 struct ExecOptions {
   // Processor optimisation (paper §4): partitionable reductions are charged
   // at the reduced VP allocation (send-with-add) instead of lanes × set.
@@ -48,6 +56,9 @@ struct ExecOptions {
   // Safety valve for *par / *oneof / *solve: abort after this many
   // iterations (0 = unlimited).
   std::int64_t max_iterations = 1u << 20;
+  // Lane execution engine (identical results either way; kBytecode is the
+  // fast path, kWalk the reference interpreter).
+  ExecEngine engine = ExecEngine::kBytecode;
 };
 
 // Everything a run produces: program output, final machine stats, and a

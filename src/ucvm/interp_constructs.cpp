@@ -5,6 +5,7 @@
 
 #include "support/error.hpp"
 #include "ucvm/interp_detail.hpp"
+#include "ucvm/kernel/kernel.hpp"
 
 namespace uc::vm::detail {
 
@@ -93,15 +94,26 @@ std::vector<Value> Impl::eval_lanes(const Expr& expr, LaneSpace& space,
                                     Frame* frame, bool commit) {
   ++stmt_counter;
   const std::uint64_t stmt_id = stmt_counter;
+
+  // Charge the static cost first: this also annotates reductions with the
+  // processor-optimisation decision the evaluator consults.
+  charge_expr(expr, space.geom_size, /*frontend=*/false, &space);
+
+  // Fast path: compile the statement once into lane-kernel bytecode and run
+  // it allocation-free; statements the lowering/link does not cover fall
+  // through to the reference tree walk below (bit-identical results).
+  if (opts.engine == ExecEngine::kBytecode) {
+    if (auto fast = kernel_engine().try_run(expr, space, active, frame,
+                                            stmt_id, commit)) {
+      return std::move(*fast);
+    }
+  }
+
   const auto n = static_cast<std::int64_t>(active.size());
   std::vector<Value> results(static_cast<std::size_t>(n));
   std::vector<std::vector<Write>> writes(static_cast<std::size_t>(n));
   std::vector<std::string> prints(static_cast<std::size_t>(n));
   std::vector<AccessStats> stats(static_cast<std::size_t>(n));
-
-  // Charge the static cost first: this also annotates reductions with the
-  // processor-optimisation decision the evaluator consults.
-  charge_expr(expr, space.geom_size, /*frontend=*/false, &space);
 
   machine.pool().parallel_for(
       0, n,
@@ -136,42 +148,54 @@ std::vector<Value> Impl::eval_lanes(const Expr& expr, LaneSpace& space,
   // Merge dynamic comm stats and charge them on the issuing thread.
   AccessStats total;
   for (const auto& s : stats) total.merge(s);
-  if (total.news > 0) machine.charge_news(space.geom_size, total.news_max_hops);
-  if (total.router > 0) machine.charge_router(space.geom_size, total.router);
-  if (total.broadcast > 0) machine.charge_broadcast(space.geom_size);
-  if (total.frontend > 0) machine.charge_frontend(total.frontend);
+  charge_dynamic_stats(total, space.geom_size);
 
   if (commit) commit_writes(writes);
   for (auto& p : prints) output += p;
   return results;
 }
 
-void Impl::commit_writes(std::vector<std::vector<Write>>& per_lane) {
-  std::unordered_map<WriteTarget, std::pair<Value, const Expr*>,
-                     WriteTargetHash>
-      seen;
-  for (auto& lane_writes : per_lane) {
-    for (auto& w : lane_writes) {
-      auto [it, inserted] = seen.try_emplace(
-          w.target, std::make_pair(w.value, w.where));
-      if (!inserted && !(it->second.first == w.value)) {
-        std::string what = "conflicting parallel assignment";
-        if (w.target.kind == WriteTarget::Kind::kArray) {
-          auto* arr = static_cast<ArrayObj*>(w.target.obj);
-          std::int64_t coords[8];
-          arr->unflatten(w.target.index, coords);
-          what += " to " + arr->name();
-          for (std::size_t d = 0; d < arr->dims().size(); ++d) {
-            what += "[" + std::to_string(coords[d]) + "]";
-          }
-        }
-        what += ": values " + it->second.first.to_string() + " and " +
-                w.value.to_string() +
-                " (each variable may be assigned at most one value, "
-                "paper §3.4)";
-        runtime_error(w.where, what);
+void Impl::charge_dynamic_stats(const AccessStats& total,
+                                std::int64_t geom_size) {
+  if (total.news > 0) machine.charge_news(geom_size, total.news_max_hops);
+  if (total.router > 0) machine.charge_router(geom_size, total.router);
+  if (total.broadcast > 0) machine.charge_broadcast(geom_size);
+  if (total.frontend > 0) machine.charge_frontend(total.frontend);
+}
+
+void Impl::commit_begin(std::size_t expected_writes) {
+  commit_seen_.clear();
+  commit_seen_.reserve(expected_writes);
+}
+
+void Impl::commit_check(const Write& w) {
+  auto [it, inserted] =
+      commit_seen_.try_emplace(w.target, std::make_pair(w.value, w.where));
+  if (!inserted && !(it->second.first == w.value)) {
+    std::string what = "conflicting parallel assignment";
+    if (w.target.kind == WriteTarget::Kind::kArray) {
+      auto* arr = static_cast<ArrayObj*>(w.target.obj);
+      std::int64_t coords[8];
+      arr->unflatten(w.target.index, coords);
+      what += " to " + arr->name();
+      for (std::size_t d = 0; d < arr->dims().size(); ++d) {
+        what += "[" + std::to_string(coords[d]) + "]";
       }
     }
+    what += ": values " + it->second.first.to_string() + " and " +
+            w.value.to_string() +
+            " (each variable may be assigned at most one value, "
+            "paper §3.4)";
+    runtime_error(w.where, what);
+  }
+}
+
+void Impl::commit_writes(std::vector<std::vector<Write>>& per_lane) {
+  std::size_t total = 0;
+  for (const auto& lane_writes : per_lane) total += lane_writes.size();
+  commit_begin(total);
+  for (auto& lane_writes : per_lane) {
+    for (auto& w : lane_writes) commit_check(w);
   }
   for (auto& lane_writes : per_lane) {
     for (auto& w : lane_writes) apply_write(w.target, w.value);

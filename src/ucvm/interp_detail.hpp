@@ -16,6 +16,10 @@
 
 namespace uc::vm::detail {
 
+namespace kernel {
+class Engine;
+}
+
 using lang::Expr;
 using lang::FuncDecl;
 using lang::Stmt;
@@ -184,6 +188,7 @@ struct Impl {
   LaneSpace root;      // the front-end space (one lane)
 
   Impl(const lang::CompilationUnit& u, cm::Machine& m, ExecOptions o);
+  ~Impl();  // out of line: kernel::Engine is incomplete here
 
   RunResult run();
 
@@ -233,7 +238,23 @@ struct Impl {
                                 Frame* frame, bool commit = true);
 
   void commit_writes(std::vector<std::vector<Write>>& per_lane);
+  // Incremental commit used by both engines: commit_begin resets the
+  // reusable conflict map, commit_check records one write (raising the
+  // conflicting-parallel-assignment error on a second, different value for
+  // the same target), and the caller then applies the writes.
+  void commit_begin(std::size_t expected_writes);
+  void commit_check(const Write& w);
   void apply_write(const WriteTarget& t, const Value& v);
+  // Charges the dynamic comm stats gathered by one statement execution
+  // (order matters for the paris trace: news, router, broadcast, frontend).
+  void charge_dynamic_stats(const AccessStats& total, std::int64_t geom_size);
+
+  // Lazily constructed bytecode engine (exec.cpp).
+  kernel::Engine& kernel_engine();
+  std::unique_ptr<kernel::Engine> kernel_engine_;
+  std::unordered_map<WriteTarget, std::pair<Value, const Expr*>,
+                     WriteTargetHash>
+      commit_seen_;
 
   // --- expression evaluation (per lane) ---
   Value eval(const Expr& e, EvalCtx& ctx);
@@ -267,6 +288,22 @@ struct Impl {
   std::string locate(support::SourceRange range) const;
   support::SplitMix64& lane_rng(EvalCtx& ctx);
 };
+
+// Shared between the tree walk and the bytecode engine (definitions in
+// interp_expr.cpp) so arithmetic, reduction folding and remote-access
+// classification cannot drift apart.
+Value eval_binary_op(Impl& vm, lang::BinaryOp op, const Value& a,
+                     const Value& b, const Expr& where);
+Value fold_reduce_value(lang::ReduceKind op, const Value& acc, const Value& v);
+Value reduce_identity_value(lang::ReduceKind op, bool flt);
+// Classifies an access to a non-replicated array from a lane that is not on
+// the front end: local when the lane's VP owns the element, NEWS for a
+// short single-axis offset when the lane geometry matches the array shape
+// (geom_matches), router otherwise.
+void classify_remote_access(const ArrayObj& arr, std::int64_t flat,
+                            cm::VpIndex vp, const std::int64_t* lane_coords,
+                            std::size_t n_dims, bool geom_matches,
+                            const cm::CostModel& cost, AccessStats& stats);
 
 // True when the reduction's arms are guarded by predicates of the shape
 // `f(inner elems) == g(outer elems)` so each input element contributes to

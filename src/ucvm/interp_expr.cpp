@@ -27,10 +27,8 @@ using lang::ScalarKind;
 using lang::SymbolKind;
 using lang::UnaryOp;
 
-namespace {
-
-Value apply_binary(Impl& vm, BinaryOp op, const Value& a, const Value& b,
-                   const Expr& where) {
+Value eval_binary_op(Impl& vm, BinaryOp op, const Value& a, const Value& b,
+                     const Expr& where) {
   const bool flt = a.is_float || b.is_float;
   switch (op) {
     case BinaryOp::kAdd:
@@ -80,7 +78,7 @@ Value apply_binary(Impl& vm, BinaryOp op, const Value& a, const Value& b,
 }
 
 // Combines two values with a reduction operator.
-Value fold_reduce(ReduceKind op, const Value& acc, const Value& v) {
+Value fold_reduce_value(ReduceKind op, const Value& acc, const Value& v) {
   const bool flt = acc.is_float || v.is_float;
   switch (op) {
     case ReduceKind::kAdd:
@@ -135,8 +133,6 @@ Value reduce_identity_value(ReduceKind op, bool flt) {
   return Value::of_int(0);
 }
 
-}  // namespace
-
 // ---------------------------------------------------------------------------
 // Arrays & access classification
 // ---------------------------------------------------------------------------
@@ -157,6 +153,47 @@ ArrayPtr Impl::array_of(const Symbol& sym, const EvalCtx& ctx) {
   return slot->array;
 }
 
+void classify_remote_access(const ArrayObj& arr, std::int64_t flat,
+                            cm::VpIndex vp, const std::int64_t* lane_coords,
+                            std::size_t n_dims, bool geom_matches,
+                            const cm::CostModel& cost, AccessStats& stats) {
+  const auto owner = arr.owner(flat);
+  if (owner == vp) {
+    ++stats.local;
+    return;
+  }
+  // A slice's element coordinates live in the parent's geometry, which
+  // does not align with the lane geometry — remote slice traffic routes.
+  if (arr.is_slice()) {
+    ++stats.router;
+    return;
+  }
+  // When the lane geometry matches the array shape, a single-axis unit-ish
+  // offset travels over the NEWS grid; everything else uses the router.
+  if (geom_matches) {
+    std::int64_t owner_coords[8];
+    arr.unflatten(owner, owner_coords);
+    int diff_axes = 0;
+    std::int64_t hops = 0;
+    for (std::size_t d = 0; d < n_dims; ++d) {
+      if (owner_coords[d] != lane_coords[d]) {
+        ++diff_axes;
+        hops = std::abs(owner_coords[d] - lane_coords[d]);
+      }
+    }
+    if (diff_axes == 1) {
+      // NEWS is profitable for short hops; long strides use the router.
+      if (static_cast<std::uint64_t>(hops) * cost.news_op <= cost.router_op) {
+        ++stats.news;
+        stats.news_max_hops =
+            std::max(stats.news_max_hops, static_cast<std::uint64_t>(hops));
+        return;
+      }
+    }
+  }
+  ++stats.router;
+}
+
 void Impl::classify_access(const ArrayObj& arr, std::int64_t flat,
                            EvalCtx& ctx) {
   if (ctx.stats == nullptr || ctx.suppress_comm > 0) return;
@@ -168,50 +205,15 @@ void Impl::classify_access(const ArrayObj& arr, std::int64_t flat,
     ++ctx.stats->local;  // every VP holds a copy (copy mapping)
     return;
   }
-  const auto vp = ctx.space->vps[ctx.lane];
-  const auto owner = arr.owner(flat);
-  if (owner == vp) {
-    ++ctx.stats->local;
-    return;
-  }
-  // A slice's element coordinates live in the parent's geometry, which
-  // does not align with the lane geometry — remote slice traffic routes.
-  if (arr.is_slice()) {
-    ++ctx.stats->router;
-    return;
-  }
-  // When the lane geometry matches the array shape, a single-axis unit-ish
-  // offset travels over the NEWS grid; everything else uses the router.
   const auto& dims = ctx.space->dims;
-  if (dims == arr.dims()) {
-    std::int64_t owner_coords[8];
-    if (dims.size() <= 8) {
-      arr.unflatten(owner, owner_coords);
-      const std::int64_t* lane_coords =
-          &ctx.space->coords[static_cast<std::size_t>(ctx.lane) *
-                             dims.size()];
-      int diff_axes = 0;
-      std::int64_t hops = 0;
-      for (std::size_t d = 0; d < dims.size(); ++d) {
-        if (owner_coords[d] != lane_coords[d]) {
-          ++diff_axes;
-          hops = std::abs(owner_coords[d] - lane_coords[d]);
-        }
-      }
-      if (diff_axes == 1) {
-        // NEWS is profitable for short hops; long strides use the router.
-        const auto& cost = machine.cost_model();
-        if (static_cast<std::uint64_t>(hops) * cost.news_op <=
-            cost.router_op) {
-          ++ctx.stats->news;
-          ctx.stats->news_max_hops = std::max(
-              ctx.stats->news_max_hops, static_cast<std::uint64_t>(hops));
-          return;
-        }
-      }
-    }
-  }
-  ++ctx.stats->router;
+  const bool geom_matches = dims.size() <= 8 && dims == arr.dims();
+  const std::int64_t* lane_coords =
+      dims.empty() ? nullptr
+                   : &ctx.space->coords[static_cast<std::size_t>(ctx.lane) *
+                                        dims.size()];
+  classify_remote_access(arr, flat, ctx.space->vps[ctx.lane], lane_coords,
+                         dims.size(), geom_matches, machine.cost_model(),
+                         *ctx.stats);
 }
 
 // ---------------------------------------------------------------------------
@@ -422,7 +424,7 @@ Value Impl::eval(const Expr& e, EvalCtx& ctx) {
       if (ctx.undef) return l;
       Value r = eval(*b.rhs, ctx);
       if (ctx.undef) return r;
-      return apply_binary(*this, b.op, l, r, e);
+      return eval_binary_op(*this, b.op, l, r, e);
     }
     case ExprKind::kAssign: {
       const auto& a = static_cast<const lang::AssignExpr&>(e);
@@ -449,7 +451,7 @@ Value Impl::eval(const Expr& e, EvalCtx& ctx) {
           case AssignOp::kMod: op = BinaryOp::kMod; break;
           case AssignOp::kAssign: break;
         }
-        result = apply_binary(*this, op, old, rhs, e);
+        result = eval_binary_op(*this, op, old, rhs, e);
       }
       result = result.coerce(a.lhs->type.scalar);
       if (target->kind == WriteTarget::Kind::kArray) {
@@ -589,7 +591,7 @@ Value Impl::eval_reduce(const lang::ReduceExpr& e, EvalCtx& ctx) {
       if (e.op == lang::ReduceKind::kArb) {
         if (!any) acc = v;
       } else {
-        acc = fold_reduce(e.op, acc, v);
+        acc = fold_reduce_value(e.op, acc, v);
       }
       any = true;
     }
@@ -603,7 +605,7 @@ Value Impl::eval_reduce(const lang::ReduceExpr& e, EvalCtx& ctx) {
       if (e.op == lang::ReduceKind::kArb) {
         if (!any) acc = v;
       } else {
-        acc = fold_reduce(e.op, acc, v);
+        acc = fold_reduce_value(e.op, acc, v);
       }
       any = true;
     }

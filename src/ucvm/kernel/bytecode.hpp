@@ -1,0 +1,123 @@
+// Flat register bytecode for the lane-kernel engine (docs/VM.md).
+//
+// A Kernel is the compiled form of one synchronous statement expression:
+// straight-line code with explicit jumps (short-circuit &&/||, ?:, and the
+// reduction tuple loop), a constant pool, and symbolic operand tables that
+// are resolved ("linked") against the current lane space once per
+// execution.  Instructions reference virtual registers; registers are
+// allocated monotonically during lowering and never reused, so every read
+// is dominated by a write on all control paths by construction.
+//
+// The compiler (compile.cpp) mirrors the tree-walk evaluator's semantics
+// exactly — evaluation order, coercions, access classification points,
+// error messages — so the two engines are observationally identical; the
+// differential suite tests/ucvm/engine_parity_test.cpp enforces this.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "uclang/ast.hpp"
+#include "ucvm/value.hpp"
+
+namespace uc::vm::detail::kernel {
+
+// At most this many index sets per reduction (the lane geometry is capped
+// at 8 dims by the classifier anyway); deeper reductions fall back to the
+// tree walk.
+inline constexpr std::size_t kMaxReduceSets = 4;
+// At most this many subscripts per array access (matches the walk's
+// 8-coordinate flatten buffers).
+inline constexpr std::size_t kMaxSubscripts = 8;
+
+enum class Op : std::uint8_t {
+  kConst,           // r[dst] = pool[a]
+  kMove,            // r[dst] = r[a]
+  kBool,            // r[dst] = of_bool(r[a].truthy())
+  kLoadElem,        // r[dst] = elems[a] (index element, outer spaces)
+  kLoadReduceElem,  // r[dst] = current reduce tuple's element for set b
+  kLoadScalar,      // r[dst] = scalars[a] (global / frame / lane-local)
+  kStoreScalar,     // buffer write of r[b] to scalars[a]
+  kArrIndex,        // r[dst] = flatten(arrays[a], regs r[b..b+c)); bounds-chk
+  kArrLoad,         // r[dst] = arrays[a].load(r[b])
+  kArrGet,          // fused kArrIndex + kClassify + kArrLoad (rvalue reads)
+  kClassify,        // classify access to arrays[a] element r[b]
+  kBroadcastCheck,  // arrays[a] replicated => ++stats.broadcast
+  kArrStore,        // buffer write of r[c] to arrays[a] element r[b]
+  kArrPut,          // fused kClassify (+ kBroadcastCheck, arg bit0) + kArrStore
+  kUnary,           // r[dst] = unary<arg>(r[a])
+  kBinary,          // r[dst] = binary<arg>(r[a], r[b]); div/mod errors
+  kIncDec,          // r[dst] = r[a] +/- 1 (arg bit0: increment)
+  kCoerce,          // r[dst] = r[a].coerce(ScalarKind(arg))
+  kJump,            // ip = jump
+  kJumpIfFalse,     // if (!r[a].truthy()) ip = jump
+  kJumpIfTrue,      // if (r[a].truthy()) ip = jump
+  kAbs,             // r[dst] = abs(r[a])
+  kMinMax,          // r[dst] = min/max(r[a], r[b]) (arg bit0: min)
+  kPower2,          // r[dst] = 1 << r[a]; range-checked
+  kRand,            // r[dst] = lane rng next() >> 33
+  kReduceBegin,     // start reduces[a]; empty product jumps straight out
+  kReduceFold,      // fold r[a] into the live reduction's accumulator
+  kReduceSkipOthers,  // if (enabled_any) ip = jump (skip the others arm)
+  kReduceNext,      // advance the tuple odometer; more tuples => ip = jump
+  kReduceEnd,       // r[dst] = final accumulator (float-coerced)
+  kRet,             // kernel result = r[a]
+};
+
+struct Inst {
+  Op op = Op::kRet;
+  std::uint8_t arg = 0;  // BinaryOp / UnaryOp / ScalarKind / flag, per op
+  std::uint16_t dst = 0;
+  std::uint16_t a = 0;
+  std::uint16_t b = 0;
+  std::uint16_t c = 0;
+  std::int32_t jump = -1;
+  const lang::Expr* where = nullptr;  // error location, same as the walk's
+};
+
+// ---------------------------------------------------------------------------
+// Symbolic operand tables (compile-time; resolved per execution by link())
+// ---------------------------------------------------------------------------
+
+struct ElemRef {
+  const lang::Symbol* sym = nullptr;  // the index-element symbol
+};
+
+struct ScalarRef {
+  const lang::Symbol* sym = nullptr;  // global / local / param scalar
+};
+
+struct ArrayRef {
+  const lang::Symbol* sym = nullptr;  // the array variable
+  // >= 0 when this access site sits inside a reduction's arms: it then
+  // classifies against the reduction's expanded geometry and honours the
+  // partition-optimisation comm suppression.
+  std::int32_t reduce = -1;
+};
+
+struct ReduceRef {
+  const lang::ReduceExpr* expr = nullptr;
+};
+
+struct Kernel {
+  std::vector<Inst> code;
+  std::vector<Value> pool;
+  std::vector<ElemRef> elems;
+  std::vector<ScalarRef> scalars;
+  std::vector<ArrayRef> arrays;
+  std::vector<ReduceRef> reduces;
+  std::uint32_t num_regs = 0;
+  bool uses_rand = false;  // seed the per-lane RNG only when needed
+};
+
+// True when the lowering covers this expression tree; false means the
+// statement runs on the tree-walk engine (solve bodies, user function
+// calls, side-effecting builtins, nested reductions, ...).
+bool can_compile_expr(const lang::Expr& e);
+
+// Lowers a statement expression; returns nullptr when can_compile_expr is
+// false.  Pure function of the sema'd AST — safe to cache per Expr*.
+std::unique_ptr<Kernel> compile_expr(const lang::Expr& e);
+
+}  // namespace uc::vm::detail::kernel

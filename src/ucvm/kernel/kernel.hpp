@@ -1,0 +1,147 @@
+// The lane-kernel engine: compile-once-per-statement bytecode execution
+// for eval_lanes (docs/VM.md).  One Engine lives inside each vm Impl; it
+// owns the kernel cache (keyed by Expr*), the per-execution link tables,
+// and the per-worker arenas that make steady-state lane execution
+// allocation-free.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ucvm/interp_detail.hpp"
+#include "ucvm/kernel/bytecode.hpp"
+
+namespace uc::vm::detail::kernel {
+
+class Engine {
+ public:
+  explicit Engine(Impl& vm);
+
+  // Runs one synchronous statement expression over the active lanes on the
+  // bytecode engine: merges comm stats, charges dynamic communication,
+  // commits writes with the same lane-order conflict checking as the walk,
+  // and returns the per-lane values.  Returns nullopt when the expression
+  // cannot be compiled or linked against the current space — the caller
+  // then falls back to the tree walk (which reproduces any error the link
+  // step declined to raise, e.g. an array used before its declaration).
+  std::optional<std::vector<Value>> try_run(
+      const Expr& expr, LaneSpace& space,
+      const std::vector<std::int64_t>& active, Frame* frame,
+      std::uint64_t stmt_id, bool commit);
+
+  // Introspection for tests and ucc bench.
+  std::uint64_t compiled_statements() const { return compiled_statements_; }
+  std::uint64_t fallback_statements() const { return fallback_statements_; }
+  std::size_t cache_size() const { return cache_.size(); }
+
+ private:
+  // --- linked (per-execution) operand forms ---
+  struct LinkedElem {
+    const std::int64_t* vals = nullptr;  // owning space's elem_vals.data()
+    std::int32_t depth = 0;   // spaces up from the statement space
+    std::uint16_t k = 0;      // position within that space's elems
+    std::uint16_t width = 0;  // that space's elems.size()
+  };
+  enum class ScalarHome : std::uint8_t { kGlobal, kFrame, kLaneLocal };
+  struct LinkedScalar {
+    ScalarHome home = ScalarHome::kGlobal;
+    std::int32_t slot = 0;
+    std::int32_t depth = 0;               // kLaneLocal: spaces up
+    LaneSpace* owner = nullptr;           // kLaneLocal
+    std::vector<Value>* store = nullptr;  // kLaneLocal: owner->locals[slot]
+    const Value* value = nullptr;         // kGlobal/kFrame: the slot's scalar
+                                          // (stable: writes are buffered)
+  };
+  enum class AccMode : std::uint8_t { kFrontend, kLocalReplicated, kRemote };
+  struct LinkedArray {
+    ArrayObj* arr = nullptr;
+    ArrayPtr keepalive;  // owning handle for the statement's duration
+    AccMode mode = AccMode::kRemote;
+    bool geom_matches = false;  // lane dims == array dims (and rank <= 8)
+    std::int32_t reduce = -1;
+    // Hot-loop caches (valid for the statement: no allocation happens
+    // while lanes run, so the pointers stay stable).
+    const cm::Bits* data = nullptr;
+    const cm::VpIndex* owners = nullptr;
+    const std::int64_t* vp_coords = nullptr;  // geom_matches: coord_table()
+    const std::int64_t* adims = nullptr;
+    const std::int64_t* astrides = nullptr;
+    std::uint32_t rank = 0;
+    bool flt = false;
+    bool slice = false;
+  };
+  struct LinkedReduce {
+    const lang::ReduceExpr* expr = nullptr;
+    std::size_t n_sets = 0;
+    const std::vector<std::int64_t>* values[kMaxReduceSets] = {};
+    std::int64_t sizes[kMaxReduceSets] = {};
+    std::int64_t prod = 1;
+    bool flt = false;
+    lang::ReduceKind op = lang::ReduceKind::kAdd;
+    std::size_t base_dims = 0;  // outer dims copied into the inner coords
+    std::size_t n_dims = 0;     // base_dims + n_sets
+  };
+
+  // --- per-lane reduction state (at most one live: no nesting) ---
+  struct ReduceState {
+    const LinkedReduce* info = nullptr;
+    Value acc;
+    bool any = false;
+    bool enabled_any = false;
+    bool suppress = false;
+    std::int64_t tuple = 0;
+    std::int64_t parent_vp = 0;
+    std::int64_t vp = 0;
+    std::size_t pos[kMaxReduceSets] = {};
+    std::int64_t elem_vals[kMaxReduceSets] = {};
+    std::int64_t coords[8] = {};
+  };
+
+  // --- per-worker arena: reused across statements, zero steady-state
+  // allocation ---
+  struct ChunkSpan {
+    std::int64_t begin_k = 0;  // first active-lane position of the chunk
+    std::uint32_t offset = 0;  // into Arena::writes
+    std::uint32_t count = 0;
+  };
+  struct Arena {
+    std::vector<Value> regs;
+    std::vector<Write> writes;
+    std::vector<ChunkSpan> spans;
+    AccessStats stats;
+    // Reused across lanes: kReduceBegin reinitialises every field that is
+    // read afterwards, so stale state from a previous lane is never seen.
+    ReduceState rs;
+  };
+
+  // Deepest ancestor-space chain a kernel may reference.
+  static constexpr std::int32_t kMaxDepth = 32;
+
+  const Kernel* compile_cached(const Expr& expr);
+  bool link(const Kernel& k, LaneSpace& space, Frame* frame);
+  void run_lane(const Kernel& k, LaneSpace& space, std::int64_t lane,
+                std::int64_t result_slot, Frame* frame, std::uint64_t stmt_id,
+                Arena& arena, std::vector<Value>& results);
+  void classify_site(const LinkedArray& la, std::int64_t flat,
+                     std::int64_t lane_vp, const std::int64_t* lane_coords,
+                     const ReduceState& rs, AccessStats& stats) const;
+
+  Impl& vm_;
+  std::unordered_map<const Expr*, std::unique_ptr<Kernel>> cache_;
+  // Link state, valid for the duration of one try_run call.
+  std::vector<LinkedElem> elems_;
+  std::vector<LinkedScalar> scalars_;
+  std::vector<LinkedArray> arrays_;
+  std::vector<LinkedReduce> reduces_;
+  std::vector<LaneSpace*> depth_spaces_;  // [0]=statement space, then parents
+  std::int32_t max_depth_ = 0;
+  std::vector<Arena> arenas_;
+  std::vector<std::pair<const ChunkSpan*, Arena*>> span_order_;
+  std::uint64_t compiled_statements_ = 0;
+  std::uint64_t fallback_statements_ = 0;
+};
+
+}  // namespace uc::vm::detail::kernel

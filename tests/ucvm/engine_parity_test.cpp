@@ -1,0 +1,241 @@
+// Differential suite: the tree-walk and bytecode lane-kernel engines must
+// be observationally identical (docs/VM.md).  Every shipped paper program
+// runs under both engines on fresh machines; output, every cost-model
+// counter, and named global arrays must match exactly.  Statements the
+// lowering rejects fall back to the walk inside the bytecode engine, so
+// these tests also cover the fallback seams (solve, print, user calls).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "uc/paper_programs.hpp"
+#include "ucvm/interp.hpp"
+
+namespace uc::vm {
+namespace {
+
+RunResult run_with(const std::string& src, ExecEngine engine) {
+  ExecOptions eopts;
+  eopts.engine = engine;
+  return run_uc(src, {}, eopts);
+}
+
+// Field-by-field: CostStats has no operator==, and comparing each counter
+// separately pinpoints which charge diverged.
+void expect_stats_equal(const cm::CostStats& w, const cm::CostStats& b) {
+  EXPECT_EQ(w.cycles, b.cycles);
+  EXPECT_EQ(w.vector_ops, b.vector_ops);
+  EXPECT_EQ(w.news_ops, b.news_ops);
+  EXPECT_EQ(w.router_ops, b.router_ops);
+  EXPECT_EQ(w.router_messages, b.router_messages);
+  EXPECT_EQ(w.reductions, b.reductions);
+  EXPECT_EQ(w.global_ors, b.global_ors);
+  EXPECT_EQ(w.broadcasts, b.broadcasts);
+  EXPECT_EQ(w.frontend_ops, b.frontend_ops);
+}
+
+void expect_parity(const std::string& src,
+                   const std::vector<std::string>& globals = {}) {
+  RunResult walk = run_with(src, ExecEngine::kWalk);
+  RunResult byte = run_with(src, ExecEngine::kBytecode);
+  EXPECT_EQ(walk.output(), byte.output());
+  expect_stats_equal(walk.stats(), byte.stats());
+  for (const auto& name : globals) {
+    const auto wa = walk.global_array(name);
+    const auto ba = byte.global_array(name);
+    ASSERT_EQ(wa.size(), ba.size()) << name;
+    for (std::size_t i = 0; i < wa.size(); ++i) {
+      EXPECT_TRUE(wa[i] == ba[i]) << name << "[" << i << "]";
+    }
+  }
+}
+
+// Both engines must raise the same UcRuntimeError text (the bytecode
+// executor reuses the walk's error sites and messages).
+void expect_error_parity(const std::string& src) {
+  std::string walk_what, byte_what;
+  try {
+    run_with(src, ExecEngine::kWalk);
+    FAIL() << "walk engine did not throw";
+  } catch (const support::UcRuntimeError& e) {
+    walk_what = e.what();
+  }
+  try {
+    run_with(src, ExecEngine::kBytecode);
+    FAIL() << "bytecode engine did not throw";
+  } catch (const support::UcRuntimeError& e) {
+    byte_what = e.what();
+  }
+  EXPECT_EQ(walk_what, byte_what);
+}
+
+TEST(EngineParity, Fig6ShortestPathOn2) {
+  expect_parity(papers::shortest_path_on2(12), {"d"});
+}
+
+TEST(EngineParity, Fig7ShortestPathOn3) {
+  expect_parity(papers::shortest_path_on3(10), {"d"});
+}
+
+TEST(EngineParity, ShortestPathStarSolve) {
+  expect_parity(papers::shortest_path_star_solve(10), {"d"});
+}
+
+TEST(EngineParity, Fig8GridObstacle) {
+  expect_parity(papers::grid_shortest_path(10, 10, true), {"d"});
+}
+
+TEST(EngineParity, Fig8GridNoObstacle) {
+  expect_parity(papers::grid_shortest_path(9, 11, false), {"d"});
+}
+
+TEST(EngineParity, GridDynamicObstacle) {
+  expect_parity(papers::grid_dynamic_obstacle(8, 8), {"d"});
+}
+
+TEST(EngineParity, PrefixSumsStarPar) {
+  expect_parity(papers::prefix_sums_star_par(16), {"a"});
+}
+
+TEST(EngineParity, PrefixSumsSeqPar) {
+  expect_parity(papers::prefix_sums_seq_par(16), {"a"});
+}
+
+TEST(EngineParity, Ranksort) { expect_parity(papers::ranksort(24)); }
+
+TEST(EngineParity, OddEvenSort) { expect_parity(papers::odd_even_sort(24)); }
+
+TEST(EngineParity, Wavefront) { expect_parity(papers::wavefront(12)); }
+
+TEST(EngineParity, Histogram) { expect_parity(papers::histogram(64)); }
+
+TEST(EngineParity, ShiftedSumMapped) {
+  expect_parity(papers::shifted_sum(16, 4, true));
+}
+
+TEST(EngineParity, ShiftedSumUnmapped) {
+  expect_parity(papers::shifted_sum(16, 4, false));
+}
+
+TEST(EngineParity, ReversalMapped) {
+  expect_parity(papers::reversal(16, 4, true));
+}
+
+TEST(EngineParity, ReversalUnmapped) {
+  expect_parity(papers::reversal(16, 4, false));
+}
+
+TEST(EngineParity, FoldCombineMapped) {
+  expect_parity(papers::fold_combine(16, 4, true));
+}
+
+TEST(EngineParity, FoldCombineUnmapped) {
+  expect_parity(papers::fold_combine(16, 4, false));
+}
+
+TEST(EngineParity, CopyBroadcastMapped) {
+  expect_parity(papers::copy_broadcast(16, 4, true));
+}
+
+TEST(EngineParity, CopyBroadcastUnmapped) {
+  expect_parity(papers::copy_broadcast(16, 4, false));
+}
+
+TEST(EngineParity, Jacobi) { expect_parity(papers::jacobi(12, 8)); }
+
+// --- language-feature parity beyond the paper programs ---
+
+TEST(EngineParity, FloatArithmeticAndCoercion) {
+  expect_parity(
+      "index_set I:i = {0..7};\n"
+      "float a[8]; int b[8];\n"
+      "void main() {\n"
+      "  par (I) { a[i] = i * 1.5; b[i] = a[i] + 0.5; }\n"
+      "  par (I) a[i] = a[i] / 2 + b[i] % 3;\n"
+      "  print(\"sample\", a[3], b[5]);\n"
+      "}\n",
+      {"a", "b"});
+}
+
+TEST(EngineParity, TernaryShortCircuitAndBuiltins) {
+  expect_parity(
+      "index_set I:i = {0..15};\n"
+      "int a[16];\n"
+      "void main() {\n"
+      "  par (I) {\n"
+      "    a[i] = (i > 7 && i % 2 == 0) ? min(i, 10) : max(power2(3), i);\n"
+      "    a[i] += abs(7 - i) || i;\n"
+      "  }\n"
+      "}\n",
+      {"a"});
+}
+
+TEST(EngineParity, RandStreamsMatch) {
+  // rand() draws a per-lane stream seeded from (statement, vp); both
+  // engines must consume identical streams.
+  expect_parity(
+      "index_set I:i = {0..31};\n"
+      "int a[32];\n"
+      "void main() {\n"
+      "  srand(7);\n"
+      "  par (I) a[i] = rand() % 100;\n"
+      "  par (I) a[i] += rand() % 10;\n"
+      "}\n",
+      {"a"});
+}
+
+TEST(EngineParity, ReduceWithPredAndOthers) {
+  expect_parity(
+      "index_set I:i = {0..7}, J:j = I;\n"
+      "int a[8][8]; int r[8];\n"
+      "void main() {\n"
+      "  par (I, J) a[i][j] = (i * 31 + j * 17) % 23;\n"
+      "  par (I) r[i] = $+(J st (a[i][j] > 10) a[i][j] others 1);\n"
+      "}\n",
+      {"r"});
+}
+
+TEST(EngineParity, IncDecOnArraysAndScalars) {
+  expect_parity(
+      "index_set I:i = {0..7};\n"
+      "int a[8]; int k;\n"
+      "void main() {\n"
+      "  k = 0;\n"
+      "  par (I) a[i] = i;\n"
+      "  par (I) a[i]++;\n"
+      "  seq (I) k += a[i];\n"
+      "  print(\"sum\", k);\n"
+      "}\n",
+      {"a"});
+}
+
+// --- diagnostics parity: same text, same location, either engine ---
+
+TEST(EngineParity, SubscriptErrorMatches) {
+  expect_error_parity(
+      "index_set I:i = {0..3};\n"
+      "int d[4][4];\nvoid main() { par (I) d[i][i + 2] = 1; }");
+}
+
+TEST(EngineParity, DivisionByZeroErrorMatches) {
+  expect_error_parity(
+      "index_set I:i = {0..3};\n"
+      "int a[4];\nvoid main() { par (I) a[i] = 8 / (i - 2); }");
+}
+
+TEST(EngineParity, WriteConflictErrorMatches) {
+  expect_error_parity(
+      "index_set I:i = {0..3};\n"
+      "int a[4];\nvoid main() { par (I) a[0] = i; }");
+}
+
+TEST(EngineParity, Power2RangeErrorMatches) {
+  expect_error_parity(
+      "index_set I:i = {0..3};\n"
+      "int a[4];\nvoid main() { par (I) a[i] = power2(63 + i); }");
+}
+
+}  // namespace
+}  // namespace uc::vm

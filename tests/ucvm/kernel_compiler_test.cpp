@@ -1,0 +1,193 @@
+// Unit tests for the lane-kernel compiler (src/ucvm/kernel/compile.cpp):
+// which statements it accepts, and structural invariants of the lowered
+// bytecode (fused array ops, direct index lowering, constant pooling,
+// reduction loop wiring).  End-to-end equivalence with the walk engine is
+// covered by engine_parity_test.cpp.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "uclang/frontend.hpp"
+#include "ucvm/kernel/bytecode.hpp"
+
+namespace uc::vm::detail::kernel {
+namespace {
+
+using lang::Stmt;
+using lang::StmtKind;
+
+// First statement expression of the first par/seq construct in the unit
+// (the construct's first sc-block body must be a single expression
+// statement in these tests).
+const lang::Expr* first_construct_expr(const lang::CompilationUnit& unit) {
+  for (const auto& top : unit.program->items) {
+    if (top.func == nullptr) continue;
+    for (const auto& s : top.func->body->body) {
+      if (s->kind != StmtKind::kUcConstruct) continue;
+      const auto& uc = static_cast<const lang::UcConstructStmt&>(*s);
+      const Stmt* body = uc.blocks.front().body.get();
+      if (body->kind != StmtKind::kExpr) return nullptr;
+      return static_cast<const lang::ExprStmt*>(body)->expr.get();
+    }
+  }
+  return nullptr;
+}
+
+std::unique_ptr<lang::CompilationUnit> analyse(const std::string& body) {
+  auto unit = lang::compile("kernel_test.uc", body);
+  EXPECT_TRUE(unit->ok()) << body;
+  return unit;
+}
+
+int count_ops(const Kernel& k, Op op) {
+  int n = 0;
+  for (const auto& inst : k.code) n += inst.op == op ? 1 : 0;
+  return n;
+}
+
+TEST(KernelCompiler, CompilesSimpleParAssignment) {
+  auto unit = analyse(
+      "index_set I:i = {0..7};\n"
+      "int a[8];\n"
+      "void main() { par (I) a[i] = i + 1; }\n");
+  const auto* e = first_construct_expr(*unit);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(can_compile_expr(*e));
+  auto k = compile_expr(*e);
+  ASSERT_NE(k, nullptr);
+  EXPECT_GT(k->num_regs, 0u);
+  ASSERT_FALSE(k->code.empty());
+  EXPECT_EQ(k->code.back().op, Op::kRet);
+  // Store side lowers to the fused classify+broadcast+store.
+  EXPECT_EQ(count_ops(*k, Op::kArrPut), 1);
+  EXPECT_EQ(count_ops(*k, Op::kArrStore), 0);
+  EXPECT_EQ(count_ops(*k, Op::kBroadcastCheck), 0);
+}
+
+TEST(KernelCompiler, RvalueReadsUseFusedArrGet) {
+  auto unit = analyse(
+      "index_set I:i = {0..7};\n"
+      "int a[8]; int b[8];\n"
+      "void main() { par (I) a[i] = b[i] + b[0]; }\n");
+  const auto* e = first_construct_expr(*unit);
+  ASSERT_NE(e, nullptr);
+  auto k = compile_expr(*e);
+  ASSERT_NE(k, nullptr);
+  // Two rvalue reads fuse; only the lvalue address uses kArrIndex.
+  EXPECT_EQ(count_ops(*k, Op::kArrGet), 2);
+  EXPECT_EQ(count_ops(*k, Op::kArrIndex), 1);
+  EXPECT_EQ(count_ops(*k, Op::kArrLoad), 0);
+  // Leaf indices (elements, constants) lower directly into the subscript
+  // block — no register-to-register moves in straight-line code.
+  EXPECT_EQ(count_ops(*k, Op::kMove), 0);
+}
+
+TEST(KernelCompiler, ConstantsArePooled) {
+  auto unit = analyse(
+      "index_set I:i = {0..7};\n"
+      "int a[8];\n"
+      "void main() { par (I) a[i] = 7 + i * 7 + 7; }\n");
+  const auto* e = first_construct_expr(*unit);
+  ASSERT_NE(e, nullptr);
+  auto k = compile_expr(*e);
+  ASSERT_NE(k, nullptr);
+  // One pooled entry for the repeated 7 (int and float constants never
+  // merge, but these are all the same int).
+  EXPECT_EQ(k->pool.size(), 1u);
+}
+
+TEST(KernelCompiler, ReductionLoopIsWired) {
+  auto unit = analyse(
+      "index_set I:i = {0..7}, K:k = I;\n"
+      "int d[8]; int r[8];\n"
+      "void main() { par (I) r[i] = $<(K; d[k] + i); }\n");
+  const auto* e = first_construct_expr(*unit);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(can_compile_expr(*e));
+  auto k = compile_expr(*e);
+  ASSERT_NE(k, nullptr);
+  ASSERT_EQ(k->reduces.size(), 1u);
+  EXPECT_EQ(count_ops(*k, Op::kReduceBegin), 1);
+  EXPECT_EQ(count_ops(*k, Op::kReduceFold), 1);
+  EXPECT_EQ(count_ops(*k, Op::kReduceNext), 1);
+  EXPECT_EQ(count_ops(*k, Op::kReduceEnd), 1);
+  // kReduceNext jumps back to the loop start (just after kReduceBegin);
+  // kReduceBegin's empty-product exit jumps past kReduceNext.
+  std::size_t begin = 0, next = 0;
+  for (std::size_t ip = 0; ip < k->code.size(); ++ip) {
+    if (k->code[ip].op == Op::kReduceBegin) begin = ip;
+    if (k->code[ip].op == Op::kReduceNext) next = ip;
+  }
+  EXPECT_EQ(k->code[next].jump, static_cast<std::int32_t>(begin) + 1);
+  EXPECT_EQ(k->code[begin].jump, static_cast<std::int32_t>(next) + 1);
+  // The set element inside the arm reads the live tuple, not an outer
+  // binding.
+  EXPECT_EQ(count_ops(*k, Op::kLoadReduceElem), 1);
+}
+
+TEST(KernelCompiler, RejectsPrint) {
+  auto unit = analyse(
+      "index_set I:i = {0..7};\n"
+      "int a[8];\n"
+      "void main() { par (I) print(\"lane\", i); }\n");
+  const auto* e = first_construct_expr(*unit);
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(can_compile_expr(*e));
+  EXPECT_EQ(compile_expr(*e), nullptr);
+}
+
+TEST(KernelCompiler, RejectsUserFunctionCalls) {
+  auto unit = analyse(
+      "index_set I:i = {0..7};\n"
+      "int a[8];\n"
+      "int f(int x) { return x + 1; }\n"
+      "void main() { par (I) a[i] = f(i); }\n");
+  const auto* e = first_construct_expr(*unit);
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(can_compile_expr(*e));
+}
+
+TEST(KernelCompiler, RejectsSwapAndSrand) {
+  auto unit = analyse(
+      "index_set I:i = {0..7};\n"
+      "int a[8]; int b[8];\n"
+      "void main() { par (I) swap(a[i], b[i]); }\n");
+  const auto* e = first_construct_expr(*unit);
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(can_compile_expr(*e));
+}
+
+TEST(KernelCompiler, RejectsNestedReductions) {
+  auto unit = analyse(
+      "index_set I:i = {0..7}, J:j = I, K:k = I;\n"
+      "int d[8][8]; int r[8];\n"
+      "void main() { par (I) r[i] = $+(J; $<(K; d[j][k])); }\n");
+  const auto* e = first_construct_expr(*unit);
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(can_compile_expr(*e));
+}
+
+TEST(KernelCompiler, RandMarksKernel) {
+  auto unit = analyse(
+      "index_set I:i = {0..7};\n"
+      "int a[8];\n"
+      "void main() { par (I) a[i] = rand(); }\n");
+  const auto* e = first_construct_expr(*unit);
+  ASSERT_NE(e, nullptr);
+  auto with_rand = compile_expr(*e);
+  ASSERT_NE(with_rand, nullptr);
+  EXPECT_TRUE(with_rand->uses_rand);
+
+  auto unit2 = analyse(
+      "index_set I:i = {0..7};\n"
+      "int a[8];\n"
+      "void main() { par (I) a[i] = i; }\n");
+  const auto* e2 = first_construct_expr(*unit2);
+  ASSERT_NE(e2, nullptr);
+  auto without = compile_expr(*e2);
+  ASSERT_NE(without, nullptr);
+  EXPECT_FALSE(without->uses_rand);
+}
+
+}  // namespace
+}  // namespace uc::vm::detail::kernel

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 verification, plain and under ASan/UBSan.
 #
-#   tools/ci.sh          both configurations
+#   tools/ci.sh          both configurations + Release bench smoke
 #   tools/ci.sh plain    plain RelWithDebInfo build + ctest only
 #   tools/ci.sh asan     sanitized build + ctest only
+#   tools/ci.sh bench    Release build + vm_engine --smoke only
 #
-# Build trees go to build/ (plain) and build-asan/ (sanitized) under the
+# The asan configuration re-runs the engine parity suite explicitly (the
+# bytecode/walk differential tests) so a parity regression under the
+# sanitizers fails loudly even when filtering.  Build trees go to build/
+# (plain), build-asan/ (sanitized) and build-release/ (bench) under the
 # repository root.
 set -euo pipefail
 
@@ -19,15 +23,30 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure -j
 }
 
+run_asan() {
+  run_suite "$root/build-asan" -DUC_SANITIZE="address;undefined"
+  # Engine parity under the sanitizers: every shipped program, both
+  # engines, byte-identical output and identical modeled cycles.
+  "$root/build-asan/tests/ucvm/test_ucvm" --gtest_filter='EngineParity*'
+}
+
+run_bench_smoke() {
+  cmake -B "$root/build-release" -S "$root" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$root/build-release" -j --target vm_engine
+  "$root/build-release/bench/vm_engine" --smoke
+}
+
 case "$mode" in
   plain) run_suite "$root/build" ;;
-  asan)  run_suite "$root/build-asan" -DUC_SANITIZE="address;undefined" ;;
+  asan)  run_asan ;;
+  bench) run_bench_smoke ;;
   all)
     run_suite "$root/build"
-    run_suite "$root/build-asan" -DUC_SANITIZE="address;undefined"
+    run_asan
+    run_bench_smoke
     ;;
   *)
-    echo "usage: tools/ci.sh [plain|asan|all]" >&2
+    echo "usage: tools/ci.sh [plain|asan|bench|all]" >&2
     exit 2
     ;;
 esac

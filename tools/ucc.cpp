@@ -1,6 +1,7 @@
 // ucc — the UC compiler/runner command-line driver.
 //
 //   ucc run program.uc            compile and execute on a simulated CM-2
+//   ucc bench program.uc          time the program under both VM engines
 //   ucc check program.uc          report diagnostics (+ analysis warnings)
 //   ucc analyze program.uc        static analysis: interference + comm
 //                                 classification (docs/ANALYSIS.md)
@@ -10,6 +11,7 @@
 // Options:
 //   --stats                 print machine statistics after a run
 //   --trace                 print the Paris-style instruction trace
+//   --engine=<walk|bytecode>  VM execution engine (default bytecode)
 //   --seed=<n>              machine RNG seed (default 1)
 //   --procs=<n>             physical processors (default 16384)
 //   --threads=<n>           host threads for the data-parallel runtime
@@ -21,6 +23,7 @@
 //   --no-notes              analyze: drop UC-Axxx notes, keep warnings
 //   --no-summary            analyze: drop the communication summary
 //   --werror                analyze: nonzero exit on any warning
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -40,6 +43,7 @@ int usage() {
       "\n"
       "commands:\n"
       "  run         compile and execute on a simulated CM-2\n"
+      "  bench       time the program under both VM engines\n"
       "  check       report diagnostics (plus analysis warnings)\n"
       "  analyze     static analysis: par-block interference and\n"
       "              communication-pattern classification\n"
@@ -49,6 +53,7 @@ int usage() {
       "options:\n"
       "  --stats               print machine statistics after a run\n"
       "  --trace               print the Paris-style instruction trace\n"
+      "  --engine=<walk|bytecode>  VM execution engine (default bytecode)\n"
       "  --seed=<n>            machine RNG seed (default 1)\n"
       "  --procs=<n>           physical processors (default 16384)\n"
       "  --threads=<n>         host threads for the runtime\n"
@@ -101,6 +106,10 @@ bool parse_args(int argc, char** argv, Options& opts) {
     } else if (arg == "--trace") {
       opts.trace = true;
       opts.machine.record_paris_trace = true;
+    } else if (arg == "--engine=walk") {
+      opts.exec.engine = uc::vm::ExecEngine::kWalk;
+    } else if (arg == "--engine=bytecode") {
+      opts.exec.engine = uc::vm::ExecEngine::kBytecode;
     } else if (int_value("--seed=", v)) {
       opts.machine.seed = v;
     } else if (int_value("--procs=", v)) {
@@ -187,6 +196,43 @@ int main(int argc, char** argv) {
     }
     if (opts.command == "emit-uc") {
       std::fputs(program.to_uc_source().c_str(), stdout);
+      return 0;
+    }
+    if (opts.command == "bench") {
+      // Time the same program under both engines on fresh machines and
+      // check that output and modeled cycles agree.
+      struct Row {
+        const char* name;
+        uc::vm::ExecEngine engine;
+        double ms = 0.0;
+        std::uint64_t cycles = 0;
+        std::string output;
+      };
+      Row rows[2] = {{"walk", uc::vm::ExecEngine::kWalk},
+                     {"bytecode", uc::vm::ExecEngine::kBytecode}};
+      for (auto& row : rows) {
+        uc::cm::Machine machine(opts.machine);
+        uc::vm::ExecOptions eopts = opts.exec;
+        eopts.engine = row.engine;
+        const auto t0 = std::chrono::steady_clock::now();
+        auto result = program.run_on(machine, eopts);
+        const auto t1 = std::chrono::steady_clock::now();
+        row.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+        row.cycles = result.stats().cycles;
+        row.output = result.output();
+      }
+      for (const auto& row : rows) {
+        std::printf("%-9s %10.3f ms  %12llu cycles\n", row.name, row.ms,
+                    static_cast<unsigned long long>(row.cycles));
+      }
+      if (rows[0].output != rows[1].output ||
+          rows[0].cycles != rows[1].cycles) {
+        std::fprintf(stderr, "ucc bench: engines disagree (output %s, "
+                             "cycles %s)\n",
+                     rows[0].output == rows[1].output ? "match" : "differ",
+                     rows[0].cycles == rows[1].cycles ? "match" : "differ");
+        return 1;
+      }
       return 0;
     }
     if (opts.command != "run") return usage();
