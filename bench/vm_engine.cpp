@@ -47,6 +47,29 @@ Row run_one(const std::string& name, const std::string& source,
   return row;
 }
 
+// The bytecode engine with per-site profiling attached (docs/PROFILING.md):
+// the row's delta against the plain bytecode row is the profiler's host
+// overhead.  Cycles and output must not move at all.
+Row run_one_profiled(const std::string& name, const std::string& source,
+                     int reps) {
+  auto program = uc::Program::compile(name + ".uc", source);
+  Row row;
+  row.program = name;
+  row.engine = "bytecode-profiled";
+  for (int r = 0; r < reps; ++r) {
+    uc::ProfileOptions popts;
+    popts.exec.engine = uc::vm::ExecEngine::kBytecode;
+    popts.join_static = false;  // time the attribution, not the analysis
+    uc::bench::WallTimer timer;
+    auto prof = program.profile(popts);
+    const double ms = timer.elapsed_ms();
+    if (r == 0 || ms < row.host_ms) row.host_ms = ms;
+    row.cycles = prof.run.stats().cycles;
+    row.output = prof.run.output();
+  }
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -86,8 +109,11 @@ int main(int argc, char** argv) {
   for (const auto& w : workloads) {
     Row walk = run_one(w.name, w.source, uc::vm::ExecEngine::kWalk, reps);
     Row byte = run_one(w.name, w.source, uc::vm::ExecEngine::kBytecode, reps);
-    const bool agree =
-        walk.output == byte.output && walk.cycles == byte.cycles;
+    Row prof = run_one_profiled(w.name, w.source, reps);
+    const bool agree = walk.output == byte.output &&
+                       walk.cycles == byte.cycles &&
+                       prof.output == byte.output &&
+                       prof.cycles == byte.cycles;
     all_agree = all_agree && agree;
     const double speedup = byte.host_ms > 0 ? walk.host_ms / byte.host_ms : 0;
     std::printf("%-26s %-9s %10.2f %16llu %9s  %s\n", w.name.c_str(), "walk",
@@ -97,8 +123,12 @@ int main(int argc, char** argv) {
                 "bytecode", byte.host_ms,
                 static_cast<unsigned long long>(byte.cycles), speedup,
                 agree ? "yes" : "NO!");
+    std::printf("%-26s %-9s %10.2f %16llu %9s  %s\n", w.name.c_str(),
+                "+profile", prof.host_ms,
+                static_cast<unsigned long long>(prof.cycles), "", "");
     rows.push_back(walk);
     rows.push_back(byte);
+    rows.push_back(prof);
   }
 
   if (!json_path.empty()) {

@@ -1,0 +1,21 @@
+/* Paper Fig 6 workload: all-pairs shortest path with O(N^2) parallelism
+ * (the Fig 4 program), at a smoke-test size.  tools/ci.sh profiles this
+ * program and asserts profiling leaves the output bit-identical. */
+#define N 8
+index_set I:i = {0..N-1}, J:j = I, K:k = I;
+int d[N][N];
+
+void init() {
+  srand(11);
+  par (I, J) st (i==j) d[i][j] = 0;
+    others d[i][j] = rand() % N + 1;
+}
+
+void main() {
+  init();
+  seq (K)
+    par (I, J)
+      st (d[i][k] + d[k][j] < d[i][j])
+        d[i][j] = d[i][k] + d[k][j];
+  print("d[0][N-1] =", d[0][N-1]);
+}

@@ -1,0 +1,21 @@
+/* Paper Fig 7 workload: shortest path with O(N^3) parallelism — each
+ * round reduces over K in every (i, j) lane, so ceil(log2 N) rounds
+ * suffice.  Smoke-test size; profiled by tools/ci.sh. */
+#define N 8
+index_set I:i = {0..N-1}, J:j = I, K:k = I;
+index_set L:l = {0..2};
+int d[N][N];
+
+void init() {
+  srand(11);
+  par (I, J) st (i==j) d[i][j] = 0;
+    others d[i][j] = rand() % N + 1;
+}
+
+void main() {
+  init();
+  seq (L)
+    par (I, J)
+      d[i][j] = $<(K; d[i][k] + d[k][j]);
+  print("d[0][N-1] =", d[0][N-1]);
+}

@@ -1,0 +1,32 @@
+/* Paper Fig 8 workload: shortest path to the corner of a grid with an
+ * anti-diagonal obstacle (Fig 11), via *solve to a fixed point.  Smoke-
+ * test size; profiled by tools/ci.sh. */
+#define R 8
+#define C 8
+#define WALL (0 - 2)
+index_set I:i = {0..R-1}, J:j = {0..C-1};
+index_set D:dir = {0..3};
+int d[R][C];
+
+void init() {
+  par (I, J)
+    st (i+j == R-1 && abs(i - R/2) <= R/4 && j != 0)
+      d[i][j] = WALL;
+    others d[i][j] = INF;
+  d[0][0] = 0;
+}
+
+void main() {
+  init();
+  *solve (I, J)
+    st (d[i][j] != WALL && !(i==0 && j==0))
+      d[i][j] = min(INF, 1 + $<(D
+        st (i + (dir==0) - (dir==1) >= 0 &&
+            i + (dir==0) - (dir==1) <= R-1 &&
+            j + (dir==2) - (dir==3) >= 0 &&
+            j + (dir==2) - (dir==3) <= C-1 &&
+            d[i + (dir==0) - (dir==1)][j + (dir==2) - (dir==3)]
+              != WALL)
+          d[i + (dir==0) - (dir==1)][j + (dir==2) - (dir==3)]));
+  print("d[R-1][C-1] =", d[R-1][C-1]);
+}

@@ -17,6 +17,19 @@ CostStats& CostStats::operator+=(const CostStats& o) {
   return *this;
 }
 
+CostStats& CostStats::operator-=(const CostStats& o) {
+  cycles -= o.cycles;
+  vector_ops -= o.vector_ops;
+  news_ops -= o.news_ops;
+  router_ops -= o.router_ops;
+  router_messages -= o.router_messages;
+  reductions -= o.reductions;
+  global_ors -= o.global_ors;
+  broadcasts -= o.broadcasts;
+  frontend_ops -= o.frontend_ops;
+  return *this;
+}
+
 std::string CostStats::to_string(const CostModel& model) const {
   std::ostringstream os;
   os << "cycles=" << cycles << " (" << model.cycles_to_seconds(cycles)

@@ -58,6 +58,14 @@ struct CostStats {
   std::uint64_t frontend_ops = 0;   // scalar front-end operations
 
   CostStats& operator+=(const CostStats& o);
+  // Counter-wise difference; well-defined only for b -= a where a is an
+  // earlier snapshot of the same accumulator (counters never decrease).
+  CostStats& operator-=(const CostStats& o);
+  friend CostStats operator-(CostStats a, const CostStats& b) {
+    a -= b;
+    return a;
+  }
+  friend bool operator==(const CostStats&, const CostStats&) = default;
   std::string to_string(const CostModel& model) const;
 };
 

@@ -10,6 +10,7 @@ ThreadPool::ThreadPool(unsigned thread_count) {
   }
   // The calling thread participates in parallel_for (as worker 0), so
   // spawn one fewer; pool workers take ids 1..thread_count-1.
+  chunks_per_worker_.assign(thread_count, 0);
   for (unsigned i = 1; i < thread_count; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
   }
@@ -39,8 +40,10 @@ void ThreadPool::parallel_for_indexed(
     const std::function<void(unsigned, std::int64_t, std::int64_t)>& fn,
     std::int64_t min_grain) {
   if (begin >= end) return;
+  ++jobs_executed_;
   const std::int64_t n = end - begin;
   if (workers_.empty() || n <= min_grain) {
+    ++chunks_per_worker_[0];
     fn(0, begin, end);
     return;
   }
@@ -87,6 +90,7 @@ void ThreadPool::run_chunks(std::unique_lock<std::mutex>& lock,
       error = std::current_exception();
     }
     lock.lock();
+    ++chunks_per_worker_[worker_id];
     if (error && !job_.error) job_.error = error;
     --job_.outstanding;
     if (job_.next >= job_.end && job_.outstanding == 0) {

@@ -51,6 +51,26 @@ class ThreadPool {
       const std::function<void(unsigned, std::int64_t, std::int64_t)>& fn,
       std::int64_t min_grain = 1024);
 
+  // ---- Utilization counters (host-side observability, docs/PROFILING.md).
+  // Counters only ever grow; they do not affect scheduling, results, or
+  // modeled cycles.  Read them between parallel regions (the pool is
+  // quiescent then, so no synchronisation is needed on the reader side).
+
+  // Number of parallel_for / parallel_for_indexed regions executed,
+  // including ones that ran inline on the calling thread.
+  std::uint64_t jobs_executed() const { return jobs_executed_; }
+  // Chunks executed by each worker id (0 = calling thread).  Imbalance
+  // between entries is host-scheduling skew, invisible in modeled cycles.
+  const std::vector<std::uint64_t>& chunks_per_worker() const {
+    return chunks_per_worker_;
+  }
+  // Sum of chunks_per_worker() — cheap enough to snapshot per profile scope.
+  std::uint64_t total_chunks() const {
+    std::uint64_t sum = 0;
+    for (auto c : chunks_per_worker_) sum += c;
+    return sum;
+  }
+
  private:
   struct Job {
     const std::function<void(unsigned, std::int64_t, std::int64_t)>* fn =
@@ -73,6 +93,8 @@ class ThreadPool {
   Job job_;
   bool quit_ = false;
   std::vector<std::thread> workers_;
+  std::uint64_t jobs_executed_ = 0;  // issuing thread only
+  std::vector<std::uint64_t> chunks_per_worker_;  // slot per worker id
 };
 
 }  // namespace uc::cm

@@ -1,0 +1,220 @@
+#include "prof/report.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/str.hpp"
+
+namespace uc::prof {
+
+using support::format;
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string engine_mark(const Site& s) {
+  if (s.bytecode_stmts > 0 && s.walk_stmts > 0) return "mixed";
+  if (s.bytecode_stmts > 0) return "bc";
+  if (s.walk_stmts > 0) return "walk";
+  return "-";
+}
+
+// Indices of sites sorted hottest-first by self modeled cycles.  Ties keep
+// interning (first-execution) order — never wall time, which would make
+// the row order vary run to run and between engines.
+std::vector<std::size_t> hot_order(const std::vector<Site>& sites) {
+  std::vector<std::size_t> order(sites.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return sites[a].self.cycles > sites[b].self.cycles;
+                   });
+  return order;
+}
+
+}  // namespace
+
+std::string render_table(const std::vector<Site>& sites,
+                         const cm::CostModel& model,
+                         const cm::CostStats& total,
+                         const PoolUtilization& pool,
+                         const TableOptions& opts) {
+  std::string out;
+  out += format(
+      "%12s %6s %9s %8s  %-23s %-5s %-12s %s\n", "self-cycles", "%",
+      "host-ms", "entries", "ops v/n/r/sc/go/bc/fe", "eng",
+      opts.show_static ? "static" : "", "site");
+
+  const auto order = hot_order(sites);
+  std::uint64_t sum_cycles = 0;
+  for (const auto& s : sites) sum_cycles += s.self.cycles;
+
+  std::size_t rows = 0, hidden = 0;
+  for (std::size_t idx : order) {
+    const Site& s = sites[idx];
+    if (s.entries == 0 || (s.self.cycles == 0 && s.self_wall_ns < 1000)) {
+      ++hidden;
+      continue;
+    }
+    if (opts.max_rows != 0 && rows >= opts.max_rows) {
+      ++hidden;
+      continue;
+    }
+    ++rows;
+    const double pct =
+        total.cycles > 0
+            ? 100.0 * static_cast<double>(s.self.cycles) /
+                  static_cast<double>(total.cycles)
+            : 0.0;
+    const std::string mix = format(
+        "%llu/%llu/%llu/%llu/%llu/%llu/%llu",
+        static_cast<unsigned long long>(s.self.vector_ops),
+        static_cast<unsigned long long>(s.self.news_ops),
+        static_cast<unsigned long long>(s.self.router_ops),
+        static_cast<unsigned long long>(s.self.reductions),
+        static_cast<unsigned long long>(s.self.global_ors),
+        static_cast<unsigned long long>(s.self.broadcasts),
+        static_cast<unsigned long long>(s.self.frontend_ops));
+    const std::string where =
+        s.line > 0 ? format("%s:%u", s.file.c_str(), s.line) : s.file;
+    out += format(
+        "%12llu %5.1f%% %9.3f %8llu  %-23s %-5s %-12s %s %s | %s\n",
+        static_cast<unsigned long long>(s.self.cycles), pct,
+        static_cast<double>(s.self_wall_ns) / 1e6,
+        static_cast<unsigned long long>(s.entries), mix.c_str(),
+        engine_mark(s).c_str(),
+        opts.show_static
+            ? (s.static_classes.empty() ? "-" : s.static_classes.c_str())
+            : "",
+        where.c_str(), s.kind.c_str(), s.text.c_str());
+  }
+  if (hidden > 0) {
+    out += format("  (%zu cold sites hidden)\n", hidden);
+  }
+  out += format(
+      "total: %llu cycles (%.6f s @%.0fMHz), sum of sites = %llu%s\n",
+      static_cast<unsigned long long>(total.cycles),
+      model.cycles_to_seconds(total.cycles), model.clock_hz / 1e6,
+      static_cast<unsigned long long>(sum_cycles),
+      sum_cycles == total.cycles ? "" : "  ** MISMATCH **");
+
+  out += format("host pool: %u thread%s, %llu parallel regions, "
+                "chunks/worker:",
+                pool.threads, pool.threads == 1 ? "" : "s",
+                static_cast<unsigned long long>(pool.jobs));
+  for (auto c : pool.chunks) {
+    out += format(" %llu", static_cast<unsigned long long>(c));
+  }
+  const auto [mn, mx] =
+      pool.chunks.empty()
+          ? std::pair<std::uint64_t, std::uint64_t>{0, 0}
+          : std::pair<std::uint64_t, std::uint64_t>{
+                *std::min_element(pool.chunks.begin(), pool.chunks.end()),
+                *std::max_element(pool.chunks.begin(), pool.chunks.end())};
+  if (pool.chunks.size() > 1 && mn > 0) {
+    out += format(" (imbalance %.2fx)", static_cast<double>(mx) /
+                                            static_cast<double>(mn));
+  }
+  out += "\n";
+  return out;
+}
+
+std::string sites_json(const std::vector<Site>& sites,
+                       const cm::CostStats& total,
+                       const PoolUtilization& pool) {
+  std::string out = "{\n";
+  out += format("  \"total_cycles\": %llu,\n",
+                static_cast<unsigned long long>(total.cycles));
+  out += "  \"sites\": [\n";
+  const auto order = hot_order(sites);
+  bool first = true;
+  for (std::size_t idx : order) {
+    const Site& s = sites[idx];
+    if (s.entries == 0) continue;
+    if (!first) out += ",\n";
+    first = false;
+    out += format(
+        "    {\"kind\": \"%s\", \"file\": \"%s\", \"line\": %u, "
+        "\"col\": %u, \"text\": \"%s\", \"entries\": %llu, "
+        "\"cycles\": %llu, \"host_ms\": %.3f, \"vector_ops\": %llu, "
+        "\"news_ops\": %llu, \"router_ops\": %llu, "
+        "\"router_messages\": %llu, \"reductions\": %llu, "
+        "\"global_ors\": %llu, \"broadcasts\": %llu, "
+        "\"frontend_ops\": %llu, \"pool_chunks\": %llu, "
+        "\"bytecode_stmts\": %llu, \"walk_stmts\": %llu, "
+        "\"static\": \"%s\"}",
+        json_escape(s.kind).c_str(), json_escape(s.file).c_str(), s.line,
+        s.col, json_escape(s.text).c_str(),
+        static_cast<unsigned long long>(s.entries),
+        static_cast<unsigned long long>(s.self.cycles),
+        static_cast<double>(s.self_wall_ns) / 1e6,
+        static_cast<unsigned long long>(s.self.vector_ops),
+        static_cast<unsigned long long>(s.self.news_ops),
+        static_cast<unsigned long long>(s.self.router_ops),
+        static_cast<unsigned long long>(s.self.router_messages),
+        static_cast<unsigned long long>(s.self.reductions),
+        static_cast<unsigned long long>(s.self.global_ors),
+        static_cast<unsigned long long>(s.self.broadcasts),
+        static_cast<unsigned long long>(s.self.frontend_ops),
+        static_cast<unsigned long long>(s.pool_chunks),
+        static_cast<unsigned long long>(s.bytecode_stmts),
+        static_cast<unsigned long long>(s.walk_stmts),
+        json_escape(s.static_classes).c_str());
+  }
+  out += "\n  ],\n";
+  out += format("  \"pool\": {\"threads\": %u, \"jobs\": %llu, \"chunks\": [",
+                pool.threads, static_cast<unsigned long long>(pool.jobs));
+  for (std::size_t k = 0; k < pool.chunks.size(); ++k) {
+    out += format("%s%llu", k > 0 ? ", " : "",
+                  static_cast<unsigned long long>(pool.chunks[k]));
+  }
+  out += "]}\n}\n";
+  return out;
+}
+
+std::string trace_json(const std::vector<Site>& sites,
+                       const std::vector<TraceEvent>& events) {
+  // A bare array is a valid Chrome trace (the JSON Array Format); events
+  // may appear in any order, chrome://tracing sorts by ts.
+  std::string out = "[\n";
+  for (std::size_t k = 0; k < events.size(); ++k) {
+    const TraceEvent& ev = events[k];
+    const Site& s = sites[static_cast<std::size_t>(ev.site)];
+    const std::string name =
+        s.line > 0 ? format("%s %s:%u", s.kind.c_str(), s.file.c_str(),
+                            s.line)
+                   : s.kind;
+    out += format(
+        "  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": 1, "
+        "\"args\": {\"cycles\": %llu, \"line\": %u, \"text\": \"%s\"}}%s\n",
+        json_escape(name).c_str(), json_escape(s.kind).c_str(),
+        static_cast<double>(ev.start_ns) / 1e3,
+        static_cast<double>(ev.dur_ns) / 1e3,
+        static_cast<unsigned long long>(ev.cycles), s.line,
+        json_escape(s.text).c_str(), k + 1 < events.size() ? "," : "");
+  }
+  out += "]\n";
+  return out;
+}
+
+}  // namespace uc::prof

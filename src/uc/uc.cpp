@@ -87,6 +87,66 @@ vm::RunResult Program::run_on(cm::Machine& machine,
   return interp.run();
 }
 
+ProfileResult Program::profile(const ProfileOptions& options) const {
+  prof::Profiler profiler(options.capture_trace);
+
+  cm::Machine machine(options.machine);
+  vm::ExecOptions exec = options.exec;
+  exec.profiler = &profiler;
+
+  ProfileResult result;
+  result.run = run_on(machine, exec);
+  result.model = machine.cost_model();
+
+  result.pool.threads = machine.pool().thread_count();
+  result.pool.jobs = machine.pool().jobs_executed();
+  result.pool.chunks = machine.pool().chunks_per_worker();
+
+  if (options.join_static) {
+    // Static-vs-dynamic join: classify every parallel access with the
+    // `ucc analyze` passes and annotate each dynamic site whose source
+    // range covers the access.  The analysis runs on the same (possibly
+    // transformed) unit the VM executed, so offsets line up exactly.
+    analysis::AnalysisOptions aopts;
+    aopts.cost = options.machine.cost;
+    analysis::Report report = analysis::run_default_analysis(*unit_, aopts);
+    for (auto& site : profiler.sites()) {
+      if (site.end_offset <= site.begin_offset) continue;
+      bool seen[4] = {false, false, false, false};
+      for (const auto& fn : report.functions) {
+        for (const auto& access : fn.accesses) {
+          const auto at = access.range.begin.offset;
+          if (at < site.begin_offset || at >= site.end_offset) continue;
+          seen[static_cast<std::size_t>(access.cls)] = true;
+        }
+      }
+      std::string classes;
+      for (std::size_t c = 0; c < 4; ++c) {
+        if (!seen[c]) continue;
+        if (!classes.empty()) classes += '+';
+        classes += analysis::comm_class_name(static_cast<analysis::CommClass>(c));
+      }
+      site.static_classes = std::move(classes);
+    }
+  }
+
+  result.sites = profiler.sites();
+  result.events = profiler.events();
+  return result;
+}
+
+std::string ProfileResult::table(const prof::TableOptions& opts) const {
+  return prof::render_table(sites, model, run.stats(), pool, opts);
+}
+
+std::string ProfileResult::json() const {
+  return prof::sites_json(sites, run.stats(), pool);
+}
+
+std::string ProfileResult::trace() const {
+  return prof::trace_json(sites, events);
+}
+
 std::string Program::to_uc_source() const {
   return codegen::print_program(*unit_->program);
 }

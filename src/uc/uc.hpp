@@ -18,8 +18,11 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cm/machine.hpp"
+#include "prof/profile.hpp"
+#include "prof/report.hpp"
 #include "uclang/frontend.hpp"
 #include "ucvm/interp.hpp"
 
@@ -60,6 +63,32 @@ struct AnalyzeResult {
 AnalyzeResult analyze(std::string name, std::string source,
                       const AnalyzeOptions& options = {});
 
+// Options for a profiled run (`ucc profile`, docs/PROFILING.md).
+struct ProfileOptions {
+  cm::MachineOptions machine;
+  vm::ExecOptions exec;        // engine choice etc.; `profiler` is ignored
+  bool capture_trace = false;  // record Chrome trace events per scope
+  bool join_static = true;     // annotate sites with `ucc analyze` classes
+};
+
+// Result of a profiled run: the ordinary RunResult plus the per-site
+// attribution.  The invariant checked by the test suite: the sum of
+// Site::self.cycles over `sites` equals `run.stats().cycles`.
+struct ProfileResult {
+  vm::RunResult run;
+  std::vector<prof::Site> sites;
+  std::vector<prof::TraceEvent> events;  // empty unless capture_trace
+  prof::PoolUtilization pool;
+  cm::CostModel model;
+
+  // The sorted hot-site table (human-readable).
+  std::string table(const prof::TableOptions& opts = {}) const;
+  // Machine-readable per-site JSON.
+  std::string json() const;
+  // Chrome trace-event JSON (chrome://tracing); empty array w/o capture.
+  std::string trace() const;
+};
+
 class Program {
  public:
   // Throws support::UcCompileError (message = rendered diagnostics) when
@@ -81,6 +110,11 @@ class Program {
   // Runs on an existing machine (stats accumulate there).
   vm::RunResult run_on(cm::Machine& machine,
                        vm::ExecOptions exec_options = {}) const;
+
+  // Runs main() on a fresh machine with per-site profiling enabled and
+  // (optionally) joins the static `ucc analyze` communication classes onto
+  // the dynamic sites.  Output and modeled cycles are identical to run().
+  ProfileResult profile(const ProfileOptions& options = {}) const;
 
   // The canonical UC rendering of the (possibly transformed) program.
   std::string to_uc_source() const;

@@ -1,6 +1,7 @@
 #include "uclang/lexer.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <unordered_set>
 
@@ -84,7 +85,16 @@ Token Lexer::lex_number(support::SourceLoc begin) {
   if (is_float) {
     t.float_value = std::strtod(t.text.c_str(), nullptr);
   } else {
-    t.int_value = std::strtoll(t.text.c_str(), nullptr, 10);
+    // strtoll saturates to LLONG_MAX on overflow, which would silently
+    // change the program's constants; make it a compile error instead.
+    errno = 0;
+    char* end = nullptr;
+    t.int_value = std::strtoll(t.text.c_str(), &end, 10);
+    if (errno == ERANGE || end == t.text.c_str() || *end != '\0') {
+      diags_.error(t.range, "integer literal '" + t.text +
+                                "' does not fit in a 64-bit int");
+      t.int_value = 0;
+    }
   }
   return t;
 }

@@ -54,7 +54,7 @@ LaneSpace* LaneSpace::find_local(std::int32_t slot, std::int64_t lane,
 }
 
 Impl::Impl(const lang::CompilationUnit& u, cm::Machine& m, ExecOptions o)
-    : unit(u), machine(m), opts(o) {
+    : unit(u), machine(m), opts(o), prof(o.profiler) {
   base_seed = machine.options().seed;
   fe_rng.seed(base_seed);
   root.frontend = true;
@@ -95,6 +95,11 @@ support::SplitMix64& Impl::lane_rng(EvalCtx& ctx) {
 RunResult Impl::run() {
   // Stats accumulate on the machine (callers wanting a clean slate use a
   // fresh machine or reset_stats()); the result snapshots the total.
+  // Root attribution scope: cost not claimed by a narrower site (global
+  // initialisers, front-end control flow) lands on the program itself, so
+  // per-site self cycles always sum to the aggregate.
+  ProfScope prof_scope(*this, unit.program.get(), "program",
+                       support::SourceRange{});
   // Materialise globals and run top-level declarations in program order.
   globals.assign(static_cast<std::size_t>(unit.sema.global_slots) + 1,
                  FrameSlot{});
@@ -217,8 +222,14 @@ Flow Impl::exec_scalar_stmt(const Stmt& stmt, EvalCtx& ctx) {
     case StmtKind::kExpr: {
       const auto& s = static_cast<const lang::ExprStmt&>(stmt);
       if (ctx.is_frontend()) {
+        // Scoped on the front end only: inside a parallel context this
+        // path runs on pool workers, where profiling hooks must not fire
+        // (charging happens via merged AccessStats on the issuing thread).
+        ProfScope prof_scope(*this, &stmt, "fe", stmt.range);
         ++stmt_counter;
         charge_expr(*s.expr, 1, /*frontend=*/true);
+        (void)eval(*s.expr, ctx);
+        return Flow::kNormal;
       }
       (void)eval(*s.expr, ctx);
       return Flow::kNormal;

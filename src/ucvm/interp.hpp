@@ -29,6 +29,10 @@
 #include "ucvm/arrays.hpp"
 #include "ucvm/value.hpp"
 
+namespace uc::prof {
+class Profiler;
+}
+
 namespace uc::vm {
 
 namespace detail {
@@ -59,6 +63,11 @@ struct ExecOptions {
   // Lane execution engine (identical results either way; kBytecode is the
   // fast path, kWalk the reference interpreter).
   ExecEngine engine = ExecEngine::kBytecode;
+  // Per-site execution profiler (docs/PROFILING.md).  When non-null, both
+  // engines attribute CostStats deltas and host wall time to source-site
+  // scopes on this profiler.  Profiling never changes program output or
+  // modeled cycles; null (the default) adds no overhead.
+  prof::Profiler* profiler = nullptr;
 };
 
 // Everything a run produces: program output, final machine stats, and a

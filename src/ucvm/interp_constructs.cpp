@@ -95,6 +95,11 @@ std::vector<Value> Impl::eval_lanes(const Expr& expr, LaneSpace& space,
   ++stmt_counter;
   const std::uint64_t stmt_id = stmt_counter;
 
+  // Statement-level attribution scope.  Both engines execute inside it
+  // (the bytecode fast path below and the walk fallback alike), so the
+  // per-site deltas are engine-independent wherever the charges are.
+  ProfScope prof_scope(*this, &expr, "stmt", expr.range);
+
   // Charge the static cost first: this also annotates reductions with the
   // processor-optimisation decision the evaluator consults.
   charge_expr(expr, space.geom_size, /*frontend=*/false, &space);
@@ -105,9 +110,11 @@ std::vector<Value> Impl::eval_lanes(const Expr& expr, LaneSpace& space,
   if (opts.engine == ExecEngine::kBytecode) {
     if (auto fast = kernel_engine().try_run(expr, space, active, frame,
                                             stmt_id, commit)) {
+      if (prof != nullptr) prof->note_engine(/*bytecode=*/true);
       return std::move(*fast);
     }
   }
+  if (prof != nullptr) prof->note_engine(/*bytecode=*/false);
 
   const auto n = static_cast<std::int64_t>(active.size());
   std::vector<Value> results(static_cast<std::size_t>(n));
@@ -349,6 +356,14 @@ void Impl::exec_nested_construct(const UcConstructStmt& stmt,
   if (stmt.index_set_syms.size() != stmt.index_sets.size()) {
     runtime_error(&stmt, "construct has unresolved index sets");
   }
+  const char* kind = "par";
+  switch (stmt.op) {
+    case UcOp::kSeq: kind = "seq"; break;
+    case UcOp::kPar: kind = stmt.starred ? "*par" : "par"; break;
+    case UcOp::kOneof: kind = stmt.starred ? "*oneof" : "oneof"; break;
+    case UcOp::kSolve: kind = stmt.starred ? "*solve" : "solve"; break;
+  }
+  ProfScope prof_scope(*this, &stmt, kind, stmt.range);
   switch (stmt.op) {
     case UcOp::kSeq: {
       exec_seq(stmt, parent, active, frame);

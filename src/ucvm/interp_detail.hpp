@@ -11,6 +11,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "prof/profile.hpp"
 #include "support/rng.hpp"
 #include "ucvm/interp.hpp"
 
@@ -287,6 +288,31 @@ struct Impl {
   [[noreturn]] void runtime_error(const Stmt* where, const std::string& msg);
   std::string locate(support::SourceRange range) const;
   support::SplitMix64& lane_rng(EvalCtx& ctx);
+
+  // --- profiling (docs/PROFILING.md) ---
+  // Null unless the caller passed ExecOptions::profiler; every hook is a
+  // no-op then, keeping the unprofiled paths bit-identical and free.
+  prof::Profiler* prof = nullptr;
+  // AST node -> interned profiler site (one site per source site, however
+  // many times it executes).
+  std::unordered_map<const void*, prof::SiteId> prof_sites_;
+  prof::SiteId prof_site(const void* key, const char* kind,
+                         support::SourceRange range);
+};
+
+// RAII attribution scope: enters the (lazily interned) site for an AST
+// node on construction, exits on destruction — exception-safe, and a
+// complete no-op when profiling is off.
+class ProfScope {
+ public:
+  ProfScope(Impl& vm, const void* key, const char* kind,
+            support::SourceRange range);
+  ~ProfScope();
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  Impl* vm_ = nullptr;  // null when profiling is off
 };
 
 // Shared between the tree walk and the bytecode engine (definitions in

@@ -124,6 +124,9 @@ void Impl::exec_solve(const UcConstructStmt& stmt, LaneSpace& space,
       const std::uint64_t stmt_id = stmt_counter;
       const auto n = static_cast<std::int64_t>(enabled[a].size());
       if (n == 0) continue;
+      // Attribute each equation's rounds to its own assignment site.
+      ProfScope prof_scope(*this, assigns[a].assign, "solve-eq",
+                           assigns[a].assign->range);
       std::vector<std::vector<Write>> writes(static_cast<std::size_t>(n));
       std::vector<AccessStats> stats(static_cast<std::size_t>(n));
       std::vector<std::uint8_t> fired(static_cast<std::size_t>(n), 0);
@@ -251,6 +254,7 @@ void Impl::exec_star_solve(const UcConstructStmt& stmt, LaneSpace& space,
 
 void Impl::apply_map_section(const lang::MapSectionStmt& section,
                              EvalCtx& ctx) {
+  ProfScope prof_scope(*this, &section, "map", section.range);
   for (const auto& m : section.mappings) {
     if (m.target_symbol == nullptr) continue;
     ArrayPtr target = array_of(*m.target_symbol, ctx);

@@ -1,0 +1,204 @@
+// The profiling subsystem (docs/PROFILING.md): the per-site attribution
+// invariant (site self-cost sums to the aggregate CostStats), cross-engine
+// parity, the static-analysis join, and the rendered outputs.
+#include "prof/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "prof/report.hpp"
+#include "uc/paper_programs.hpp"
+#include "uc/uc.hpp"
+
+namespace uc {
+namespace {
+
+// A program that exercises every scope kind the VM attributes: par with an
+// st/others split, seq nesting, a reduction, a solve, and front-end code.
+const char* kMixedProgram =
+    "#define N 8\n"
+    "index_set I:i = {0..N-1}, J:j = I;\n"
+    "int a[N], b[N], s;\n"
+    "void main() {\n"
+    "  par (I) st (i % 2 == 0) a[i] = i;\n"
+    "    others a[i] = -i;\n"
+    "  seq (J) par (I) b[i] = a[i] + j;\n"
+    "  solve (I) { a[i] = b[i] + 1; }\n"
+    "  s = $+(I; a[i]);\n"
+    "  print(\"s =\", s);\n"
+    "}\n";
+
+ProfileResult profile_with(vm::ExecEngine engine, const char* source,
+                           bool capture_trace = false) {
+  auto program = Program::compile("prof.uc", source);
+  ProfileOptions opts;
+  opts.exec.engine = engine;
+  opts.capture_trace = capture_trace;
+  return program.profile(opts);
+}
+
+cm::CostStats sum_sites(const std::vector<prof::Site>& sites) {
+  cm::CostStats sum;
+  for (const auto& s : sites) sum += s.self;
+  return sum;
+}
+
+TEST(Profiler, SiteSelfCostSumsToAggregateBytecode) {
+  auto prof = profile_with(vm::ExecEngine::kBytecode, kMixedProgram);
+  EXPECT_FALSE(prof.sites.empty());
+  // Every counter, not just cycles: no charge may escape attribution.
+  EXPECT_EQ(sum_sites(prof.sites), prof.run.stats());
+}
+
+TEST(Profiler, SiteSelfCostSumsToAggregateWalk) {
+  auto prof = profile_with(vm::ExecEngine::kWalk, kMixedProgram);
+  EXPECT_EQ(sum_sites(prof.sites), prof.run.stats());
+}
+
+TEST(Profiler, PerSiteCyclesIdenticalAcrossEngines) {
+  auto walk = profile_with(vm::ExecEngine::kWalk, kMixedProgram);
+  auto bc = profile_with(vm::ExecEngine::kBytecode, kMixedProgram);
+  EXPECT_EQ(walk.run.output(), bc.run.output());
+  EXPECT_EQ(walk.run.stats(), bc.run.stats());
+
+  // Same sites in the same interning order with the same self cost; only
+  // host wall time and the engine counters may differ.
+  ASSERT_EQ(walk.sites.size(), bc.sites.size());
+  for (std::size_t k = 0; k < walk.sites.size(); ++k) {
+    EXPECT_EQ(walk.sites[k].kind, bc.sites[k].kind);
+    EXPECT_EQ(walk.sites[k].line, bc.sites[k].line);
+    EXPECT_EQ(walk.sites[k].entries, bc.sites[k].entries);
+    EXPECT_EQ(walk.sites[k].self, bc.sites[k].self)
+        << walk.sites[k].kind << " at line " << walk.sites[k].line;
+  }
+}
+
+TEST(Profiler, EngineCountersReflectTheEngine) {
+  auto walk = profile_with(vm::ExecEngine::kWalk, kMixedProgram);
+  auto bc = profile_with(vm::ExecEngine::kBytecode, kMixedProgram);
+  std::uint64_t walk_bc = 0, walk_walk = 0, bc_bc = 0;
+  for (const auto& s : walk.sites) {
+    walk_bc += s.bytecode_stmts;
+    walk_walk += s.walk_stmts;
+  }
+  for (const auto& s : bc.sites) bc_bc += s.bytecode_stmts;
+  EXPECT_EQ(walk_bc, 0u);
+  EXPECT_GT(walk_walk, 0u);
+  EXPECT_GT(bc_bc, 0u);
+}
+
+TEST(Profiler, ProfilingDoesNotChangeOutputOrCycles) {
+  auto program = Program::compile("prof.uc", kMixedProgram);
+  auto plain = program.run();
+  auto prof = program.profile();
+  EXPECT_EQ(plain.output(), prof.run.output());
+  EXPECT_EQ(plain.stats(), prof.run.stats());
+}
+
+TEST(Profiler, SumHoldsOnThePaperShortestPath) {
+  const auto source = papers::shortest_path_on2(8, 11);
+  for (auto engine : {vm::ExecEngine::kWalk, vm::ExecEngine::kBytecode}) {
+    auto prof = profile_with(engine, source.c_str());
+    EXPECT_EQ(sum_sites(prof.sites), prof.run.stats());
+    EXPECT_GT(prof.run.stats().cycles, 0u);
+  }
+}
+
+TEST(Profiler, StaticJoinAnnotatesParallelSites) {
+  auto prof = profile_with(vm::ExecEngine::kBytecode, kMixedProgram);
+  bool any_static = false;
+  for (const auto& s : prof.sites) any_static |= !s.static_classes.empty();
+  EXPECT_TRUE(any_static);
+}
+
+TEST(Profiler, StaticJoinCanBeDisabled) {
+  auto program = Program::compile("prof.uc", kMixedProgram);
+  ProfileOptions opts;
+  opts.join_static = false;
+  auto prof = program.profile(opts);
+  for (const auto& s : prof.sites) EXPECT_TRUE(s.static_classes.empty());
+}
+
+TEST(Profiler, PoolUtilizationIsPopulated) {
+  auto prof = profile_with(vm::ExecEngine::kBytecode, kMixedProgram);
+  EXPECT_GE(prof.pool.threads, 1u);
+  EXPECT_EQ(prof.pool.chunks.size(), prof.pool.threads);
+  EXPECT_GT(prof.pool.jobs, 0u);
+}
+
+TEST(Profiler, TraceEventsOnlyWhenRequested) {
+  auto off = profile_with(vm::ExecEngine::kBytecode, kMixedProgram, false);
+  EXPECT_TRUE(off.events.empty());
+
+  auto on = profile_with(vm::ExecEngine::kBytecode, kMixedProgram, true);
+  ASSERT_FALSE(on.events.empty());
+  for (const auto& ev : on.events) {
+    ASSERT_GE(ev.site, 0);
+    ASSERT_LT(static_cast<std::size_t>(ev.site), on.sites.size());
+    EXPECT_GE(ev.depth, 0);
+  }
+  // The root scope event covers the whole run's cycles.
+  bool found_root = false;
+  for (const auto& ev : on.events) {
+    if (on.sites[static_cast<std::size_t>(ev.site)].kind == "program") {
+      EXPECT_EQ(ev.cycles, on.run.stats().cycles);
+      found_root = true;
+    }
+  }
+  EXPECT_TRUE(found_root);
+}
+
+TEST(Profiler, TableReportsMatchingTotals) {
+  auto prof = profile_with(vm::ExecEngine::kBytecode, kMixedProgram);
+  auto table = prof.table();
+  EXPECT_NE(table.find("self-cycles"), std::string::npos);
+  EXPECT_NE(table.find("sum of sites"), std::string::npos);
+  EXPECT_EQ(table.find("MISMATCH"), std::string::npos) << table;
+  EXPECT_NE(table.find("host pool:"), std::string::npos);
+}
+
+TEST(Profiler, JsonCarriesEverySite) {
+  auto prof = profile_with(vm::ExecEngine::kBytecode, kMixedProgram);
+  auto json = prof.json();
+  EXPECT_NE(json.find("\"total_cycles\""), std::string::npos);
+  EXPECT_NE(json.find("\"sites\""), std::string::npos);
+  EXPECT_NE(json.find("\"pool\""), std::string::npos);
+  EXPECT_NE(json.find("\"static\""), std::string::npos);
+}
+
+TEST(Profiler, TraceJsonIsChromeShaped) {
+  auto prof = profile_with(vm::ExecEngine::kBytecode, kMixedProgram, true);
+  auto json = prof.trace();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"cycles\":"), std::string::npos);
+}
+
+// Direct unit coverage of the scope stack: nested enters attribute the
+// parent's cost up to the child entry, and exits restore the parent.
+TEST(Profiler, ScopeStackAttributesExclusively) {
+  prof::Profiler p;
+  auto outer = p.intern("par", "t.uc", 1, 1, 0, 100, "outer");
+  auto inner = p.intern("stmt", "t.uc", 2, 1, 10, 20, "inner");
+
+  cm::CostStats now;
+  p.enter(outer, now, 0);
+  now.cycles = 10;  // 10 cycles while outer is on top
+  p.enter(inner, now, 0);
+  now.cycles = 25;  // 15 cycles while inner is on top
+  p.exit(now, 0);
+  now.cycles = 30;  // 5 more for outer after the child
+  p.exit(now, 0);
+
+  ASSERT_EQ(p.sites().size(), 2u);
+  EXPECT_EQ(p.sites()[0].self.cycles, 15u);  // outer: 10 + 5
+  EXPECT_EQ(p.sites()[1].self.cycles, 15u);  // inner: 15
+  EXPECT_EQ(p.sites()[0].entries, 1u);
+  EXPECT_EQ(p.depth(), 0u);
+}
+
+}  // namespace
+}  // namespace uc

@@ -4,7 +4,9 @@
 
 #include <array>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 namespace {
@@ -214,6 +216,145 @@ TEST(UccCli, UsageOnBadCommand) {
   auto r = run_command(ucc() + " frobnicate " + program("hello.uc"));
   EXPECT_EQ(r.exit_code, 2);
   EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST(UccCli, NumericOptionsRejectGarbage) {
+  for (const char* bad : {"--seed=12x", "--procs=abc", "--procs=0",
+                          "--threads=0", "--threads=-2", "--top=0"}) {
+    auto r = run_command(ucc() + " run " + program("hello.uc") + " " + bad);
+    EXPECT_EQ(r.exit_code, 2) << bad;
+    EXPECT_NE(r.output.find("invalid value"), std::string::npos)
+        << bad << "\n" << r.output;
+  }
+  // Zero stays valid where it means something (seed 0 is a real seed).
+  auto ok = run_command(ucc() + " run " + program("hello.uc") + " --seed=0");
+  EXPECT_EQ(ok.exit_code, 0) << ok.output;
+}
+
+TEST(UccCli, IntLiteralOverflowIsACompileError) {
+  const std::string path = "/tmp/ucc_cli_overflow.uc";
+  {
+    std::ofstream out(path);
+    out << "int x;\nvoid main() { x = 99999999999999999999; }\n";
+  }
+  auto r = run_command(ucc() + " run " + path);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("does not fit in a 64-bit int"), std::string::npos)
+      << r.output;
+  std::remove(path.c_str());
+}
+
+TEST(UccCli, UnexpectedExceptionsExitCleanly) {
+  // Materializing this array throws std::length_error (N*N elements is
+  // past vector::max_size, so the throw happens before any allocation —
+  // deterministic under ASan too, whose operator new aborts instead of
+  // throwing bad_alloc on a failed huge allocation).  The driver must
+  // catch it and exit nonzero instead of aborting.
+  const std::string path = "/tmp/ucc_cli_huge.uc";
+  {
+    std::ofstream out(path);
+    out << "#define N 2000000000\nint a[N][N];\nvoid main() { print(1); }\n";
+  }
+  auto r = run_command(ucc() + " run " + path);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("ucc:"), std::string::npos) << r.output;
+  std::remove(path.c_str());
+}
+
+TEST(UccCli, ProfileCommandPrintsHotSiteTable) {
+  auto r = run_command(ucc() + " profile " + program("shortest_path.uc"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("d[0][N-1] ="), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("self-cycles"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("sum of sites"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("MISMATCH"), std::string::npos) << r.output;
+  // The static-vs-dynamic join column from `ucc analyze`.
+  EXPECT_NE(r.output.find("local"), std::string::npos) << r.output;
+}
+
+TEST(UccCli, ProfileTableIdenticalAcrossEngines) {
+  auto strip_host_ms = [](std::string s) {
+    // Column 3 (host-ms) and the pool line are host-timing noise.
+    std::string out;
+    std::istringstream in(s);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.rfind("host pool:", 0) == 0) continue;
+      std::istringstream cols(line);
+      std::string col;
+      int k = 0;
+      while (cols >> col) {
+        if (++k == 3 && line.rfind("total:", 0) != 0) col = "-";
+        out += col + " ";
+      }
+      out += "\n";
+    }
+    return out;
+  };
+  auto walk = run_command(ucc() + " profile " + program("shortest_path.uc") +
+                          " --engine=walk");
+  auto bc = run_command(ucc() + " profile " + program("shortest_path.uc") +
+                        " --engine=bytecode");
+  EXPECT_EQ(walk.exit_code, 0);
+  EXPECT_EQ(bc.exit_code, 0);
+  auto w = strip_host_ms(walk.output);
+  auto b = strip_host_ms(bc.output);
+  // The engine column legitimately differs; neutralize it.
+  auto neutral = [](std::string s) {
+    for (const char* eng : {" bc ", " walk ", " mixed "}) {
+      std::size_t pos = 0;
+      while ((pos = s.find(eng, pos)) != std::string::npos) {
+        s.replace(pos, std::strlen(eng), " ENG ");
+      }
+    }
+    return s;
+  };
+  EXPECT_EQ(neutral(w), neutral(b));
+}
+
+TEST(UccCli, RunWithProfileKeepsStdoutIdentical) {
+  // The subshell discards stderr (where the profile table goes), so this
+  // compares the program's stdout byte for byte.
+  auto plain = run_command("(" + ucc() + " run " +
+                           program("shortest_path.uc") + " 2>/dev/null)");
+  auto prof = run_command("(" + ucc() + " run " +
+                          program("shortest_path.uc") +
+                          " --profile 2>/dev/null)");
+  EXPECT_EQ(plain.exit_code, 0);
+  EXPECT_EQ(prof.exit_code, 0);
+  EXPECT_EQ(plain.output, prof.output);
+}
+
+TEST(UccCli, ProfileWritesJsonAndTraceFiles) {
+  const std::string json_path = "/tmp/ucc_cli_prof.json";
+  const std::string trace_path = "/tmp/ucc_cli_prof_trace.json";
+  auto r = run_command(ucc() + " profile " + program("shortest_path.uc") +
+                       " --json=" + json_path +
+                       " --trace-json=" + trace_path);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+
+  std::ifstream json_in(json_path);
+  std::stringstream json_buf;
+  json_buf << json_in.rdbuf();
+  EXPECT_NE(json_buf.str().find("\"total_cycles\""), std::string::npos);
+  EXPECT_NE(json_buf.str().find("\"sites\""), std::string::npos);
+
+  std::ifstream trace_in(trace_path);
+  std::stringstream trace_buf;
+  trace_buf << trace_in.rdbuf();
+  EXPECT_EQ(trace_buf.str().front(), '[');
+  EXPECT_NE(trace_buf.str().find("\"ph\": \"X\""), std::string::npos);
+
+  std::remove(json_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST(UccCli, ProfileTopLimitsRows) {
+  auto r = run_command(ucc() + " profile " + program("shortest_path.uc") +
+                       " --top=2");
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("cold sites hidden"), std::string::npos)
+      << r.output;
 }
 
 }  // namespace

@@ -114,6 +114,33 @@ TEST(Lexer, IntAndFloatLiterals) {
   EXPECT_EQ(toks[4].kind, TokenKind::kIntLit);
 }
 
+TEST(Lexer, Int64MaxLexesExactly) {
+  auto toks = lex("9223372036854775807");
+  ASSERT_EQ(toks[0].kind, TokenKind::kIntLit);
+  EXPECT_EQ(toks[0].int_value, 9223372036854775807LL);
+}
+
+TEST(Lexer, IntLiteralOverflowIsAnError) {
+  // strtoll would silently saturate to LLONG_MAX; the lexer must reject.
+  support::SourceFile file("test.uc", "99999999999999999999");
+  support::DiagnosticEngine diags(&file);
+  Lexer lexer(file, diags);
+  auto toks = lexer.lex_all();
+  ASSERT_EQ(toks[0].kind, TokenKind::kIntLit);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.render_all().find("does not fit in a 64-bit int"),
+            std::string::npos)
+      << diags.render_all();
+}
+
+TEST(Lexer, IntJustPastMaxIsAnError) {
+  support::SourceFile file("test.uc", "9223372036854775808");
+  support::DiagnosticEngine diags(&file);
+  Lexer lexer(file, diags);
+  (void)lexer.lex_all();
+  EXPECT_TRUE(diags.has_errors());
+}
+
 TEST(Lexer, IntFollowedByRangeIsNotFloat) {
   // `0..N` must lex as 0 .. N, not 0. . N.
   auto toks = lex("0..9");

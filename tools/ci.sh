@@ -23,11 +23,37 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure -j
 }
 
+# Profiling smoke on the paper workloads (docs/PROFILING.md): a profiled
+# run must leave the program output bit-identical, and the hot-site table
+# must account for every modeled cycle (no ** MISMATCH ** marker).
+run_profile_smoke() {
+  local dir="$1"
+  local ucc="$dir/tools/ucc"
+  local tmp; tmp="$(mktemp -d)"
+  for prog in fig6_shortest_path_on2 fig7_shortest_path_on3 \
+              fig8_grid_obstacle; do
+    local src="$root/programs/$prog.uc"
+    "$ucc" run "$src" >"$tmp/off.txt"
+    "$ucc" run "$src" --profile >"$tmp/on.txt" 2>/dev/null
+    cmp "$tmp/off.txt" "$tmp/on.txt" || {
+      echo "ci.sh: profiling changed the output of $prog" >&2; exit 1; }
+    "$ucc" profile "$src" >"$tmp/table.txt"
+    grep -q "sum of sites" "$tmp/table.txt" || {
+      echo "ci.sh: no profile table for $prog" >&2; exit 1; }
+    if grep -q "MISMATCH" "$tmp/table.txt"; then
+      echo "ci.sh: per-site cycles do not sum to the aggregate for $prog" >&2
+      exit 1
+    fi
+  done
+  rm -rf "$tmp"
+}
+
 run_asan() {
   run_suite "$root/build-asan" -DUC_SANITIZE="address;undefined"
   # Engine parity under the sanitizers: every shipped program, both
   # engines, byte-identical output and identical modeled cycles.
   "$root/build-asan/tests/ucvm/test_ucvm" --gtest_filter='EngineParity*'
+  run_profile_smoke "$root/build-asan"
 }
 
 run_bench_smoke() {
@@ -37,11 +63,15 @@ run_bench_smoke() {
 }
 
 case "$mode" in
-  plain) run_suite "$root/build" ;;
+  plain)
+    run_suite "$root/build"
+    run_profile_smoke "$root/build"
+    ;;
   asan)  run_asan ;;
   bench) run_bench_smoke ;;
   all)
     run_suite "$root/build"
+    run_profile_smoke "$root/build"
     run_asan
     run_bench_smoke
     ;;

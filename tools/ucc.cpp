@@ -1,6 +1,8 @@
 // ucc — the UC compiler/runner command-line driver.
 //
 //   ucc run program.uc            compile and execute on a simulated CM-2
+//   ucc profile program.uc        run with per-site attribution and print
+//                                 the hot-site table (docs/PROFILING.md)
 //   ucc bench program.uc          time the program under both VM engines
 //   ucc check program.uc          report diagnostics (+ analysis warnings)
 //   ucc analyze program.uc        static analysis: interference + comm
@@ -23,6 +25,13 @@
 //   --no-notes              analyze: drop UC-Axxx notes, keep warnings
 //   --no-summary            analyze: drop the communication summary
 //   --werror                analyze: nonzero exit on any warning
+//   --profile[=out.json]    run: profile; bare prints the table to stderr,
+//                           with a path writes the per-site JSON there
+//   --trace-json=<file>     profile/run --profile: Chrome trace-event JSON
+//   --json=<file>           profile: also write the per-site JSON
+//   --top=<n>               profile: print only the n hottest sites
+//   --no-static             profile: skip the static-analysis join column
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -43,6 +52,8 @@ int usage() {
       "\n"
       "commands:\n"
       "  run         compile and execute on a simulated CM-2\n"
+      "  profile     run with per-site attribution; print the hot-site\n"
+      "              table (modeled cycles, host ms, op mix, static join)\n"
       "  bench       time the program under both VM engines\n"
       "  check       report diagnostics (plus analysis warnings)\n"
       "  analyze     static analysis: par-block interference and\n"
@@ -64,8 +75,21 @@ int usage() {
       "  --fold / --no-fold    constant folding (default on)\n"
       "  --no-notes            analyze: drop UC-Axxx notes\n"
       "  --no-summary          analyze: drop the communication summary\n"
-      "  --werror              analyze: nonzero exit on any warning\n");
+      "  --werror              analyze: nonzero exit on any warning\n"
+      "  --profile[=out.json]  run: profile; bare prints the table to\n"
+      "                        stderr, a path writes the per-site JSON\n"
+      "  --trace-json=<file>   write Chrome trace-event JSON\n"
+      "  --json=<file>         profile: also write the per-site JSON\n"
+      "  --top=<n>             profile: print only the n hottest sites\n"
+      "  --no-static           profile: skip the static-analysis join\n");
   return 2;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
 }
 
 bool read_file(const std::string& path, std::string& out) {
@@ -83,6 +107,12 @@ struct Options {
   bool stats = false;
   bool trace = false;
   bool werror = false;
+  bool profile = false;          // run --profile (table to stderr)
+  bool join_static = true;       // --no-static turns the join column off
+  std::string profile_json;      // --profile=<out.json>
+  std::string sites_json;        // --json=<file> (profile command)
+  std::string trace_json;        // --trace-json=<file>
+  std::uint64_t top = 0;         // --top=<n>, 0 = all hot sites
   uc::cm::MachineOptions machine;
   uc::vm::ExecOptions exec;
   uc::CompileOptions compile;
@@ -93,11 +123,38 @@ bool parse_args(int argc, char** argv, Options& opts) {
   if (argc < 3) return false;
   opts.command = argv[1];
   opts.file = argv[2];
+  bool bad_value = false;
   for (int k = 3; k < argc; ++k) {
     std::string arg = argv[k];
-    auto int_value = [&](const char* prefix, std::uint64_t& out) {
+    // Parses `<prefix><n>`, rejecting empty, non-numeric, trailing-garbage
+    // and out-of-range values; zero is rejected unless `allow_zero` (a
+    // machine with 0 processors or a runtime with 0 threads is an error the
+    // simulator would otherwise hit much later, far from the typo).
+    auto int_value = [&](const char* prefix, std::uint64_t& out,
+                         bool allow_zero = false) {
       if (arg.rfind(prefix, 0) != 0) return false;
-      out = std::strtoull(arg.c_str() + std::strlen(prefix), nullptr, 10);
+      const char* s = arg.c_str() + std::strlen(prefix);
+      char* end = nullptr;
+      errno = 0;
+      const std::uint64_t parsed = std::strtoull(s, &end, 10);
+      if (*s == '\0' || end == nullptr || *end != '\0' || errno == ERANGE ||
+          *s == '-' || (!allow_zero && parsed == 0)) {
+        std::fprintf(stderr,
+                     "ucc: invalid value in '%s' (expected a %s integer)\n",
+                     arg.c_str(), allow_zero ? "non-negative" : "positive");
+        bad_value = true;
+        return true;  // the prefix matched; stop the option search
+      }
+      out = parsed;
+      return true;
+    };
+    auto str_value = [&](const char* prefix, std::string& out) {
+      if (arg.rfind(prefix, 0) != 0) return false;
+      out = arg.substr(std::strlen(prefix));
+      if (out.empty()) {
+        std::fprintf(stderr, "ucc: missing path in '%s'\n", arg.c_str());
+        bad_value = true;
+      }
       return true;
     };
     std::uint64_t v = 0;
@@ -110,12 +167,22 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.exec.engine = uc::vm::ExecEngine::kWalk;
     } else if (arg == "--engine=bytecode") {
       opts.exec.engine = uc::vm::ExecEngine::kBytecode;
-    } else if (int_value("--seed=", v)) {
+    } else if (int_value("--seed=", v, /*allow_zero=*/true)) {
       opts.machine.seed = v;
     } else if (int_value("--procs=", v)) {
       opts.machine.cost.physical_processors = v;
     } else if (int_value("--threads=", v)) {
       opts.machine.host_threads = static_cast<unsigned>(v);
+    } else if (arg == "--profile") {
+      opts.profile = true;
+    } else if (str_value("--profile=", opts.profile_json)) {
+      opts.profile = true;
+    } else if (str_value("--trace-json=", opts.trace_json)) {
+    } else if (str_value("--json=", opts.sites_json)) {
+    } else if (int_value("--top=", v)) {
+      opts.top = v;
+    } else if (arg == "--no-static") {
+      opts.join_static = false;
     } else if (arg == "--no-mappings") {
       opts.exec.apply_mappings = false;
     } else if (arg == "--no-procopt") {
@@ -138,6 +205,7 @@ bool parse_args(int argc, char** argv, Options& opts) {
       std::fprintf(stderr, "ucc: unknown option '%s'\n", arg.c_str());
       return false;
     }
+    if (bad_value) return false;
   }
   return true;
 }
@@ -154,40 +222,40 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (opts.command == "check") {
-    auto diags = uc::Program::check(opts.file, source);
-    if (!diags.empty()) {
-      std::fputs(diags.c_str(), stderr);
-      return 1;
-    }
-    // Surface analysis warnings (not notes) without failing the check.
-    uc::AnalyzeOptions aopts = opts.analyze;
-    aopts.include_notes = false;
-    aopts.include_summary = false;
-    aopts.machine = opts.machine;
-    auto analysis = uc::analyze(opts.file, source, aopts);
-    if (analysis.warnings > 0) std::fputs(analysis.text.c_str(), stderr);
-    std::printf("%s: ok\n", opts.file.c_str());
-    return 0;
-  }
-
-  if (opts.command == "analyze") {
-    uc::AnalyzeOptions aopts = opts.analyze;
-    aopts.machine = opts.machine;
-    auto analysis = uc::analyze(opts.file, std::move(source), aopts);
-    if (!analysis.compiled) {
-      std::fputs(analysis.text.c_str(), stderr);
-      return 1;
-    }
-    std::fputs(analysis.text.c_str(), stdout);
-    std::printf("%zu errors, %zu warnings, %zu notes\n", analysis.errors,
-                analysis.warnings, analysis.notes);
-    if (analysis.errors > 0) return 1;
-    if (opts.werror && analysis.warnings > 0) return 1;
-    return 0;
-  }
-
   try {
+    if (opts.command == "check") {
+      auto diags = uc::Program::check(opts.file, source);
+      if (!diags.empty()) {
+        std::fputs(diags.c_str(), stderr);
+        return 1;
+      }
+      // Surface analysis warnings (not notes) without failing the check.
+      uc::AnalyzeOptions aopts = opts.analyze;
+      aopts.include_notes = false;
+      aopts.include_summary = false;
+      aopts.machine = opts.machine;
+      auto analysis = uc::analyze(opts.file, source, aopts);
+      if (analysis.warnings > 0) std::fputs(analysis.text.c_str(), stderr);
+      std::printf("%s: ok\n", opts.file.c_str());
+      return 0;
+    }
+
+    if (opts.command == "analyze") {
+      uc::AnalyzeOptions aopts = opts.analyze;
+      aopts.machine = opts.machine;
+      auto analysis = uc::analyze(opts.file, std::move(source), aopts);
+      if (!analysis.compiled) {
+        std::fputs(analysis.text.c_str(), stderr);
+        return 1;
+      }
+      std::fputs(analysis.text.c_str(), stdout);
+      std::printf("%zu errors, %zu warnings, %zu notes\n", analysis.errors,
+                  analysis.warnings, analysis.notes);
+      if (analysis.errors > 0) return 1;
+      if (opts.werror && analysis.warnings > 0) return 1;
+      return 0;
+    }
+
     auto program =
         uc::Program::compile(opts.file, std::move(source), opts.compile);
     if (opts.command == "emit-cstar") {
@@ -235,7 +303,63 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    if (opts.command == "profile") {
+      uc::ProfileOptions popts;
+      popts.machine = opts.machine;
+      popts.exec = opts.exec;
+      popts.capture_trace = !opts.trace_json.empty();
+      popts.join_static = opts.join_static;
+      auto prof = program.profile(popts);
+      std::fputs(prof.run.output().c_str(), stdout);
+      uc::prof::TableOptions topts;
+      topts.max_rows = static_cast<std::size_t>(opts.top);
+      topts.show_static = opts.join_static;
+      std::fputs(prof.table(topts).c_str(), stdout);
+      if (!opts.sites_json.empty() &&
+          !write_file(opts.sites_json, prof.json())) {
+        std::fprintf(stderr, "ucc: cannot write '%s'\n",
+                     opts.sites_json.c_str());
+        return 2;
+      }
+      if (!opts.trace_json.empty() &&
+          !write_file(opts.trace_json, prof.trace())) {
+        std::fprintf(stderr, "ucc: cannot write '%s'\n",
+                     opts.trace_json.c_str());
+        return 2;
+      }
+      return 0;
+    }
     if (opts.command != "run") return usage();
+
+    if (opts.profile || !opts.trace_json.empty()) {
+      // Profiled run: same output and modeled cycles, plus attribution.
+      uc::ProfileOptions popts;
+      popts.machine = opts.machine;
+      popts.exec = opts.exec;
+      popts.capture_trace = !opts.trace_json.empty();
+      popts.join_static = opts.join_static;
+      auto prof = program.profile(popts);
+      std::fputs(prof.run.output().c_str(), stdout);
+      if (opts.profile && opts.profile_json.empty()) {
+        std::fputs(prof.table().c_str(), stderr);
+      } else if (!opts.profile_json.empty() &&
+                 !write_file(opts.profile_json, prof.json())) {
+        std::fprintf(stderr, "ucc: cannot write '%s'\n",
+                     opts.profile_json.c_str());
+        return 2;
+      }
+      if (!opts.trace_json.empty() &&
+          !write_file(opts.trace_json, prof.trace())) {
+        std::fprintf(stderr, "ucc: cannot write '%s'\n",
+                     opts.trace_json.c_str());
+        return 2;
+      }
+      if (opts.stats) {
+        std::fprintf(stderr, "%s\n",
+                     prof.run.stats().to_string(opts.machine.cost).c_str());
+      }
+      return 0;
+    }
 
     uc::cm::Machine machine(opts.machine);
     auto result = program.run_on(machine, opts.exec);
@@ -257,6 +381,14 @@ int main(int argc, char** argv) {
     return 1;
   } catch (const uc::support::UcRuntimeError& e) {
     std::fprintf(stderr, "runtime error: %s\n", e.what());
+    return 1;
+  } catch (const uc::support::ApiError& e) {
+    // Library misuse surfaced through the public API: report it instead of
+    // letting std::terminate take the process down with an abort.
+    std::fprintf(stderr, "ucc: internal error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ucc: %s\n", e.what());
     return 1;
   }
 }
