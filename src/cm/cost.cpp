@@ -14,6 +14,10 @@ CostStats& CostStats::operator+=(const CostStats& o) {
   global_ors += o.global_ors;
   broadcasts += o.broadcasts;
   frontend_ops += o.frontend_ops;
+  faults += o.faults;
+  retries += o.retries;
+  rollbacks += o.rollbacks;
+  checkpoints += o.checkpoints;
   return *this;
 }
 
@@ -27,6 +31,10 @@ CostStats& CostStats::operator-=(const CostStats& o) {
   global_ors -= o.global_ors;
   broadcasts -= o.broadcasts;
   frontend_ops -= o.frontend_ops;
+  faults -= o.faults;
+  retries -= o.retries;
+  rollbacks -= o.rollbacks;
+  checkpoints -= o.checkpoints;
   return *this;
 }
 
@@ -38,6 +46,12 @@ std::string CostStats::to_string(const CostModel& model) const {
      << " router_ops=" << router_ops << " router_msgs=" << router_messages
      << " reductions=" << reductions << " global_ors=" << global_ors
      << " broadcasts=" << broadcasts << " frontend_ops=" << frontend_ops;
+  // Robustness counters only when the layer did anything, so faults-off
+  // stats render exactly as before the layer existed.
+  if (faults != 0 || retries != 0 || rollbacks != 0 || checkpoints != 0) {
+    os << " faults=" << faults << " retries=" << retries
+       << " rollbacks=" << rollbacks << " checkpoints=" << checkpoints;
+  }
   return os.str();
 }
 

@@ -57,6 +57,14 @@ struct CostStats {
   std::uint64_t broadcasts = 0;
   std::uint64_t frontend_ops = 0;   // scalar front-end operations
 
+  // Robustness layer (docs/ROBUSTNESS.md).  All zero unless fault
+  // injection / checkpointing is enabled, so faults-off runs are
+  // bit-identical to builds without the layer.
+  std::uint64_t faults = 0;       // failed attempts detected (checksum/ack)
+  std::uint64_t retries = 0;      // instruction re-issues after a fault
+  std::uint64_t rollbacks = 0;    // VM statement/construct replays
+  std::uint64_t checkpoints = 0;  // VM state snapshots captured
+
   CostStats& operator+=(const CostStats& o);
   // Counter-wise difference; well-defined only for b -= a where a is an
   // earlier snapshot of the same accumulator (counters never decrease).

@@ -1,0 +1,181 @@
+#include "cm/fault.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "support/error.hpp"
+#include "support/str.hpp"
+
+namespace uc::cm {
+
+using support::format;
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kRouter: return "router";
+    case FaultKind::kNews: return "news";
+    case FaultKind::kReduce: return "reduce";
+    case FaultKind::kMemory: return "memory";
+  }
+  return "?";
+}
+
+double FaultSpec::probability(FaultKind k) const {
+  switch (k) {
+    case FaultKind::kRouter: return router_p;
+    case FaultKind::kNews: return news_p;
+    case FaultKind::kReduce: return reduce_p;
+    case FaultKind::kMemory: return memory_p;
+  }
+  return 0.0;
+}
+
+std::string FaultSpec::to_string() const {
+  std::string out;
+  auto clause = [&](const char* kind, double p) {
+    if (p <= 0) return;
+    if (!out.empty()) out += ";";
+    out += format("%s:p=%g", kind, p);
+  };
+  clause("router", router_p);
+  clause("news", news_p);
+  clause("reduce", reduce_p);
+  clause("memory", memory_p);
+  if (out.empty()) return "off";
+  out += format(",seed=%llu,retries=%llu,backoff=%llu,detect=%llu",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(max_retries),
+                static_cast<unsigned long long>(backoff_cycles),
+                static_cast<unsigned long long>(detect_cycles));
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  throw support::ApiError("bad fault spec '" + spec + "': " + why);
+}
+
+double parse_prob(const std::string& spec, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const double p = std::strtod(value.c_str(), &end);
+  if (value.empty() || end == nullptr || *end != '\0' || errno == ERANGE ||
+      std::isnan(p)) {
+    bad_spec(spec, "'" + value + "' is not a probability");
+  }
+  if (p < 0.0 || p > 1.0) {
+    bad_spec(spec, "probability " + value + " is outside [0,1]");
+  }
+  return p;
+}
+
+std::uint64_t parse_count(const std::string& spec, const std::string& key,
+                          const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const std::uint64_t n = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || end == nullptr || *end != '\0' || errno == ERANGE ||
+      value[0] == '-') {
+    bad_spec(spec, key + "= wants a non-negative integer, got '" + value +
+                       "'");
+  }
+  return n;
+}
+
+}  // namespace
+
+FaultSpec parse_fault_spec(const std::string& spec) {
+  FaultSpec out;
+  if (spec.empty()) bad_spec(spec, "empty spec");
+
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t semi = spec.find(';', pos);
+    const std::string clause =
+        spec.substr(pos, semi == std::string::npos ? std::string::npos
+                                                   : semi - pos);
+    pos = semi == std::string::npos ? spec.size() + 1 : semi + 1;
+    if (clause.empty()) bad_spec(spec, "empty clause");
+
+    // `kind:` prefix selects which probability `p=` applies to; a clause
+    // without one may only carry global keys.
+    double* p_slot = nullptr;
+    std::string params = clause;
+    const std::size_t colon = clause.find(':');
+    if (colon != std::string::npos) {
+      const std::string kind = clause.substr(0, colon);
+      params = clause.substr(colon + 1);
+      if (kind == "router") {
+        p_slot = &out.router_p;
+      } else if (kind == "news") {
+        p_slot = &out.news_p;
+      } else if (kind == "reduce" || kind == "scan") {
+        p_slot = &out.reduce_p;
+      } else if (kind == "memory" || kind == "field") {
+        p_slot = &out.memory_p;
+      } else {
+        bad_spec(spec, "unknown fault kind '" + kind +
+                           "' (want router, news, reduce or memory)");
+      }
+    }
+
+    std::size_t ppos = 0;
+    while (ppos <= params.size()) {
+      const std::size_t comma = params.find(',', ppos);
+      const std::string param =
+          params.substr(ppos, comma == std::string::npos ? std::string::npos
+                                                         : comma - ppos);
+      ppos = comma == std::string::npos ? params.size() + 1 : comma + 1;
+      if (param.empty()) bad_spec(spec, "empty parameter");
+      const std::size_t eq = param.find('=');
+      if (eq == std::string::npos) {
+        bad_spec(spec, "parameter '" + param + "' is not key=value");
+      }
+      const std::string key = param.substr(0, eq);
+      const std::string value = param.substr(eq + 1);
+      if (key == "p") {
+        if (p_slot == nullptr) {
+          bad_spec(spec, "p= outside a kind clause (write e.g. router:p=" +
+                             value + ")");
+        }
+        *p_slot = parse_prob(spec, value);
+      } else if (key == "seed") {
+        out.seed = parse_count(spec, key, value);
+      } else if (key == "retries") {
+        out.max_retries = parse_count(spec, key, value);
+      } else if (key == "backoff") {
+        out.backoff_cycles = parse_count(spec, key, value);
+      } else if (key == "detect") {
+        out.detect_cycles = parse_count(spec, key, value);
+      } else {
+        bad_spec(spec, "unknown key '" + key +
+                           "' (want p, seed, retries, backoff or detect)");
+      }
+    }
+  }
+  return out;
+}
+
+FaultInjector::FaultInjector(const FaultSpec& spec)
+    : spec_(spec), rng_(spec.seed) {}
+
+bool FaultInjector::draw_failure(FaultKind k, std::uint64_t units) {
+  const double p = spec_.probability(k);
+  if (p <= 0.0 || units == 0) return false;
+  if (p >= 1.0) return true;
+  // P(attempt fails) = 1 - (1-p)^units, computed in log space so tiny
+  // per-unit probabilities over huge unit counts stay exact.
+  const double q =
+      -std::expm1(static_cast<double>(units) * std::log1p(-p));
+  return rng_.next_double() < q;
+}
+
+std::uint64_t FaultInjector::backoff(std::uint64_t consecutive) const {
+  const std::uint64_t doublings =
+      consecutive > 0 ? (consecutive - 1 > 10 ? 10 : consecutive - 1) : 0;
+  return spec_.backoff_cycles << doublings;
+}
+
+}  // namespace uc::cm

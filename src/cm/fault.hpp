@@ -1,0 +1,99 @@
+// Deterministic fault injection for the simulated CM (docs/ROBUSTNESS.md).
+//
+// The paper's CM-2 was real hardware: routers dropped messages, NEWS links
+// glitched, scans mis-accumulated, memory words took bit flips.  This layer
+// simulates those transient failures with independent per-unit
+// probabilities, a seeded RNG (same spec => same fault schedule), and the
+// detection/recovery protocol every message-passing machine ends up with:
+// per-transfer checksums and router acks detect a bad attempt, the
+// instruction is re-issued after an exponential backoff, and a bounded
+// number of consecutive failures escalates to a support::TransientFault
+// that the VM's checkpoint layer can roll back across.
+//
+// Detection is modeled as perfect: a faulted attempt never silently
+// corrupts data, it only costs cycles.  That is what makes outputs under
+// injected faults bit-identical to fault-free runs — exactly the property
+// the differential tests assert.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/rng.hpp"
+
+namespace uc::cm {
+
+// The fault domains, matching the charge_* entry points of Machine:
+//   kRouter — general router message drop/corruption (per message)
+//   kNews   — NEWS-grid link failure (per hop x time slice)
+//   kReduce — transient scan/reduce step failure (per step x time slice)
+//   kMemory — VP-field bit flip under an elementwise op (per VP word)
+enum class FaultKind : std::uint8_t { kRouter, kNews, kReduce, kMemory };
+
+const char* fault_kind_name(FaultKind k);
+
+// Parsed form of a --faults= spec string.  Grammar (see parse_fault_spec):
+//
+//   spec    := clause (';' clause)*
+//   clause  := kind ':' params | params
+//   kind    := router | news | reduce | scan | memory | field
+//   params  := param (',' param)*
+//   param   := 'p=' PROB            per-unit fault probability (kind clause)
+//            | 'seed=' N            fault-schedule RNG seed (global)
+//            | 'retries=' N         max re-issues per instruction (global)
+//            | 'backoff=' N         base backoff cycles, doubles per
+//                                   consecutive failure (global)
+//            | 'detect=' N          checksum/ack verification cycles charged
+//                                   per protected instruction (global)
+//
+// e.g.  --faults=router:p=1e-4;news:p=1e-5,seed=42
+struct FaultSpec {
+  double router_p = 0.0;
+  double news_p = 0.0;
+  double reduce_p = 0.0;
+  double memory_p = 0.0;
+
+  std::uint64_t seed = 0xfa175eedull;  // default fault-schedule seed
+  std::uint64_t max_retries = 8;     // re-issues before TransientFault
+  std::uint64_t backoff_cycles = 8;  // base; doubles per consecutive failure
+  std::uint64_t detect_cycles = 4;   // checksum/ack cost per instruction
+
+  bool enabled() const {
+    return router_p > 0 || news_p > 0 || reduce_p > 0 || memory_p > 0;
+  }
+  double probability(FaultKind k) const;
+  std::string to_string() const;
+};
+
+// Parses the --faults= grammar above; throws support::ApiError with a
+// message naming the offending clause on any syntax or range error.
+FaultSpec parse_fault_spec(const std::string& spec);
+
+// Draws the fault schedule.  One instance lives in each Machine; all draws
+// happen on the issuing thread (instruction issue is serial), so the
+// schedule is deterministic for any host thread count.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultSpec& spec);
+
+  const FaultSpec& spec() const { return spec_; }
+  bool enabled() const { return spec_.enabled(); }
+  bool enabled(FaultKind k) const { return spec_.probability(k) > 0; }
+
+  // One detection draw for an instruction attempt touching `units`
+  // independent failure units (messages, hops, words, ...).  True = the
+  // attempt failed its checksum/ack and must be re-issued.  The per-attempt
+  // failure probability is 1 - (1-p)^units; `units == 0` never fails and
+  // consumes no randomness.
+  bool draw_failure(FaultKind k, std::uint64_t units);
+
+  // Backoff charged before re-issue number `consecutive` (1-based):
+  // backoff_cycles << (consecutive-1), capped at 10 doublings.
+  std::uint64_t backoff(std::uint64_t consecutive) const;
+
+ private:
+  FaultSpec spec_;
+  support::SplitMix64 rng_;
+};
+
+}  // namespace uc::cm

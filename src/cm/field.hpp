@@ -52,6 +52,10 @@ class Field {
 
   std::vector<Bits>& raw() { return data_; }
   const std::vector<Bits>& raw() const { return data_; }
+  // Raw defined-flag storage, exposed for checkpoint capture/restore
+  // (docs/ROBUSTNESS.md); everyone else goes through is_defined().
+  std::vector<std::uint8_t>& defined_raw() { return defined_; }
+  const std::vector<std::uint8_t>& defined_raw() const { return defined_; }
 
  private:
   void check(VpIndex vp) const {

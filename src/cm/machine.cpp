@@ -6,10 +6,19 @@
 
 namespace uc::cm {
 
+std::int64_t MachineImage::words() const {
+  std::int64_t total = 0;
+  for (const auto& f : fields) {
+    total += static_cast<std::int64_t>(f.data.size());
+  }
+  return total;
+}
+
 Machine::Machine(MachineOptions options)
     : options_(options),
       pool_(std::make_unique<ThreadPool>(options.host_threads)),
-      rng_(options.seed) {}
+      rng_(options.seed),
+      injector_(options.faults) {}
 
 GeomId Machine::create_geometry(std::vector<std::int64_t> dims) {
   geometries_.push_back(std::make_unique<Geometry>(std::move(dims)));
@@ -25,6 +34,22 @@ const Geometry& Machine::geometry(GeomId id) const {
 
 FieldId Machine::allocate_field(GeomId geom, std::string name, ElemType type) {
   const Geometry* g = &geometry(geom);
+  // Memory cap: one payload word + one defined flag per VP.  Exceeding it
+  // is a clean runtime error (the program asked for too much machine),
+  // not an ApiError — the caller's code is fine, the request is not.
+  const auto bytes =
+      static_cast<std::uint64_t>(g->size()) * (sizeof(Bits) + 1);
+  if (options_.max_field_bytes != 0 &&
+      field_bytes_ + bytes > options_.max_field_bytes) {
+    throw support::UcRuntimeError(support::format(
+        "field '%s' (%lld VPs, %llu bytes) exceeds the field memory cap: "
+        "%llu of %llu bytes already allocated (raise --max-field-mb)",
+        name.c_str(), static_cast<long long>(g->size()),
+        static_cast<unsigned long long>(bytes),
+        static_cast<unsigned long long>(field_bytes_),
+        static_cast<unsigned long long>(options_.max_field_bytes)));
+  }
+  field_bytes_ += bytes;
   auto field = std::make_unique<Field>(g, std::move(name), type);
   if (!free_field_slots_.empty()) {
     auto slot = free_field_slots_.back();
@@ -49,9 +74,97 @@ const Field& Machine::field(FieldId id) const {
 }
 
 void Machine::free_field(FieldId id) {
-  field(id);  // validate
+  const Field& f = field(id);  // validate
+  const auto bytes =
+      static_cast<std::uint64_t>(f.size()) * (sizeof(Bits) + 1);
+  field_bytes_ = field_bytes_ >= bytes ? field_bytes_ - bytes : 0;
   fields_[static_cast<std::size_t>(id.index)].reset();
   free_field_slots_.push_back(id.index);
+}
+
+void Machine::faultable(FaultKind k, std::uint64_t units,
+                        std::uint64_t attempt_cycles) {
+  if (!injector_.enabled(k)) return;
+  // Detection (checksum/ack verification) is charged per protected
+  // instruction whenever injection is on — turning the layer on costs
+  // cycles even on a lucky run, turning it off costs nothing.
+  stats_.cycles += options_.faults.detect_cycles;
+  std::uint64_t failures = 0;
+  while (injector_.draw_failure(k, units)) {
+    ++failures;
+    stats_.faults += 1;
+    stats_.cycles += injector_.backoff(failures);
+    if (failures > options_.faults.max_retries) {
+      trace(support::format("cm:fault         kind=%s attempts=%llu "
+                            "units=%llu UNRECOVERED",
+                            fault_kind_name(k),
+                            static_cast<unsigned long long>(failures),
+                            static_cast<unsigned long long>(units)));
+      throw support::TransientFault(
+          fault_kind_name(k), failures,
+          support::format(
+              "transient %s fault: %llu consecutive attempts failed "
+              "(p=%g over %llu units, retries=%llu)",
+              fault_kind_name(k),
+              static_cast<unsigned long long>(failures),
+              injector_.spec().probability(k),
+              static_cast<unsigned long long>(units),
+              static_cast<unsigned long long>(
+                  options_.faults.max_retries)));
+    }
+    // Re-issue: the instruction runs again in full, plus its checksum.
+    stats_.retries += 1;
+    stats_.cycles += attempt_cycles + options_.faults.detect_cycles;
+    trace(support::format("cm:retry         kind=%s attempt=%llu units=%llu",
+                          fault_kind_name(k),
+                          static_cast<unsigned long long>(failures + 1),
+                          static_cast<unsigned long long>(units)));
+  }
+}
+
+void Machine::charge_checkpoint(std::int64_t words) {
+  trace(support::format("cm:checkpoint    words=%lld",
+                        static_cast<long long>(words)));
+  stats_.checkpoints += 1;
+  const auto slices =
+      options_.cost.vp_ratio(static_cast<std::uint64_t>(words));
+  stats_.cycles += options_.cost.issue_overhead +
+                   options_.cost.mem_op * slices;
+}
+
+MachineImage Machine::snapshot_state() const {
+  MachineImage image;
+  image.rng_state = rng_.state();
+  image.fields.reserve(fields_.size());
+  for (std::size_t k = 0; k < fields_.size(); ++k) {
+    const auto& f = fields_[k];
+    if (f == nullptr) continue;
+    MachineImage::FieldImage fi;
+    fi.slot = static_cast<std::int32_t>(k);
+    fi.data = f->raw();
+    fi.defined = f->defined_raw();
+    image.fields.push_back(std::move(fi));
+  }
+  return image;
+}
+
+void Machine::restore_state(const MachineImage& image) {
+  for (const auto& fi : image.fields) {
+    if (fi.slot < 0 ||
+        static_cast<std::size_t>(fi.slot) >= fields_.size() ||
+        fields_[static_cast<std::size_t>(fi.slot)] == nullptr) {
+      throw support::ApiError(
+          "Machine::restore_state: checkpointed field no longer exists");
+    }
+    Field& f = *fields_[static_cast<std::size_t>(fi.slot)];
+    if (f.raw().size() != fi.data.size()) {
+      throw support::ApiError(
+          "Machine::restore_state: field size changed since capture");
+    }
+    f.raw() = fi.data;
+    f.defined_raw() = fi.defined;
+  }
+  rng_.seed(image.rng_state);
 }
 
 void Machine::charge_frontend(std::uint64_t n_ops) {
@@ -67,8 +180,12 @@ void Machine::charge_vector_op(std::int64_t vp_set_size, std::uint64_t n_ops) {
                         static_cast<unsigned long long>(n_ops)));
   const auto vpr = options_.cost.vp_ratio(static_cast<std::uint64_t>(vp_set_size));
   stats_.vector_ops += 1;
-  stats_.cycles += options_.cost.issue_overhead +
-                   options_.cost.alu_op * n_ops * vpr;
+  const auto attempt = options_.cost.issue_overhead +
+                       options_.cost.alu_op * n_ops * vpr;
+  stats_.cycles += attempt;
+  // Memory faults: any of the VP words touched may take a bit flip.
+  faultable(FaultKind::kMemory, static_cast<std::uint64_t>(vp_set_size),
+            attempt);
 }
 
 void Machine::charge_news(std::int64_t vp_set_size, std::uint64_t hops) {
@@ -77,7 +194,10 @@ void Machine::charge_news(std::int64_t vp_set_size, std::uint64_t hops) {
                         static_cast<unsigned long long>(hops)));
   const auto vpr = options_.cost.vp_ratio(static_cast<std::uint64_t>(vp_set_size));
   stats_.news_ops += 1;
-  stats_.cycles += options_.cost.news_op * (hops == 0 ? 1 : hops) * vpr;
+  const auto attempt = options_.cost.news_op * (hops == 0 ? 1 : hops) * vpr;
+  stats_.cycles += attempt;
+  // NEWS faults: every hop of every time slice crosses a grid link.
+  faultable(FaultKind::kNews, (hops == 0 ? 1 : hops) * vpr, attempt);
 }
 
 void Machine::charge_router(std::int64_t vp_set_size,
@@ -93,7 +213,11 @@ void Machine::charge_router(std::int64_t vp_set_size,
   const auto waves =
       (n_messages + options_.cost.physical_processors - 1) /
       options_.cost.physical_processors;
-  stats_.cycles += options_.cost.router_op * (waves == 0 ? 1 : waves);
+  const auto attempt = options_.cost.router_op * (waves == 0 ? 1 : waves);
+  stats_.cycles += attempt;
+  // Router faults: each message is independently at risk of drop or
+  // corruption; the ack/checksum pass detects a bad wave and re-sends.
+  faultable(FaultKind::kRouter, n_messages, attempt);
 }
 
 void Machine::charge_reduce(std::int64_t vp_set_size, std::int64_t n_elems) {
@@ -107,8 +231,11 @@ void Machine::charge_reduce(std::int64_t vp_set_size, std::int64_t n_elems) {
     depth = static_cast<std::uint64_t>(
         std::bit_width(static_cast<std::uint64_t>(n_elems - 1)));
   }
-  stats_.cycles += options_.cost.issue_overhead +
-                   options_.cost.scan_step * depth * vpr;
+  const auto attempt = options_.cost.issue_overhead +
+                       options_.cost.scan_step * depth * vpr;
+  stats_.cycles += attempt;
+  // Scan/reduce faults: any log-depth combine step of any slice can fail.
+  faultable(FaultKind::kReduce, depth * vpr, attempt);
 }
 
 void Machine::charge_global_or() {

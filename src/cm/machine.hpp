@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "cm/cost.hpp"
+#include "cm/fault.hpp"
 #include "cm/field.hpp"
 #include "cm/geometry.hpp"
 #include "cm/thread_pool.hpp"
@@ -39,6 +40,29 @@ struct MachineOptions {
   // paper's compiler was being retargeted to, §5).  One line per issued
   // machine instruction; costs memory, off by default.
   bool record_paris_trace = false;
+  // Fault injection (docs/ROBUSTNESS.md).  Default-constructed = disabled:
+  // the charge_* fast paths are then byte-for-byte the pre-fault-layer
+  // code, so cycles and outputs are unchanged.
+  FaultSpec faults;
+  // Field-allocation memory cap in bytes (payload + defined flag); 0 =
+  // unlimited.  Exceeding it throws UcRuntimeError instead of OOM-killing
+  // the host.
+  std::uint64_t max_field_bytes = 0;
+};
+
+// A restorable snapshot of machine state: every live field's payload and
+// defined flags, plus the machine RNG.  Cost stats and the fault injector
+// are deliberately NOT captured — recovery costs real cycles, and
+// restoring the fault schedule would replay the same fault forever.
+struct MachineImage {
+  struct FieldImage {
+    std::int32_t slot = -1;
+    std::vector<Bits> data;
+    std::vector<std::uint8_t> defined;
+  };
+  std::vector<FieldImage> fields;
+  std::uint64_t rng_state = 0;
+  std::int64_t words() const;  // total payload words captured
 };
 
 class Machine {
@@ -87,13 +111,36 @@ class Machine {
   // Front-end broadcast of a scalar to a VP set.
   void charge_broadcast(std::int64_t vp_set_size);
 
+  // ---- Robustness layer (docs/ROBUSTNESS.md) ----
+
+  const FaultInjector& fault_injector() const { return injector_; }
+  // One VM-level replay (statement retry or checkpoint restore).
+  void note_rollback() { stats_.rollbacks += 1; }
+  // One checkpoint capture copying `words` field words: charged like a
+  // streaming vector copy so the robustness overhead shows up in cycles.
+  void charge_checkpoint(std::int64_t words);
+  // Bytes currently allocated to fields (payload + defined flags).
+  std::uint64_t field_bytes() const { return field_bytes_; }
+
+  MachineImage snapshot_state() const;
+  void restore_state(const MachineImage& image);
+
  private:
+  // Runs the detection/retry protocol for one protected instruction whose
+  // single attempt costs `attempt_cycles` and touches `units` failure
+  // units.  Charges detection overhead, any backoff + re-issue cycles, and
+  // throws support::TransientFault when max_retries consecutive attempts
+  // fail.  No-op (zero cycles) when kind `k` is not under injection.
+  void faultable(FaultKind k, std::uint64_t units,
+                 std::uint64_t attempt_cycles);
   MachineOptions options_;
   std::vector<std::unique_ptr<Geometry>> geometries_;
   std::vector<std::unique_ptr<Field>> fields_;  // slot reuse after free
   std::vector<std::int32_t> free_field_slots_;
   std::unique_ptr<ThreadPool> pool_;
   support::SplitMix64 rng_;
+  FaultInjector injector_;
+  std::uint64_t field_bytes_ = 0;
   CostStats stats_;
   std::vector<std::string> trace_;
   void trace(std::string line) {

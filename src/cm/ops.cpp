@@ -3,6 +3,15 @@
 #include <algorithm>
 #include <limits>
 
+#include "support/str.hpp"
+
+// Error taxonomy (docs/ROBUSTNESS.md): shape/geometry mismatches are the
+// *caller's* bug and throw ApiError; failures that depend on runtime data
+// (addresses computed from field contents) throw UcRuntimeError carrying
+// the VP, its coordinates and the offending value, so a failing program
+// points at the lane that misbehaved.  All throws happen on the issuing
+// thread, before any parallel host work touches the destination.
+
 namespace uc::cm {
 
 namespace {
@@ -13,9 +22,36 @@ constexpr double kFloatInf = std::numeric_limits<double>::infinity();
 
 void check_same_geometry(const Field& a, const Field& b, const char* what) {
   if (!(a.geometry() == b.geometry())) {
-    throw support::ApiError(std::string(what) +
-                            ": fields live in different geometries");
+    throw support::ApiError(
+        support::format("%s: fields '%s' (%s) and '%s' (%s) live in "
+                        "different geometries",
+                        what, a.name().c_str(),
+                        a.geometry().to_string().c_str(), b.name().c_str(),
+                        b.geometry().to_string().c_str()));
   }
+}
+
+void check_context_geometry(const Geometry& geom, const ContextStack& ctx,
+                            const char* what) {
+  if (!(geom == ctx.geometry())) {
+    throw support::ApiError(
+        support::format("%s: context geometry %s does not match field "
+                        "geometry %s",
+                        what, ctx.geometry().to_string().c_str(),
+                        geom.to_string().c_str()));
+  }
+}
+
+// Renders a VP's coordinates in its geometry, for runtime error context.
+std::string vp_coords(const Geometry& geom, VpIndex vp) {
+  std::string out = "(";
+  const auto coords = geom.unflatten(vp);
+  for (std::size_t d = 0; d < coords.size(); ++d) {
+    if (d > 0) out += ",";
+    out += std::to_string(coords[d]);
+  }
+  out += ")";
+  return out;
 }
 
 }  // namespace
@@ -24,9 +60,7 @@ void elementwise(Machine& m, const ContextStack& ctx, Field& dst,
                  const std::function<Bits(VpIndex)>& fn,
                  std::uint64_t n_ops) {
   const auto& geom = dst.geometry();
-  if (!(geom == ctx.geometry())) {
-    throw support::ApiError("elementwise: context/field geometry mismatch");
-  }
+  check_context_geometry(geom, ctx, "elementwise");
   m.charge_vector_op(geom.size(), n_ops);
   auto& raw = dst.raw();
   const auto& mask = ctx.current();
@@ -43,6 +77,11 @@ void news_shift(Machine& m, const ContextStack& ctx, Field& dst,
                 const Field& src, std::size_t axis, std::int64_t delta) {
   check_same_geometry(dst, src, "news_shift");
   const auto& geom = dst.geometry();
+  if (axis >= geom.rank()) {
+    throw support::ApiError(support::format(
+        "news_shift: axis %zu out of range for geometry %s", axis,
+        geom.to_string().c_str()));
+  }
   m.charge_news(geom.size(),
                 static_cast<std::uint64_t>(delta < 0 ? -delta : delta));
   const auto& mask = ctx.current();
@@ -70,9 +109,7 @@ void router_get(Machine& m, const ContextStack& ctx, Field& dst,
                 const Field& src,
                 const std::function<std::optional<VpIndex>(VpIndex)>& addr) {
   const auto& geom = dst.geometry();
-  if (!(geom == ctx.geometry())) {
-    throw support::ApiError("router_get: context/field geometry mismatch");
-  }
+  check_context_geometry(geom, ctx, "router_get");
   const auto& mask = ctx.current();
   const auto& src_raw = src.raw();
   // Snapshot only when dst aliases src; a get from a distinct field can
@@ -85,9 +122,23 @@ void router_get(Machine& m, const ContextStack& ctx, Field& dst,
   }
   auto& out = dst.raw();
   std::int64_t messages = 0;
-  // Count messages serially first (cheap), then fetch in parallel.
+  // Count messages and validate addresses serially first: addresses are
+  // data-dependent, so a bad one is the *program's* runtime error and must
+  // carry lane context — and must fire before any charge or parallel
+  // fetch touches the destination field.
   for (std::int64_t vp = 0; vp < geom.size(); ++vp) {
-    if (mask[static_cast<std::size_t>(vp)] != 0 && addr(vp)) ++messages;
+    if (mask[static_cast<std::size_t>(vp)] == 0) continue;
+    auto a = addr(vp);
+    if (!a) continue;
+    if (*a < 0 || *a >= src.size()) {
+      throw support::UcRuntimeError(support::format(
+          "router_get: VP %lld at %s requests out-of-range source VP %lld "
+          "(field '%s' has %lld VPs)",
+          static_cast<long long>(vp),
+          vp_coords(geom, vp).c_str(), static_cast<long long>(*a),
+          src.name().c_str(), static_cast<long long>(src.size())));
+    }
+    ++messages;
   }
   m.charge_router(geom.size(), static_cast<std::uint64_t>(messages));
   m.pool().parallel_for(0, geom.size(), [&](std::int64_t b, std::int64_t e) {
@@ -95,9 +146,6 @@ void router_get(Machine& m, const ContextStack& ctx, Field& dst,
       if (mask[static_cast<std::size_t>(vp)] == 0) continue;
       auto a = addr(vp);
       if (!a) continue;
-      if (*a < 0 || *a >= src.size()) {
-        throw support::UcRuntimeError("router_get: address out of range");
-      }
       out[static_cast<std::size_t>(vp)] = in[static_cast<std::size_t>(*a)];
     }
   });
@@ -170,9 +218,7 @@ Bits apply_reduce_op(ReduceOp op, ElemType type, Bits a, Bits b) {
 Bits reduce(Machine& m, const ContextStack& ctx, const Field& src,
             ReduceOp op) {
   const auto& geom = src.geometry();
-  if (!(geom == ctx.geometry())) {
-    throw support::ApiError("reduce: context/field geometry mismatch");
-  }
+  check_context_geometry(geom, ctx, "reduce");
   const auto& mask = ctx.current();
   const auto n_active = ctx.active_count();
   m.charge_reduce(geom.size(), n_active);

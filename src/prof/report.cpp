@@ -59,9 +59,21 @@ std::string render_table(const std::vector<Site>& sites,
                          const PoolUtilization& pool,
                          const TableOptions& opts) {
   std::string out;
+  // Fault/recovery columns appear only when fault injection or
+  // checkpointing actually charged something, so fault-free profiles are
+  // byte-identical to what they were before the fault subsystem existed.
+  bool any_faults = false;
+  for (const auto& s : sites) {
+    if (s.self.faults != 0 || s.self.retries != 0 || s.self.rollbacks != 0 ||
+        s.self.checkpoints != 0) {
+      any_faults = true;
+      break;
+    }
+  }
   out += format(
-      "%12s %6s %9s %8s  %-23s %-5s %-12s %s\n", "self-cycles", "%",
-      "host-ms", "entries", "ops v/n/r/sc/go/bc/fe", "eng",
+      "%12s %6s %9s %8s  %-23s %s%-5s %-12s %s\n", "self-cycles", "%",
+      "host-ms", "entries", "ops v/n/r/sc/go/bc/fe",
+      any_faults ? "flt/rty/rb/ck   " : "", "eng",
       opts.show_static ? "static" : "", "site");
 
   const auto order = hot_order(sites);
@@ -96,12 +108,23 @@ std::string render_table(const std::vector<Site>& sites,
         static_cast<unsigned long long>(s.self.frontend_ops));
     const std::string where =
         s.line > 0 ? format("%s:%u", s.file.c_str(), s.line) : s.file;
+    std::string fault_mix;
+    if (any_faults) {
+      fault_mix = format(
+          "%-16s",
+          format("%llu/%llu/%llu/%llu",
+                 static_cast<unsigned long long>(s.self.faults),
+                 static_cast<unsigned long long>(s.self.retries),
+                 static_cast<unsigned long long>(s.self.rollbacks),
+                 static_cast<unsigned long long>(s.self.checkpoints))
+              .c_str());
+    }
     out += format(
-        "%12llu %5.1f%% %9.3f %8llu  %-23s %-5s %-12s %s %s | %s\n",
+        "%12llu %5.1f%% %9.3f %8llu  %-23s %s%-5s %-12s %s %s | %s\n",
         static_cast<unsigned long long>(s.self.cycles), pct,
         static_cast<double>(s.self_wall_ns) / 1e6,
         static_cast<unsigned long long>(s.entries), mix.c_str(),
-        engine_mark(s).c_str(),
+        fault_mix.c_str(), engine_mark(s).c_str(),
         opts.show_static
             ? (s.static_classes.empty() ? "-" : s.static_classes.c_str())
             : "",
@@ -159,7 +182,9 @@ std::string sites_json(const std::vector<Site>& sites,
         "\"news_ops\": %llu, \"router_ops\": %llu, "
         "\"router_messages\": %llu, \"reductions\": %llu, "
         "\"global_ors\": %llu, \"broadcasts\": %llu, "
-        "\"frontend_ops\": %llu, \"pool_chunks\": %llu, "
+        "\"frontend_ops\": %llu, \"faults\": %llu, \"retries\": %llu, "
+        "\"rollbacks\": %llu, \"checkpoints\": %llu, "
+        "\"pool_chunks\": %llu, "
         "\"bytecode_stmts\": %llu, \"walk_stmts\": %llu, "
         "\"static\": \"%s\"}",
         json_escape(s.kind).c_str(), json_escape(s.file).c_str(), s.line,
@@ -175,6 +200,10 @@ std::string sites_json(const std::vector<Site>& sites,
         static_cast<unsigned long long>(s.self.global_ors),
         static_cast<unsigned long long>(s.self.broadcasts),
         static_cast<unsigned long long>(s.self.frontend_ops),
+        static_cast<unsigned long long>(s.self.faults),
+        static_cast<unsigned long long>(s.self.retries),
+        static_cast<unsigned long long>(s.self.rollbacks),
+        static_cast<unsigned long long>(s.self.checkpoints),
         static_cast<unsigned long long>(s.pool_chunks),
         static_cast<unsigned long long>(s.bytecode_stmts),
         static_cast<unsigned long long>(s.walk_stmts),

@@ -4,6 +4,7 @@
 // (e.g. the single-value rule for parallel assignment).
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -21,6 +22,26 @@ class UcRuntimeError : public std::runtime_error {
  public:
   explicit UcRuntimeError(const std::string& what)
       : std::runtime_error(what) {}
+};
+
+// A simulated hardware fault (docs/ROBUSTNESS.md) that exhausted its
+// instruction-level retry budget.  Recoverable: the VM's checkpoint layer
+// catches it and replays from the last snapshot; without checkpointing it
+// escalates into a fatal UcRuntimeError.
+class TransientFault : public UcRuntimeError {
+ public:
+  TransientFault(std::string kind, std::uint64_t failed_attempts,
+                 const std::string& what)
+      : UcRuntimeError(what),
+        kind_(std::move(kind)),
+        failed_attempts_(failed_attempts) {}
+
+  const std::string& kind() const { return kind_; }
+  std::uint64_t failed_attempts() const { return failed_attempts_; }
+
+ private:
+  std::string kind_;
+  std::uint64_t failed_attempts_ = 0;
 };
 
 // A UC program failed to compile; carries the rendered diagnostics.

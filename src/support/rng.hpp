@@ -42,6 +42,9 @@ class SplitMix64 {
   }
 
   void seed(std::uint64_t s) { state_ = s; }
+  // The raw generator state, for checkpoint/restore (docs/ROBUSTNESS.md):
+  // seed(state()) round-trips exactly.
+  std::uint64_t state() const { return state_; }
 
  private:
   std::uint64_t state_;

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <unordered_set>
 
@@ -83,7 +84,15 @@ Token Lexer::lex_number(support::SourceLoc begin) {
   }
   auto t = make(is_float ? TokenKind::kFloatLit : TokenKind::kIntLit, begin);
   if (is_float) {
+    // strtod turns an overflowing exponent into ±inf, which would silently
+    // poison every arithmetic result downstream; make it a compile error
+    // like the integer case below.  (Underflow to 0.0 stays legal.)
     t.float_value = std::strtod(t.text.c_str(), nullptr);
+    if (!std::isfinite(t.float_value)) {
+      diags_.error(t.range, "float literal '" + t.text +
+                                "' is out of range for a double");
+      t.float_value = 0.0;
+    }
   } else {
     // strtoll saturates to LLONG_MAX on overflow, which would silently
     // change the program's constants; make it a compile error instead.

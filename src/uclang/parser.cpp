@@ -163,6 +163,17 @@ void Parser::fail(const Token& at, std::string message) {
   throw ParseAbort{};
 }
 
+Parser::DepthGuard::DepthGuard(Parser& p) : parser(p) {
+  if (++parser.depth_ > kMaxDepth) {
+    // Keep the count balanced: a throwing constructor never destructs.
+    --parser.depth_;
+    parser.fail(parser.peek(),
+                "expression or statement nesting exceeds the parser depth "
+                "limit (" +
+                    std::to_string(kMaxDepth) + ")");
+  }
+}
+
 void Parser::synchronize() {
   while (!check(TokenKind::kEof)) {
     if (match(TokenKind::kSemi)) return;
@@ -395,6 +406,7 @@ std::vector<std::string> Parser::parse_index_set_name_list() {
 }
 
 StmtPtr Parser::parse_statement() {
+  DepthGuard depth(*this);
   auto begin = peek().range.begin;
   switch (peek().kind) {
     case TokenKind::kLBrace:
@@ -630,6 +642,7 @@ ExprPtr Parser::parse_binary(int min_prec) {
 }
 
 ExprPtr Parser::parse_unary() {
+  DepthGuard depth(*this);
   auto begin = peek().range.begin;
   switch (peek().kind) {
     case TokenKind::kMinus:

@@ -21,6 +21,16 @@ class Parser {
  private:
   struct ParseAbort {};  // thrown for recovery, caught at sync points
 
+  // Recursion-depth guard shared by statement and expression descent:
+  // pathological nesting (thousands of parentheses or braces) becomes a
+  // clean diagnostic instead of a host stack overflow.
+  static constexpr int kMaxDepth = 256;
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p);
+    ~DepthGuard() { --parser.depth_; }
+    Parser& parser;
+  };
+
   // --- token plumbing ---
   const Token& peek(std::size_t ahead = 0) const;
   const Token& previous() const { return tokens_[pos_ == 0 ? 0 : pos_ - 1]; }
@@ -64,6 +74,7 @@ class Parser {
   std::vector<Token> tokens_;
   support::DiagnosticEngine& diags_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace uc::lang

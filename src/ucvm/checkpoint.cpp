@@ -1,0 +1,104 @@
+#include "ucvm/checkpoint.hpp"
+
+#include "support/str.hpp"
+#include "ucvm/interp_detail.hpp"
+
+namespace uc::vm::detail {
+
+CheckpointManager::CheckpointManager(Impl& vm) : vm_(vm) {}
+
+bool CheckpointManager::enabled() const {
+  return vm_.opts.checkpoint_every > 0;
+}
+
+bool CheckpointManager::due() const {
+  return stmt_seq_ - last_capture_seq_ >= vm_.opts.checkpoint_every;
+}
+
+bool CheckpointManager::consume_replay() {
+  if (replays_ >= vm_.opts.max_replays) return false;
+  ++replays_;
+  return true;
+}
+
+Checkpoint CheckpointManager::capture(LaneSpace* space, Frame* frame) {
+  Checkpoint c;
+  c.machine = vm_.machine.snapshot_state();
+  std::int64_t words = c.machine.words();
+  for (std::size_t i = 0; i < vm_.globals.size(); ++i) {
+    if (vm_.globals[i].kind == FrameSlot::Kind::kScalar) {
+      c.global_scalars.emplace_back(i, vm_.globals[i].scalar);
+      ++words;
+    }
+  }
+  c.frame = frame;
+  if (frame != nullptr) {
+    for (std::size_t i = 0; i < frame->slots.size(); ++i) {
+      if (frame->slots[i].kind == FrameSlot::Kind::kScalar) {
+        c.frame_scalars.emplace_back(i, frame->slots[i].scalar);
+        ++words;
+      }
+    }
+  }
+  for (LaneSpace* s = space; s != nullptr; s = s->parent) {
+    c.chain.push_back({s, s->locals});
+    for (const auto& [slot, vals] : s->locals) {
+      (void)slot;
+      words += static_cast<std::int64_t>(vals.size());
+    }
+  }
+  c.output_size = vm_.output.size();
+  c.stmt_counter = vm_.stmt_counter;
+  c.fe_rng_state = vm_.fe_rng.state();
+  vm_.machine.charge_checkpoint(words);
+  last_capture_seq_ = stmt_seq_;
+  return c;
+}
+
+void CheckpointManager::restore(const Checkpoint& c) {
+  vm_.machine.restore_state(c.machine);
+  for (const auto& [slot, value] : c.global_scalars) {
+    vm_.globals[slot].scalar = value;
+  }
+  if (c.frame != nullptr) {
+    for (const auto& [slot, value] : c.frame_scalars) {
+      c.frame->slots[slot].scalar = value;
+    }
+  }
+  // Whole-map replacement: drops lane locals declared after the capture
+  // and rewinds every committed lane-local write.
+  for (const auto& sl : c.chain) {
+    sl.space->locals = sl.locals;
+  }
+  vm_.output.resize(c.output_size);
+  vm_.stmt_counter = c.stmt_counter;
+  vm_.fe_rng.seed(c.fe_rng_state);
+}
+
+RecoveryScope::RecoveryScope(Impl& vm, const lang::Stmt* where)
+    : vm_(vm), where_(where) {}
+
+RecoveryScope::~RecoveryScope() {
+  if (ckpt_.has_value()) --vm_.ckpt->live_checkpoints_;
+}
+
+void RecoveryScope::safe_point(LaneSpace* space, Frame* frame,
+                               bool mandatory) {
+  auto& mgr = *vm_.ckpt;
+  if (!mgr.enabled()) return;
+  if (!mandatory && mgr.any_checkpoint() && !mgr.due()) return;
+  const bool had = ckpt_.has_value();
+  ckpt_ = mgr.capture(space, frame);
+  if (!had) ++mgr.live_checkpoints_;
+}
+
+bool RecoveryScope::try_recover() {
+  if (!ckpt_.has_value()) return false;
+  auto& mgr = *vm_.ckpt;
+  if (!mgr.consume_replay()) return false;
+  mgr.restore(*ckpt_);
+  vm_.machine.note_rollback();
+  return true;
+}
+
+}  // namespace uc::vm::detail

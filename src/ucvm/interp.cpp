@@ -6,6 +6,7 @@
 
 #include "support/error.hpp"
 #include "support/str.hpp"
+#include "ucvm/checkpoint.hpp"
 #include "ucvm/interp_detail.hpp"
 #include "ucvm/kernel/kernel.hpp"
 
@@ -61,6 +62,31 @@ Impl::Impl(const lang::CompilationUnit& u, cm::Machine& m, ExecOptions o)
   root.vps = {0};
   root.parent_lane = {0};
   root.geom_size = 1;
+  ckpt = std::make_unique<CheckpointManager>(*this);
+}
+
+void Impl::check_deadline(const Stmt* where) {
+  if (!has_deadline) return;
+  if (std::chrono::steady_clock::now() < deadline) return;
+  // Plain UcRuntimeError, never TransientFault: recovery must not catch a
+  // timeout and retry its way past the watchdog.
+  runtime_error(where,
+                support::format("execution exceeded the %.3gs wall-clock "
+                                "timeout (--timeout)",
+                                opts.timeout_seconds));
+}
+
+void Impl::fatal_fault(const support::TransientFault& tf, const Stmt* where) {
+  std::string msg = tf.what();
+  if (opts.checkpoint_every == 0) {
+    msg += "; checkpointing is off (enable recovery with --checkpoint-every)";
+  } else {
+    msg += support::format(
+        "; replay budget exhausted after %llu checkpoint replays "
+        "(--max-replays)",
+        static_cast<unsigned long long>(ckpt->replays()));
+  }
+  runtime_error(where, msg);
 }
 
 std::string Impl::locate(support::SourceRange range) const {
@@ -100,6 +126,12 @@ RunResult Impl::run() {
   // per-site self cycles always sum to the aggregate.
   ProfScope prof_scope(*this, unit.program.get(), "program",
                        support::SourceRange{});
+  if (opts.timeout_seconds > 0.0) {
+    has_deadline = true;
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(opts.timeout_seconds));
+  }
   // Materialise globals and run top-level declarations in program order.
   globals.assign(static_cast<std::size_t>(unit.sema.global_slots) + 1,
                  FrameSlot{});
@@ -154,7 +186,19 @@ RunResult Impl::run() {
   if (!main_fn->params.empty()) {
     throw support::UcRuntimeError("main() must take no parameters");
   }
-  call_function(*main_fn, {}, {}, {}, fe);
+  // Outermost recovery net: snapshot after global initialisation so a
+  // transient fault that unwinds past every construct can still replay
+  // main() from the top instead of aborting the run.
+  RecoveryScope top(*this, nullptr);
+  top.safe_point(&root, &dummy_frame);
+  for (;;) {
+    try {
+      call_function(*main_fn, {}, {}, {}, fe);
+      break;
+    } catch (const support::TransientFault& tf) {
+      if (!top.try_recover()) fatal_fault(tf, nullptr);
+    }
+  }
 
   RunResult result;
   result.output_ = output;
@@ -254,6 +298,7 @@ Flow Impl::exec_scalar_stmt(const Stmt& stmt, EvalCtx& ctx) {
     case StmtKind::kWhile: {
       const auto& s = static_cast<const lang::WhileStmt&>(stmt);
       for (;;) {
+        check_deadline(&stmt);
         if (ctx.is_frontend()) charge_expr(*s.cond, 1, true);
         if (!eval(*s.cond, ctx).truthy()) return Flow::kNormal;
         Flow f = exec_scalar_stmt(*s.body, ctx);
@@ -268,6 +313,7 @@ Flow Impl::exec_scalar_stmt(const Stmt& stmt, EvalCtx& ctx) {
         if (f != Flow::kNormal) return f;
       }
       for (;;) {
+        check_deadline(&stmt);
         if (s.cond) {
           if (ctx.is_frontend()) charge_expr(*s.cond, 1, true);
           if (!eval(*s.cond, ctx).truthy()) return Flow::kNormal;

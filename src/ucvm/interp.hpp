@@ -60,6 +60,19 @@ struct ExecOptions {
   // Safety valve for *par / *oneof / *solve: abort after this many
   // iterations (0 = unlimited).
   std::int64_t max_iterations = 1u << 20;
+  // Checkpoint/rollback (docs/ROBUSTNESS.md): capture a recovery snapshot
+  // at construct safe points at least every N synchronous statements
+  // (0 = checkpointing off; unrecovered transient faults are then fatal).
+  std::uint64_t checkpoint_every = 0;
+  // Total checkpoint replays allowed per run before a transient fault is
+  // escalated to a fatal UcRuntimeError (guards against fault rates so
+  // high that replays never make progress).
+  std::uint64_t max_replays = 64;
+  // Wall-clock watchdog: abort with a UcRuntimeError once execution has
+  // taken this many host seconds (0 = no timeout).  Checked at statement
+  // and loop boundaries, so runaway programs stop near — not exactly at —
+  // the deadline.
+  double timeout_seconds = 0.0;
   // Lane execution engine (identical results either way; kBytecode is the
   // fast path, kWalk the reference interpreter).
   ExecEngine engine = ExecEngine::kBytecode;

@@ -4,6 +4,8 @@
 #include <algorithm>
 
 #include "support/error.hpp"
+#include "support/str.hpp"
+#include "ucvm/checkpoint.hpp"
 #include "ucvm/interp_detail.hpp"
 #include "ucvm/kernel/kernel.hpp"
 
@@ -92,6 +94,8 @@ std::unique_ptr<LaneSpace> Impl::expand(
 std::vector<Value> Impl::eval_lanes(const Expr& expr, LaneSpace& space,
                                     const std::vector<std::int64_t>& active,
                                     Frame* frame, bool commit) {
+  check_deadline(nullptr);
+  ckpt->note_statement();
   ++stmt_counter;
   const std::uint64_t stmt_id = stmt_counter;
 
@@ -100,66 +104,83 @@ std::vector<Value> Impl::eval_lanes(const Expr& expr, LaneSpace& space,
   // per-site deltas are engine-independent wherever the charges are.
   ProfScope prof_scope(*this, &expr, "stmt", expr.range);
 
-  // Charge the static cost first: this also annotates reductions with the
-  // processor-optimisation decision the evaluator consults.
-  charge_expr(expr, space.geom_size, /*frontend=*/false, &space);
+  auto attempt = [&]() -> std::vector<Value> {
+    // Charge the static cost first: this also annotates reductions with the
+    // processor-optimisation decision the evaluator consults.
+    charge_expr(expr, space.geom_size, /*frontend=*/false, &space);
 
-  // Fast path: compile the statement once into lane-kernel bytecode and run
-  // it allocation-free; statements the lowering/link does not cover fall
-  // through to the reference tree walk below (bit-identical results).
-  if (opts.engine == ExecEngine::kBytecode) {
-    if (auto fast = kernel_engine().try_run(expr, space, active, frame,
-                                            stmt_id, commit)) {
-      if (prof != nullptr) prof->note_engine(/*bytecode=*/true);
-      return std::move(*fast);
+    // Fast path: compile the statement once into lane-kernel bytecode and
+    // run it allocation-free; statements the lowering/link does not cover
+    // fall through to the reference tree walk below (bit-identical results).
+    if (opts.engine == ExecEngine::kBytecode) {
+      if (auto fast = kernel_engine().try_run(expr, space, active, frame,
+                                              stmt_id, commit)) {
+        if (prof != nullptr) prof->note_engine(/*bytecode=*/true);
+        return std::move(*fast);
+      }
+    }
+    if (prof != nullptr) prof->note_engine(/*bytecode=*/false);
+
+    const auto n = static_cast<std::int64_t>(active.size());
+    std::vector<Value> results(static_cast<std::size_t>(n));
+    std::vector<std::vector<Write>> writes(static_cast<std::size_t>(n));
+    std::vector<std::string> prints(static_cast<std::size_t>(n));
+    std::vector<AccessStats> stats(static_cast<std::size_t>(n));
+
+    machine.pool().parallel_for(
+        0, n,
+        [&](std::int64_t b, std::int64_t e_) {
+          for (std::int64_t k = b; k < e_; ++k) {
+            EvalCtx ctx;
+            ctx.vm = this;
+            ctx.space = &space;
+            ctx.lane = active[static_cast<std::size_t>(k)];
+            ctx.frame = frame;
+            ctx.statement_frame = frame;
+            ctx.writes = &writes[static_cast<std::size_t>(k)];
+            ctx.stats = &stats[static_cast<std::size_t>(k)];
+            ctx.print_out = &prints[static_cast<std::size_t>(k)];
+            // Per-lane RNG seeded from the statement id captured above so
+            // all lanes of this statement share one instance id.
+            ctx.rng_seeded = false;
+            ctx.rng.seed(0);
+            // stmt_counter may move under recursion via eval (reductions do
+            // not call eval_lanes, so in practice it is stable); use the
+            // captured id for the seed.
+            const auto vp =
+                static_cast<std::uint64_t>(space.vps[ctx.lane]);
+            ctx.rng.seed(base_seed ^ (stmt_id * 0x9e3779b97f4a7c15ull) ^
+                         (vp + 0x5851f42d4c957f2dull));
+            ctx.rng_seeded = true;
+            results[static_cast<std::size_t>(k)] = eval(expr, ctx);
+          }
+        },
+        /*min_grain=*/64);
+
+    // Merge dynamic comm stats and charge them on the issuing thread.
+    AccessStats total;
+    for (const auto& s : stats) total.merge(s);
+    charge_dynamic_stats(total, space.geom_size);
+
+    if (commit) commit_writes(writes);
+    for (auto& p : prints) output += p;
+    return results;
+  };
+
+  // Statement-level transactional retry (docs/ROBUSTNESS.md): every charge
+  // that can raise a TransientFault happens before the commit in both
+  // engines, so catching here leaves all program state exactly as it was at
+  // statement entry — re-running the same stmt_id is bit-identical to a
+  // fault-free execution.  Only active when checkpoint recovery is enabled;
+  // otherwise the fault escalates (and aborts the run with a hint).
+  for (;;) {
+    try {
+      return attempt();
+    } catch (const support::TransientFault&) {
+      if (!ckpt->enabled() || !ckpt->consume_replay()) throw;
+      machine.note_rollback();
     }
   }
-  if (prof != nullptr) prof->note_engine(/*bytecode=*/false);
-
-  const auto n = static_cast<std::int64_t>(active.size());
-  std::vector<Value> results(static_cast<std::size_t>(n));
-  std::vector<std::vector<Write>> writes(static_cast<std::size_t>(n));
-  std::vector<std::string> prints(static_cast<std::size_t>(n));
-  std::vector<AccessStats> stats(static_cast<std::size_t>(n));
-
-  machine.pool().parallel_for(
-      0, n,
-      [&](std::int64_t b, std::int64_t e_) {
-        for (std::int64_t k = b; k < e_; ++k) {
-          EvalCtx ctx;
-          ctx.vm = this;
-          ctx.space = &space;
-          ctx.lane = active[static_cast<std::size_t>(k)];
-          ctx.frame = frame;
-          ctx.statement_frame = frame;
-          ctx.writes = &writes[static_cast<std::size_t>(k)];
-          ctx.stats = &stats[static_cast<std::size_t>(k)];
-          ctx.print_out = &prints[static_cast<std::size_t>(k)];
-          // Per-lane RNG seeded from the statement id captured above so all
-          // lanes of this statement share one instance id.
-          ctx.rng_seeded = false;
-          ctx.rng.seed(0);
-          // stmt_counter may move under recursion via eval (reductions do
-          // not call eval_lanes, so in practice it is stable); use the
-          // captured id for the seed.
-          const auto vp =
-              static_cast<std::uint64_t>(space.vps[ctx.lane]);
-          ctx.rng.seed(base_seed ^ (stmt_id * 0x9e3779b97f4a7c15ull) ^
-                       (vp + 0x5851f42d4c957f2dull));
-          ctx.rng_seeded = true;
-          results[static_cast<std::size_t>(k)] = eval(expr, ctx);
-        }
-      },
-      /*min_grain=*/64);
-
-  // Merge dynamic comm stats and charge them on the issuing thread.
-  AccessStats total;
-  for (const auto& s : stats) total.merge(s);
-  charge_dynamic_stats(total, space.geom_size);
-
-  if (commit) commit_writes(writes);
-  for (auto& p : prints) output += p;
-  return results;
 }
 
 void Impl::charge_dynamic_stats(const AccessStats& total,
@@ -283,13 +304,18 @@ void Impl::exec_parallel_stmt(const Stmt& stmt, LaneSpace& space,
       std::vector<std::int64_t> live = active;
       std::int64_t guard = 0;
       for (;;) {
+        check_deadline(&stmt);
         live = filter_lanes(*s.cond, space, live, frame);
         machine.charge_global_or();
         if (live.empty()) return;
         exec_parallel_stmt(*s.body, space, live, frame);
         if (opts.max_iterations > 0 && ++guard > opts.max_iterations) {
-          runtime_error(&stmt, "while loop exceeded the iteration limit "
-                               "inside a parallel construct");
+          runtime_error(
+              &stmt,
+              support::format("while loop inside a parallel construct "
+                              "exceeded the iteration limit (%lld); raise "
+                              "or disable it with --max-iterations",
+                              static_cast<long long>(opts.max_iterations)));
         }
       }
     }
@@ -299,6 +325,7 @@ void Impl::exec_parallel_stmt(const Stmt& stmt, LaneSpace& space,
       std::vector<std::int64_t> live = active;
       std::int64_t guard = 0;
       for (;;) {
+        check_deadline(&stmt);
         if (s.cond) {
           live = filter_lanes(*s.cond, space, live, frame);
           machine.charge_global_or();
@@ -307,8 +334,12 @@ void Impl::exec_parallel_stmt(const Stmt& stmt, LaneSpace& space,
         exec_parallel_stmt(*s.body, space, live, frame);
         if (s.step) (void)eval_lanes(*s.step, space, live, frame);
         if (opts.max_iterations > 0 && ++guard > opts.max_iterations) {
-          runtime_error(&stmt, "for loop exceeded the iteration limit "
-                               "inside a parallel construct");
+          runtime_error(
+              &stmt,
+              support::format("for loop inside a parallel construct "
+                              "exceeded the iteration limit (%lld); raise "
+                              "or disable it with --max-iterations",
+                              static_cast<long long>(opts.max_iterations)));
         }
         if (!s.cond) {
           runtime_error(&stmt,
@@ -364,55 +395,100 @@ void Impl::exec_nested_construct(const UcConstructStmt& stmt,
     case UcOp::kSolve: kind = stmt.starred ? "*solve" : "solve"; break;
   }
   ProfScope prof_scope(*this, &stmt, kind, stmt.range);
-  switch (stmt.op) {
-    case UcOp::kSeq: {
-      exec_seq(stmt, parent, active, frame);
-      return;
-    }
-    case UcOp::kPar: {
-      auto child = expand(parent, active, stmt.index_set_syms);
-      if (!stmt.starred) {
-        run_blocks(stmt, *child, frame);
-        return;
-      }
-      std::int64_t guard = 0;
-      for (;;) {
-        machine.charge_global_or();
-        if (!run_blocks_once_if_enabled(stmt, *child, frame)) return;
-        if (opts.max_iterations > 0 && ++guard > opts.max_iterations) {
-          runtime_error(&stmt, "*par exceeded the iteration limit");
+  check_deadline(&stmt);
+
+  // Lane-space expansion is hoisted out of the replay loop: it is
+  // deterministic and chargeless (it can never fault), and a restored
+  // checkpoint's lane-local snapshots point into this space, which must
+  // stay alive across replays.
+  std::unique_ptr<LaneSpace> child;
+  if (stmt.op != UcOp::kSeq) {
+    child = expand(parent, active, stmt.index_set_syms);
+  }
+
+  // Construct-level recovery anchor (docs/ROBUSTNESS.md).  solve must
+  // capture at entry: its rounds carry fired-equation bookkeeping that only
+  // an entry snapshot can rewind (and its per-equation commits bypass the
+  // eval_lanes statement-retry net).
+  RecoveryScope rscope(*this, &stmt);
+  rscope.safe_point(child != nullptr ? child.get() : &parent, frame,
+                    /*mandatory=*/stmt.op == UcOp::kSolve && !stmt.starred);
+
+  for (;;) {
+    try {
+      switch (stmt.op) {
+        case UcOp::kSeq: {
+          exec_seq(stmt, parent, active, frame, rscope);
+          return;
+        }
+        case UcOp::kPar: {
+          if (!stmt.starred) {
+            run_blocks(stmt, *child, frame);
+            return;
+          }
+          std::int64_t guard = 0;
+          for (;;) {
+            check_deadline(&stmt);
+            // Sweep top: a valid redo point — the fixed-point loop carries
+            // no state besides the machine itself, so restoring here and
+            // re-dispatching from construct entry resumes this sweep.
+            rscope.safe_point(child.get(), frame);
+            machine.charge_global_or();
+            if (!run_blocks_once_if_enabled(stmt, *child, frame)) return;
+            if (opts.max_iterations > 0 && ++guard > opts.max_iterations) {
+              runtime_error(
+                  &stmt,
+                  support::format("*par exceeded the iteration limit "
+                                  "(%lld); raise or disable it with "
+                                  "--max-iterations",
+                                  static_cast<long long>(
+                                      opts.max_iterations)));
+            }
+          }
+        }
+        case UcOp::kOneof: {
+          if (!stmt.starred) {
+            exec_oneof(stmt, *child, frame);
+            return;
+          }
+          std::int64_t guard = 0;
+          for (;;) {
+            check_deadline(&stmt);
+            rscope.safe_point(child.get(), frame);
+            machine.charge_global_or();
+            if (!exec_oneof_once(stmt, *child, frame)) return;
+            if (opts.max_iterations > 0 && ++guard > opts.max_iterations) {
+              runtime_error(
+                  &stmt,
+                  support::format("*oneof exceeded the iteration limit "
+                                  "(%lld); raise or disable it with "
+                                  "--max-iterations",
+                                  static_cast<long long>(
+                                      opts.max_iterations)));
+            }
+          }
+        }
+        case UcOp::kSolve: {
+          if (stmt.starred) {
+            exec_star_solve(stmt, *child, frame, rscope);
+          } else {
+            exec_solve(stmt, *child, frame);
+          }
+          return;
         }
       }
-    }
-    case UcOp::kOneof: {
-      auto child = expand(parent, active, stmt.index_set_syms);
-      if (!stmt.starred) {
-        exec_oneof(stmt, *child, frame);
-        return;
-      }
-      std::int64_t guard = 0;
-      for (;;) {
-        machine.charge_global_or();
-        if (!exec_oneof_once(stmt, *child, frame)) return;
-        if (opts.max_iterations > 0 && ++guard > opts.max_iterations) {
-          runtime_error(&stmt, "*oneof exceeded the iteration limit");
-        }
-      }
-    }
-    case UcOp::kSolve: {
-      auto child = expand(parent, active, stmt.index_set_syms);
-      if (stmt.starred) {
-        exec_star_solve(stmt, *child, frame);
-      } else {
-        exec_solve(stmt, *child, frame);
-      }
       return;
+    } catch (const support::TransientFault&) {
+      // Innermost scope with a snapshot wins; otherwise let the fault
+      // unwind to an enclosing construct or the top-level net in run().
+      if (!rscope.try_recover()) throw;
     }
   }
 }
 
 void Impl::exec_seq(const UcConstructStmt& stmt, LaneSpace& parent,
-                    const std::vector<std::int64_t>& active, Frame* frame) {
+                    const std::vector<std::int64_t>& active, Frame* frame,
+                    RecoveryScope& rscope) {
   // seq iterates the Cartesian product in declaration order, binding the
   // elements for the *same* lanes (no VP expansion, paper §3.5).
   std::vector<const std::vector<std::int64_t>*> values;
@@ -424,6 +500,10 @@ void Impl::exec_seq(const UcConstructStmt& stmt, LaneSpace& parent,
 
   std::int64_t guard = 0;
   for (;;) {  // once for plain seq; repeated for *seq
+    check_deadline(&stmt);
+    // *seq sweep top: the tuple loop rebuilds its binding spaces from
+    // scratch each sweep, so this is a valid redo point.
+    if (stmt.starred) rscope.safe_point(&parent, frame);
     bool any_enabled_this_sweep = false;
     std::vector<std::size_t> pos(values.size(), 0);
     for (std::int64_t t = 0; t < prod; ++t) {
@@ -498,7 +578,12 @@ void Impl::exec_seq(const UcConstructStmt& stmt, LaneSpace& parent,
       runtime_error(&stmt, "*seq without a predicate never terminates");
     }
     if (opts.max_iterations > 0 && ++guard > opts.max_iterations) {
-      runtime_error(&stmt, "*seq exceeded the iteration limit");
+      runtime_error(&stmt,
+                    support::format("*seq exceeded the iteration limit "
+                                    "(%lld); raise or disable it with "
+                                    "--max-iterations",
+                                    static_cast<long long>(
+                                        opts.max_iterations)));
     }
   }
 }

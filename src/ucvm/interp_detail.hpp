@@ -3,6 +3,7 @@
 // white-box tests.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -12,7 +13,9 @@
 #include <vector>
 
 #include "prof/profile.hpp"
+#include "support/error.hpp"
 #include "support/rng.hpp"
+#include "ucvm/checkpoint.hpp"
 #include "ucvm/interp.hpp"
 
 namespace uc::vm::detail {
@@ -206,7 +209,8 @@ struct Impl {
                              const std::vector<std::int64_t>& active,
                              Frame* frame);
   void exec_seq(const lang::UcConstructStmt& stmt, LaneSpace& parent,
-                const std::vector<std::int64_t>& active, Frame* frame);
+                const std::vector<std::int64_t>& active, Frame* frame,
+                RecoveryScope& rscope);
   bool run_blocks_once_if_enabled(const lang::UcConstructStmt& stmt,
                                   LaneSpace& space, Frame* frame);
   bool exec_oneof_once(const lang::UcConstructStmt& stmt, LaneSpace& space,
@@ -228,7 +232,7 @@ struct Impl {
   void exec_solve(const lang::UcConstructStmt& stmt, LaneSpace& space,
                   Frame* frame);
   void exec_star_solve(const lang::UcConstructStmt& stmt, LaneSpace& space,
-                       Frame* frame);
+                       Frame* frame, RecoveryScope& rscope);
 
   // Evaluates an expression for every lane in `active` (on the thread
   // pool), collecting writes and prints per lane, then commits writes with
@@ -288,6 +292,20 @@ struct Impl {
   [[noreturn]] void runtime_error(const Stmt* where, const std::string& msg);
   std::string locate(support::SourceRange range) const;
   support::SplitMix64& lane_rng(EvalCtx& ctx);
+
+  // --- robustness (docs/ROBUSTNESS.md) ---
+  // Checkpoint/rollback bookkeeping; always constructed, no-ops unless
+  // ExecOptions::checkpoint_every > 0.
+  std::unique_ptr<CheckpointManager> ckpt;
+  // Wall-clock watchdog deadline (ExecOptions::timeout_seconds); checked
+  // at statement and loop boundaries via check_deadline().
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+  void check_deadline(const Stmt* where);
+  // Converts an unrecovered transient fault into a fatal UcRuntimeError
+  // with source context and a pointer at the recovery knobs.
+  [[noreturn]] void fatal_fault(const support::TransientFault& tf,
+                                const Stmt* where);
 
   // --- profiling (docs/PROFILING.md) ---
   // Null unless the caller passed ExecOptions::profiler; every hook is a

@@ -13,6 +13,8 @@
 #include <algorithm>
 
 #include "support/error.hpp"
+#include "support/str.hpp"
+#include "ucvm/checkpoint.hpp"
 #include "ucvm/interp_detail.hpp"
 
 namespace uc::vm::detail {
@@ -117,9 +119,11 @@ void Impl::exec_solve(const UcConstructStmt& stmt, LaneSpace& space,
 
   std::int64_t rounds = 0;
   for (;;) {
+    check_deadline(&stmt);
     bool progress = false;
     bool all_done = true;
     for (std::size_t a = 0; a < assigns.size(); ++a) {
+      ckpt->note_statement();
       ++stmt_counter;
       const std::uint64_t stmt_id = stmt_counter;
       const auto n = static_cast<std::int64_t>(enabled[a].size());
@@ -194,13 +198,18 @@ void Impl::exec_solve(const UcConstructStmt& stmt, LaneSpace& space,
                     "assigned (not a proper set, paper §3.6)");
     }
     if (opts.max_iterations > 0 && ++rounds > opts.max_iterations) {
-      runtime_error(&stmt, "solve exceeded the iteration limit");
+      runtime_error(&stmt,
+                    support::format("solve exceeded the iteration limit "
+                                    "(%lld); raise or disable it with "
+                                    "--max-iterations",
+                                    static_cast<long long>(
+                                        opts.max_iterations)));
     }
   }
 }
 
 void Impl::exec_star_solve(const UcConstructStmt& stmt, LaneSpace& space,
-                           Frame* frame) {
+                           Frame* frame, RecoveryScope& rscope) {
   // Arrays written anywhere in the body are the fixed-point state.
   std::vector<SolveAssign> assigns;
   for (const auto& block : stmt.blocks) {
@@ -227,6 +236,10 @@ void Impl::exec_star_solve(const UcConstructStmt& stmt, LaneSpace& space,
 
   std::int64_t rounds = 0;
   for (;;) {
+    check_deadline(&stmt);
+    // Round top: like *par's sweep top, the fixed-point round carries no
+    // loop state, so it is a valid redo point for checkpoint recovery.
+    rscope.safe_point(&space, frame);
     // Save the previous state (the compiler-inserted temporaries the paper
     // mentions) — one vector copy instruction per target array.
     std::vector<std::vector<cm::Bits>> snapshot;
@@ -246,8 +259,13 @@ void Impl::exec_star_solve(const UcConstructStmt& stmt, LaneSpace& space,
     machine.charge_global_or();
     if (!changed) return;
     if (opts.max_iterations > 0 && ++rounds > opts.max_iterations) {
-      runtime_error(&stmt, "*solve exceeded the iteration limit (the "
-                           "computation may not reach a fixed point)");
+      runtime_error(&stmt,
+                    support::format("*solve exceeded the iteration limit "
+                                    "(%lld): the computation may not reach "
+                                    "a fixed point (raise or disable the "
+                                    "limit with --max-iterations)",
+                                    static_cast<long long>(
+                                        opts.max_iterations)));
     }
   }
 }

@@ -48,12 +48,36 @@ run_profile_smoke() {
   rm -rf "$tmp"
 }
 
+# Fault-injection smoke (docs/ROBUSTNESS.md): injected transient faults
+# with checkpointing enabled must leave program output byte-identical —
+# recovery costs cycles, never correctness — and the run must actually
+# draw faults (a vacuous differential passes nothing).
+run_fault_smoke() {
+  local dir="$1"
+  local ucc="$dir/tools/ucc"
+  local faults="memory:p=1e-3;router:p=1e-3;news:p=1e-3,seed=7"
+  local tmp; tmp="$(mktemp -d)"
+  for prog in fig6_shortest_path_on2 fig7_shortest_path_on3 \
+              fig8_grid_obstacle; do
+    local src="$root/programs/$prog.uc"
+    "$ucc" run "$src" >"$tmp/clean.txt"
+    "$ucc" run "$src" --faults="$faults" --checkpoint-every=8 \
+        --stats >"$tmp/faulted.txt" 2>"$tmp/stats.txt"
+    cmp "$tmp/clean.txt" "$tmp/faulted.txt" || {
+      echo "ci.sh: injected faults changed the output of $prog" >&2; exit 1; }
+    grep -q "faults=" "$tmp/stats.txt" || {
+      echo "ci.sh: $prog drew no faults under injection" >&2; exit 1; }
+  done
+  rm -rf "$tmp"
+}
+
 run_asan() {
   run_suite "$root/build-asan" -DUC_SANITIZE="address;undefined"
   # Engine parity under the sanitizers: every shipped program, both
   # engines, byte-identical output and identical modeled cycles.
   "$root/build-asan/tests/ucvm/test_ucvm" --gtest_filter='EngineParity*'
   run_profile_smoke "$root/build-asan"
+  run_fault_smoke "$root/build-asan"
 }
 
 run_bench_smoke() {
@@ -66,12 +90,14 @@ case "$mode" in
   plain)
     run_suite "$root/build"
     run_profile_smoke "$root/build"
+    run_fault_smoke "$root/build"
     ;;
   asan)  run_asan ;;
   bench) run_bench_smoke ;;
   all)
     run_suite "$root/build"
     run_profile_smoke "$root/build"
+    run_fault_smoke "$root/build"
     run_asan
     run_bench_smoke
     ;;

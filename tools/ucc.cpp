@@ -31,6 +31,17 @@
 //   --json=<file>           profile: also write the per-site JSON
 //   --top=<n>               profile: print only the n hottest sites
 //   --no-static             profile: skip the static-analysis join column
+//   --faults=<spec>         inject seeded transient faults, e.g.
+//                           router:p=1e-4;news:p=1e-5,seed=42
+//                           (docs/ROBUSTNESS.md)
+//   --checkpoint-every=<n>  capture recovery checkpoints every n
+//                           statements (0 = off, the default)
+//   --max-replays=<n>       checkpoint replay budget (default 64)
+//   --timeout=<secs>        wall-clock watchdog: abort cleanly after this
+//                           many host seconds
+//   --max-field-mb=<n>      cap total CM field memory at n MiB
+//   --max-iterations=<n>    iteration limit for solve/*par/... loops
+//                           (0 = unlimited)
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -81,7 +92,15 @@ int usage() {
       "  --trace-json=<file>   write Chrome trace-event JSON\n"
       "  --json=<file>         profile: also write the per-site JSON\n"
       "  --top=<n>             profile: print only the n hottest sites\n"
-      "  --no-static           profile: skip the static-analysis join\n");
+      "  --no-static           profile: skip the static-analysis join\n"
+      "  --faults=<spec>       inject seeded transient faults (e.g.\n"
+      "                        router:p=1e-4;news:p=1e-5,seed=42)\n"
+      "  --checkpoint-every=<n>  capture recovery checkpoints every n\n"
+      "                        statements (0 = off)\n"
+      "  --max-replays=<n>     checkpoint replay budget (default 64)\n"
+      "  --timeout=<secs>      wall-clock watchdog (abort cleanly)\n"
+      "  --max-field-mb=<n>    cap total CM field memory at n MiB\n"
+      "  --max-iterations=<n>  loop iteration limit (0 = unlimited)\n");
   return 2;
 }
 
@@ -157,7 +176,27 @@ bool parse_args(int argc, char** argv, Options& opts) {
       }
       return true;
     };
+    // Parses `<prefix><x>` as a non-negative floating-point value.
+    auto float_value = [&](const char* prefix, double& out) {
+      if (arg.rfind(prefix, 0) != 0) return false;
+      const char* s = arg.c_str() + std::strlen(prefix);
+      char* end = nullptr;
+      errno = 0;
+      const double parsed = std::strtod(s, &end);
+      if (*s == '\0' || end == nullptr || *end != '\0' || errno == ERANGE ||
+          parsed < 0.0) {
+        std::fprintf(stderr,
+                     "ucc: invalid value in '%s' (expected a non-negative "
+                     "number)\n",
+                     arg.c_str());
+        bad_value = true;
+        return true;
+      }
+      out = parsed;
+      return true;
+    };
     std::uint64_t v = 0;
+    std::string sv;
     if (arg == "--stats") {
       opts.stats = true;
     } else if (arg == "--trace") {
@@ -173,6 +212,22 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.machine.cost.physical_processors = v;
     } else if (int_value("--threads=", v)) {
       opts.machine.host_threads = static_cast<unsigned>(v);
+    } else if (str_value("--faults=", sv)) {
+      try {
+        opts.machine.faults = uc::cm::parse_fault_spec(sv);
+      } catch (const uc::support::ApiError& e) {
+        std::fprintf(stderr, "ucc: %s\n", e.what());
+        bad_value = true;
+      }
+    } else if (int_value("--checkpoint-every=", v, /*allow_zero=*/true)) {
+      opts.exec.checkpoint_every = v;
+    } else if (int_value("--max-replays=", v)) {
+      opts.exec.max_replays = v;
+    } else if (float_value("--timeout=", opts.exec.timeout_seconds)) {
+    } else if (int_value("--max-field-mb=", v)) {
+      opts.machine.max_field_bytes = v << 20;
+    } else if (int_value("--max-iterations=", v, /*allow_zero=*/true)) {
+      opts.exec.max_iterations = static_cast<std::int64_t>(v);
     } else if (arg == "--profile") {
       opts.profile = true;
     } else if (str_value("--profile=", opts.profile_json)) {
@@ -362,20 +417,37 @@ int main(int argc, char** argv) {
     }
 
     uc::cm::Machine machine(opts.machine);
-    auto result = program.run_on(machine, opts.exec);
-    std::fputs(result.output().c_str(), stdout);
-    if (opts.trace) {
-      for (const auto& line : machine.paris_trace()) {
-        std::fprintf(stderr, "%s\n", line.c_str());
+    try {
+      auto result = program.run_on(machine, opts.exec);
+      std::fputs(result.output().c_str(), stdout);
+      if (opts.trace) {
+        for (const auto& line : machine.paris_trace()) {
+          std::fprintf(stderr, "%s\n", line.c_str());
+        }
       }
+      if (opts.stats) {
+        std::fprintf(stderr, "%s\n",
+                     result.stats()
+                         .to_string(opts.machine.cost)
+                         .c_str());
+      }
+      return 0;
+    } catch (const uc::support::UcRuntimeError& e) {
+      // A watchdog timeout, memory-cap hit or unrecovered fault still
+      // reports what the machine did up to the abort (partial stats make
+      // hangs and OOMs diagnosable, docs/ROBUSTNESS.md).
+      std::fprintf(stderr, "runtime error: %s\n", e.what());
+      if (opts.trace) {
+        for (const auto& line : machine.paris_trace()) {
+          std::fprintf(stderr, "%s\n", line.c_str());
+        }
+      }
+      if (opts.stats) {
+        std::fprintf(stderr, "partial statistics (run aborted):\n%s\n",
+                     machine.stats().to_string(opts.machine.cost).c_str());
+      }
+      return 1;
     }
-    if (opts.stats) {
-      std::fprintf(stderr, "%s\n",
-                   result.stats()
-                       .to_string(opts.machine.cost)
-                       .c_str());
-    }
-    return 0;
   } catch (const uc::support::UcCompileError& e) {
     std::fputs(e.what(), stderr);
     return 1;
