@@ -1,8 +1,10 @@
-// VM engine comparison: tree-walk vs bytecode lane kernels on the paper
-// workloads (Figs 6-8).  Each program runs a few times per engine on
-// fresh simulated machines (best-of-N wall clock, to shrug off scheduler
-// noise); we report host wall-clock and modeled cycles and fail (nonzero
-// exit) if the engines disagree on output or cycles in any repetition.
+// VM engine comparison: tree-walk vs bytecode lane kernels vs fused
+// bytecode kernels on the paper workloads (Figs 6-8).  Each program runs
+// a few times per engine on fresh simulated machines (best-of-N wall
+// clock, to shrug off scheduler noise); we report host wall-clock and
+// modeled cycles and fail (nonzero exit) if the engines disagree on
+// output in any repetition, if walk and unfused bytecode disagree on
+// cycles, or if fusion ever costs more modeled cycles than it saves.
 //
 //   vm_engine [--smoke] [--json=PATH]
 //
@@ -29,15 +31,18 @@ struct Row {
 };
 
 Row run_one(const std::string& name, const std::string& source,
-            uc::vm::ExecEngine engine, int reps) {
+            uc::vm::ExecEngine engine, bool fuse, int reps) {
   auto program = uc::Program::compile(name + ".uc", source);
   Row row;
   row.program = name;
-  row.engine = engine == uc::vm::ExecEngine::kWalk ? "walk" : "bytecode";
+  row.engine = engine == uc::vm::ExecEngine::kWalk ? "walk"
+               : fuse                              ? "bytecode-fused"
+                                                   : "bytecode";
   for (int r = 0; r < reps; ++r) {
     uc::cm::Machine machine;
     uc::vm::ExecOptions eopts;
     eopts.engine = engine;
+    eopts.fuse = fuse;
     uc::bench::WallTimer timer;
     auto result = program.run_on(machine, eopts);
     const double ms = timer.elapsed_ms();
@@ -68,6 +73,7 @@ Row run_one_robust(const std::string& name, const std::string& source,
     uc::cm::Machine machine(mopts);
     uc::vm::ExecOptions eopts;
     eopts.engine = uc::vm::ExecEngine::kBytecode;
+    eopts.fuse = false;  // overhead deltas are against the plain bytecode row
     eopts.checkpoint_every = 8;
     uc::bench::WallTimer timer;
     auto result = program.run_on(machine, eopts);
@@ -91,6 +97,7 @@ Row run_one_profiled(const std::string& name, const std::string& source,
   for (int r = 0; r < reps; ++r) {
     uc::ProfileOptions popts;
     popts.exec.engine = uc::vm::ExecEngine::kBytecode;
+    popts.exec.fuse = false;  // must match the plain bytecode row exactly
     popts.join_static = false;  // time the attribution, not the analysis
     uc::bench::WallTimer timer;
     auto prof = program.profile(popts);
@@ -132,46 +139,60 @@ int main(int argc, char** argv) {
   };
 
   uc::bench::header("VM engines: tree walk vs bytecode lane kernels",
-                    "program                    engine     host(ms)   "
+                    "program                    engine           host(ms)   "
                     "modeled cycles   speedup  agree");
 
   const int reps = smoke ? 1 : 3;
   std::vector<Row> rows;
   bool all_agree = true;
   for (const auto& w : workloads) {
-    Row walk = run_one(w.name, w.source, uc::vm::ExecEngine::kWalk, reps);
-    Row byte = run_one(w.name, w.source, uc::vm::ExecEngine::kBytecode, reps);
+    Row walk = run_one(w.name, w.source, uc::vm::ExecEngine::kWalk,
+                       /*fuse=*/false, reps);
+    Row byte = run_one(w.name, w.source, uc::vm::ExecEngine::kBytecode,
+                       /*fuse=*/false, reps);
+    Row fused = run_one(w.name, w.source, uc::vm::ExecEngine::kBytecode,
+                        /*fuse=*/true, reps);
     Row prof = run_one_profiled(w.name, w.source, reps);
     Row ckpt = run_one_robust(w.name, w.source, /*with_faults=*/false, reps);
     Row faulted = run_one_robust(w.name, w.source, /*with_faults=*/true, reps);
     // Checkpoint captures and fault recovery cost extra modeled cycles by
-    // design, so those rows are held only to output equality.
+    // design, so those rows are held only to output equality.  Fusion and
+    // plan caching lower modeled cycles by design, so the fused row must
+    // match on output and never exceed the unfused cycle count.
     const bool agree = walk.output == byte.output &&
                        walk.cycles == byte.cycles &&
+                       fused.output == byte.output &&
+                       fused.cycles <= byte.cycles &&
                        prof.output == byte.output &&
                        prof.cycles == byte.cycles &&
                        ckpt.output == byte.output &&
                        faulted.output == byte.output;
     all_agree = all_agree && agree;
     const double speedup = byte.host_ms > 0 ? walk.host_ms / byte.host_ms : 0;
-    std::printf("%-26s %-9s %10.2f %16llu %9s  %s\n", w.name.c_str(), "walk",
-                walk.host_ms, static_cast<unsigned long long>(walk.cycles),
-                "", "");
-    std::printf("%-26s %-9s %10.2f %16llu %8.2fx  %s\n", w.name.c_str(),
+    const double fspeedup =
+        fused.host_ms > 0 ? byte.host_ms / fused.host_ms : 0;
+    std::printf("%-26s %-15s %10.2f %16llu %9s  %s\n", w.name.c_str(),
+                "walk", walk.host_ms,
+                static_cast<unsigned long long>(walk.cycles), "", "");
+    std::printf("%-26s %-15s %10.2f %16llu %8.2fx  %s\n", w.name.c_str(),
                 "bytecode", byte.host_ms,
                 static_cast<unsigned long long>(byte.cycles), speedup,
                 agree ? "yes" : "NO!");
-    std::printf("%-26s %-9s %10.2f %16llu %9s  %s\n", w.name.c_str(),
+    std::printf("%-26s %-15s %10.2f %16llu %8.2fx  %s\n", w.name.c_str(),
+                "bytecode-fused", fused.host_ms,
+                static_cast<unsigned long long>(fused.cycles), fspeedup, "");
+    std::printf("%-26s %-15s %10.2f %16llu %9s  %s\n", w.name.c_str(),
                 "+profile", prof.host_ms,
                 static_cast<unsigned long long>(prof.cycles), "", "");
-    std::printf("%-26s %-9s %10.2f %16llu %9s  %s\n", w.name.c_str(),
+    std::printf("%-26s %-15s %10.2f %16llu %9s  %s\n", w.name.c_str(),
                 "+ckpt", ckpt.host_ms,
                 static_cast<unsigned long long>(ckpt.cycles), "", "");
-    std::printf("%-26s %-9s %10.2f %16llu %9s  %s\n", w.name.c_str(),
+    std::printf("%-26s %-15s %10.2f %16llu %9s  %s\n", w.name.c_str(),
                 "+faults", faulted.host_ms,
                 static_cast<unsigned long long>(faulted.cycles), "", "");
     rows.push_back(walk);
     rows.push_back(byte);
+    rows.push_back(fused);
     rows.push_back(prof);
     rows.push_back(ckpt);
     rows.push_back(faulted);

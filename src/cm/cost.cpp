@@ -18,6 +18,7 @@ CostStats& CostStats::operator+=(const CostStats& o) {
   retries += o.retries;
   rollbacks += o.rollbacks;
   checkpoints += o.checkpoints;
+  plan_hits += o.plan_hits;
   return *this;
 }
 
@@ -35,6 +36,7 @@ CostStats& CostStats::operator-=(const CostStats& o) {
   retries -= o.retries;
   rollbacks -= o.rollbacks;
   checkpoints -= o.checkpoints;
+  plan_hits -= o.plan_hits;
   return *this;
 }
 
@@ -51,6 +53,11 @@ std::string CostStats::to_string(const CostModel& model) const {
   if (faults != 0 || retries != 0 || rollbacks != 0 || checkpoints != 0) {
     os << " faults=" << faults << " retries=" << retries
        << " rollbacks=" << rollbacks << " checkpoints=" << checkpoints;
+  }
+  // Plan-cache counter only when the cache fired, so fuse=off stats render
+  // exactly as before the cache existed.
+  if (plan_hits != 0) {
+    os << " plan_hits=" << plan_hits;
   }
   return os.str();
 }

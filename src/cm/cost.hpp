@@ -29,6 +29,10 @@ struct CostModel {
   std::uint64_t global_or_op = 12;    // wired global-OR (cheap hardware)
   std::uint64_t broadcast_op = 15;    // front end broadcast to all VPs
   std::uint64_t frontend_op = 2;      // scalar op on the front end (Sun-4)
+  // Issue overhead when a cached communication/issue plan is replayed: the
+  // front end skips address computation and plan construction and only
+  // streams the pre-built instruction sequence to the sequencer.
+  std::uint64_t plan_issue_overhead = 6;
 
   // Number of time slices needed to run one SIMD instruction on a VP set of
   // size n: ceil(n / physical_processors), at least 1.
@@ -64,6 +68,10 @@ struct CostStats {
   std::uint64_t retries = 0;      // instruction re-issues after a fault
   std::uint64_t rollbacks = 0;    // VM statement/construct replays
   std::uint64_t checkpoints = 0;  // VM state snapshots captured
+
+  // Communication-plan cache (src/cm/plan_cache.hpp).  Zero unless the
+  // fused bytecode engine replays cached issue plans.
+  std::uint64_t plan_hits = 0;    // statements issued from a cached plan
 
   CostStats& operator+=(const CostStats& o);
   // Counter-wise difference; well-defined only for b -= a where a is an

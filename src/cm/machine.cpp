@@ -174,14 +174,17 @@ void Machine::charge_frontend(std::uint64_t n_ops) {
   stats_.cycles += options_.cost.frontend_op * n_ops;
 }
 
-void Machine::charge_vector_op(std::int64_t vp_set_size, std::uint64_t n_ops) {
-  trace(support::format("cm:alu           vp-set=%lld ops=%llu",
+void Machine::charge_vector_op(std::int64_t vp_set_size, std::uint64_t n_ops,
+                               bool planned) {
+  trace(support::format("cm:alu           vp-set=%lld ops=%llu%s",
                         static_cast<long long>(vp_set_size),
-                        static_cast<unsigned long long>(n_ops)));
+                        static_cast<unsigned long long>(n_ops),
+                        planned ? " plan$" : ""));
   const auto vpr = options_.cost.vp_ratio(static_cast<std::uint64_t>(vp_set_size));
   stats_.vector_ops += 1;
-  const auto attempt = options_.cost.issue_overhead +
-                       options_.cost.alu_op * n_ops * vpr;
+  const auto issue = planned ? options_.cost.plan_issue_overhead
+                             : options_.cost.issue_overhead;
+  const auto attempt = issue + options_.cost.alu_op * n_ops * vpr;
   stats_.cycles += attempt;
   // Memory faults: any of the VP words touched may take a bit flip.
   faultable(FaultKind::kMemory, static_cast<std::uint64_t>(vp_set_size),
@@ -220,10 +223,12 @@ void Machine::charge_router(std::int64_t vp_set_size,
   faultable(FaultKind::kRouter, n_messages, attempt);
 }
 
-void Machine::charge_reduce(std::int64_t vp_set_size, std::int64_t n_elems) {
-  trace(support::format("cm:scan          vp-set=%lld elems=%lld",
+void Machine::charge_reduce(std::int64_t vp_set_size, std::int64_t n_elems,
+                            bool planned) {
+  trace(support::format("cm:scan          vp-set=%lld elems=%lld%s",
                         static_cast<long long>(vp_set_size),
-                        static_cast<long long>(n_elems)));
+                        static_cast<long long>(n_elems),
+                        planned ? " plan$" : ""));
   const auto vpr = options_.cost.vp_ratio(static_cast<std::uint64_t>(vp_set_size));
   stats_.reductions += 1;
   std::uint64_t depth = 1;
@@ -231,8 +236,9 @@ void Machine::charge_reduce(std::int64_t vp_set_size, std::int64_t n_elems) {
     depth = static_cast<std::uint64_t>(
         std::bit_width(static_cast<std::uint64_t>(n_elems - 1)));
   }
-  const auto attempt = options_.cost.issue_overhead +
-                       options_.cost.scan_step * depth * vpr;
+  const auto issue = planned ? options_.cost.plan_issue_overhead
+                             : options_.cost.issue_overhead;
+  const auto attempt = issue + options_.cost.scan_step * depth * vpr;
   stats_.cycles += attempt;
   // Scan/reduce faults: any log-depth combine step of any slice can fail.
   faultable(FaultKind::kReduce, depth * vpr, attempt);

@@ -95,8 +95,11 @@ class Machine {
   // Scalar work on the front end.
   void charge_frontend(std::uint64_t n_ops = 1);
   // One SIMD elementwise instruction over a VP set of the given size;
-  // n_ops elementary ALU/memory steps per VP.
-  void charge_vector_op(std::int64_t vp_set_size, std::uint64_t n_ops = 1);
+  // n_ops elementary ALU/memory steps per VP.  `planned` means the front
+  // end replayed a cached issue plan (src/cm/plan_cache.hpp): the per-VP
+  // work is unchanged but issue overhead drops to plan_issue_overhead.
+  void charge_vector_op(std::int64_t vp_set_size, std::uint64_t n_ops = 1,
+                        bool planned = false);
   // One instruction whose operand arrives over the NEWS grid, `hops` grid
   // steps away (|delta| in the shifted-access pattern).
   void charge_news(std::int64_t vp_set_size, std::uint64_t hops = 1);
@@ -104,8 +107,10 @@ class Machine {
   // Delivery happens in waves of at most `physical_processors` messages.
   void charge_router(std::int64_t vp_set_size, std::uint64_t n_messages);
   // One log-depth reduce/scan instruction over n_elems operands living in a
-  // VP set of the given size.
-  void charge_reduce(std::int64_t vp_set_size, std::int64_t n_elems);
+  // VP set of the given size.  `planned` as for charge_vector_op: a cached
+  // scan tree is replayed instead of rebuilt.
+  void charge_reduce(std::int64_t vp_set_size, std::int64_t n_elems,
+                     bool planned = false);
   // Global-OR over the current context (hardware wired-OR).
   void charge_global_or();
   // Front-end broadcast of a scalar to a VP set.
@@ -116,6 +121,10 @@ class Machine {
   const FaultInjector& fault_injector() const { return injector_; }
   // One VM-level replay (statement retry or checkpoint restore).
   void note_rollback() { stats_.rollbacks += 1; }
+  // One statement issued from a cached communication/issue plan
+  // (src/cm/plan_cache.hpp).  Pure counter — the cycle savings land via
+  // the `planned` flag on charge_vector_op / charge_reduce.
+  void note_plan_hit() { stats_.plan_hits += 1; }
   // One checkpoint capture copying `words` field words: charged like a
   // streaming vector copy so the robustness overhead shows up in cycles.
   void charge_checkpoint(std::int64_t words);

@@ -42,7 +42,10 @@ void ThreadPool::parallel_for_indexed(
   if (begin >= end) return;
   ++jobs_executed_;
   const std::int64_t n = end - begin;
-  if (workers_.empty() || n <= min_grain) {
+  // Small-job fast path: below the cutoff the fork-join handshake costs
+  // more than the body, so run the whole range inline as worker 0.
+  if (workers_.empty() || n <= std::max(min_grain, kInlineCutoff)) {
+    ++inline_jobs_;
     ++chunks_per_worker_[0];
     fn(0, begin, end);
     return;

@@ -36,6 +36,13 @@ class ThreadPool {
 
   unsigned thread_count() const { return static_cast<unsigned>(workers_.size()) + 1; }
 
+  // Jobs at or below this many elements run inline on the calling thread:
+  // posting a job takes a mutex round-trip plus a condition-variable
+  // broadcast (microseconds), which dwarfs the body work for tiny VP sets
+  // and dominated per-statement cost on small-geometry programs.  The
+  // cutoff applies on top of the caller's min_grain (whichever is larger).
+  static constexpr std::int64_t kInlineCutoff = 256;
+
   // Calls fn(begin, end) on subranges covering [begin, end).  Blocks until
   // all subranges complete.  The caller's thread participates.
   void parallel_for(std::int64_t begin, std::int64_t end,
@@ -59,6 +66,10 @@ class ThreadPool {
   // Number of parallel_for / parallel_for_indexed regions executed,
   // including ones that ran inline on the calling thread.
   std::uint64_t jobs_executed() const { return jobs_executed_; }
+  // Of jobs_executed(): regions that ran inline without posting to the
+  // workers (single-threaded pool, or at most max(min_grain, kInlineCutoff)
+  // elements).
+  std::uint64_t inline_jobs() const { return inline_jobs_; }
   // Chunks executed by each worker id (0 = calling thread).  Imbalance
   // between entries is host-scheduling skew, invisible in modeled cycles.
   const std::vector<std::uint64_t>& chunks_per_worker() const {
@@ -94,6 +105,7 @@ class ThreadPool {
   bool quit_ = false;
   std::vector<std::thread> workers_;
   std::uint64_t jobs_executed_ = 0;  // issuing thread only
+  std::uint64_t inline_jobs_ = 0;    // issuing thread only
   std::vector<std::uint64_t> chunks_per_worker_;  // slot per worker id
 };
 

@@ -66,6 +66,11 @@ void Profiler::exit(const cm::CostStats& now, std::uint64_t pool_chunks) {
   }
 }
 
+void Profiler::note_fused() {
+  if (stack_.empty()) return;
+  sites_[static_cast<std::size_t>(stack_.back().site)].fused_stmts += 1;
+}
+
 void Profiler::note_engine(bool bytecode) {
   if (stack_.empty()) return;
   Site& site = sites_[static_cast<std::size_t>(stack_.back().site)];

@@ -47,6 +47,8 @@ struct Site {
   std::uint64_t pool_chunks = 0;    // host-pool chunks while on top
   std::uint64_t bytecode_stmts = 0; // statements run on the bytecode engine
   std::uint64_t walk_stmts = 0;     // statements run on the tree walk
+  std::uint64_t fused_stmts = 0;    // of bytecode_stmts: ran inside a fused
+                                    // kernel group (docs/VM.md "Fusion")
 
   // Filled by the static-vs-dynamic join (uc::Program::profile): the
   // `ucc analyze` communication classes whose accesses fall inside this
@@ -85,6 +87,10 @@ class Profiler {
   // Records which engine executed a synchronous statement for the site
   // currently on top of the scope stack (no-op when the stack is empty).
   void note_engine(bool bytecode);
+
+  // Records that the statement on top of the scope stack executed as a
+  // member of a fused kernel group (shows as "fused×N" in ucc profile).
+  void note_fused();
 
   std::size_t depth() const { return stack_.size(); }
   const std::vector<Site>& sites() const { return sites_; }

@@ -38,6 +38,13 @@ std::string engine_mark(const Site& s) {
   return "-";
 }
 
+// Long directory prefixes crowd out the statement text; keep the tail of
+// the string — the part that still identifies the site as file:line.
+std::string left_truncate(const std::string& s, std::size_t width) {
+  if (s.size() <= width) return s;
+  return "..." + s.substr(s.size() - (width - 3));
+}
+
 // Indices of sites sorted hottest-first by self modeled cycles.  Ties keep
 // interning (first-execution) order — never wall time, which would make
 // the row order vary run to run and between engines.
@@ -63,18 +70,23 @@ std::string render_table(const std::vector<Site>& sites,
   // checkpointing actually charged something, so fault-free profiles are
   // byte-identical to what they were before the fault subsystem existed.
   bool any_faults = false;
+  // Same gating for the plan-cache column: it appears only when some site
+  // actually issued from a cached communication plan, so plain profiles
+  // keep their pre-fusion layout.  Both columns are fixed width, so
+  // flt/rty/rb/ck and plan$ stay aligned whichever combination is shown.
+  bool any_plans = false;
   for (const auto& s : sites) {
     if (s.self.faults != 0 || s.self.retries != 0 || s.self.rollbacks != 0 ||
         s.self.checkpoints != 0) {
       any_faults = true;
-      break;
     }
+    if (s.self.plan_hits != 0) any_plans = true;
   }
   out += format(
-      "%12s %6s %9s %8s  %-23s %s%-5s %-12s %s\n", "self-cycles", "%",
+      "%12s %6s %9s %8s  %-23s %s%s%-5s %-12s %s\n", "self-cycles", "%",
       "host-ms", "entries", "ops v/n/r/sc/go/bc/fe",
-      any_faults ? "flt/rty/rb/ck   " : "", "eng",
-      opts.show_static ? "static" : "", "site");
+      any_plans ? "plan$    " : "", any_faults ? "flt/rty/rb/ck   " : "",
+      "eng", opts.show_static ? "static" : "", "site");
 
   const auto order = hot_order(sites);
   std::uint64_t sum_cycles = 0;
@@ -106,8 +118,17 @@ std::string render_table(const std::vector<Site>& sites,
         static_cast<unsigned long long>(s.self.global_ors),
         static_cast<unsigned long long>(s.self.broadcasts),
         static_cast<unsigned long long>(s.self.frontend_ops));
-    const std::string where =
-        s.line > 0 ? format("%s:%u", s.file.c_str(), s.line) : s.file;
+    // Truncate long paths from the LEFT so the file name and line — the
+    // part that identifies the site — always stay visible.
+    const std::string where = left_truncate(
+        s.line > 0 ? format("%s:%u", s.file.c_str(), s.line) : s.file, 36);
+    std::string plan_col;
+    if (any_plans) {
+      plan_col = format(
+          "%-9s",
+          format("%llu", static_cast<unsigned long long>(s.self.plan_hits))
+              .c_str());
+    }
     std::string fault_mix;
     if (any_faults) {
       fault_mix = format(
@@ -119,16 +140,23 @@ std::string render_table(const std::vector<Site>& sites,
                  static_cast<unsigned long long>(s.self.checkpoints))
               .c_str());
     }
+    // Sites whose statements ran inside a fused kernel group carry a
+    // fused×N tag (N = member-statement executions, docs/VM.md "Fusion").
+    std::string kind_tag = s.kind;
+    if (s.fused_stmts > 0) {
+      kind_tag += format(" fused\xc3\x97%llu",
+                         static_cast<unsigned long long>(s.fused_stmts));
+    }
     out += format(
-        "%12llu %5.1f%% %9.3f %8llu  %-23s %s%-5s %-12s %s %s | %s\n",
+        "%12llu %5.1f%% %9.3f %8llu  %-23s %s%s%-5s %-12s %s %s | %s\n",
         static_cast<unsigned long long>(s.self.cycles), pct,
         static_cast<double>(s.self_wall_ns) / 1e6,
         static_cast<unsigned long long>(s.entries), mix.c_str(),
-        fault_mix.c_str(), engine_mark(s).c_str(),
+        plan_col.c_str(), fault_mix.c_str(), engine_mark(s).c_str(),
         opts.show_static
             ? (s.static_classes.empty() ? "-" : s.static_classes.c_str())
             : "",
-        where.c_str(), s.kind.c_str(), s.text.c_str());
+        where.c_str(), kind_tag.c_str(), s.text.c_str());
   }
   if (hidden > 0) {
     out += format("  (%zu cold sites hidden)\n", hidden);
@@ -184,9 +212,9 @@ std::string sites_json(const std::vector<Site>& sites,
         "\"global_ors\": %llu, \"broadcasts\": %llu, "
         "\"frontend_ops\": %llu, \"faults\": %llu, \"retries\": %llu, "
         "\"rollbacks\": %llu, \"checkpoints\": %llu, "
-        "\"pool_chunks\": %llu, "
+        "\"plan_hits\": %llu, \"pool_chunks\": %llu, "
         "\"bytecode_stmts\": %llu, \"walk_stmts\": %llu, "
-        "\"static\": \"%s\"}",
+        "\"fused_stmts\": %llu, \"static\": \"%s\"}",
         json_escape(s.kind).c_str(), json_escape(s.file).c_str(), s.line,
         s.col, json_escape(s.text).c_str(),
         static_cast<unsigned long long>(s.entries),
@@ -204,9 +232,11 @@ std::string sites_json(const std::vector<Site>& sites,
         static_cast<unsigned long long>(s.self.retries),
         static_cast<unsigned long long>(s.self.rollbacks),
         static_cast<unsigned long long>(s.self.checkpoints),
+        static_cast<unsigned long long>(s.self.plan_hits),
         static_cast<unsigned long long>(s.pool_chunks),
         static_cast<unsigned long long>(s.bytecode_stmts),
         static_cast<unsigned long long>(s.walk_stmts),
+        static_cast<unsigned long long>(s.fused_stmts),
         json_escape(s.static_classes).c_str());
   }
   out += "\n  ],\n";

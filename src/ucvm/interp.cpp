@@ -155,6 +155,7 @@ RunResult Impl::run() {
             slot.kind = FrameSlot::Kind::kArray;
             slot.array = std::make_shared<ArrayObj>(
                 machine, d.name, d.symbol->type.scalar, d.symbol->type.dims);
+            ++plan_epoch_;  // new layout: cached plans must not match
           } else {
             slot.kind = FrameSlot::Kind::kScalar;
             slot.scalar = Value::of_int(0).coerce(d.symbol->type.scalar);
@@ -349,6 +350,7 @@ Flow Impl::exec_scalar_stmt(const Stmt& stmt, EvalCtx& ctx) {
           slot.kind = FrameSlot::Kind::kArray;
           slot.array = std::make_shared<ArrayObj>(
               machine, d.name, d.symbol->type.scalar, d.symbol->type.dims);
+          ++plan_epoch_;  // new layout: cached plans must not match
         } else {
           slot.kind = FrameSlot::Kind::kScalar;
           slot.scalar = Value::of_int(0).coerce(d.symbol->type.scalar);

@@ -76,6 +76,14 @@ struct ExecOptions {
   // Lane execution engine (identical results either way; kBytecode is the
   // fast path, kWalk the reference interpreter).
   ExecEngine engine = ExecEngine::kBytecode;
+  // Statement fusion (docs/VM.md "Fusion"; bytecode engine only, kWalk
+  // ignores it).  Consecutive provably-independent elementwise statements
+  // in a par body compile into one fused kernel (single front-end issue,
+  // single pool dispatch, registers carrying values between statements),
+  // with cross-statement CSE + dead-temporary elimination and cached
+  // communication plans.  Program outputs are bit-identical with fusion on
+  // or off; modeled cycles with fusion on are never higher.
+  bool fuse = true;
   // Per-site execution profiler (docs/PROFILING.md).  When non-null, both
   // engines attribute CostStats deltas and host wall time to source-site
   // scopes on this profiler.  Profiling never changes program output or

@@ -5,9 +5,11 @@
 
 #include "support/error.hpp"
 #include "support/str.hpp"
+#include "uclang/access.hpp"
 #include "ucvm/checkpoint.hpp"
 #include "ucvm/interp_detail.hpp"
 #include "ucvm/kernel/kernel.hpp"
+#include "xform/affine.hpp"
 
 namespace uc::vm::detail {
 
@@ -106,15 +108,24 @@ std::vector<Value> Impl::eval_lanes(const Expr& expr, LaneSpace& space,
 
   auto attempt = [&]() -> std::vector<Value> {
     // Charge the static cost first: this also annotates reductions with the
-    // processor-optimisation decision the evaluator consults.
-    charge_expr(expr, space.geom_size, /*frontend=*/false, &space);
+    // processor-optimisation decision the evaluator consults.  With fusion
+    // on (bytecode engine only) the charge goes through the
+    // communication-plan cache: a repeat execution of the same statement
+    // signature replays the recorded recipe at the reduced plan issue
+    // overhead instead of re-deriving it.
+    if (opts.fuse && opts.engine == ExecEngine::kBytecode) {
+      charge_expr_planned(expr, space, /*rider=*/false);
+    } else {
+      charge_expr(expr, space.geom_size, /*frontend=*/false, &space);
+    }
 
     // Fast path: compile the statement once into lane-kernel bytecode and
     // run it allocation-free; statements the lowering/link does not cover
     // fall through to the reference tree walk below (bit-identical results).
     if (opts.engine == ExecEngine::kBytecode) {
       if (auto fast = kernel_engine().try_run(expr, space, active, frame,
-                                              stmt_id, commit)) {
+                                              stmt_id, commit,
+                                              /*optimize=*/opts.fuse)) {
         if (prof != nullptr) prof->note_engine(/*bytecode=*/true);
         return std::move(*fast);
       }
@@ -191,6 +202,173 @@ void Impl::charge_dynamic_stats(const AccessStats& total,
   if (total.frontend > 0) machine.charge_frontend(total.frontend);
 }
 
+// ---------------------------------------------------------------------------
+// Statement fusion (docs/VM.md "Fusion")
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Exact per-dimension affine equality — the shape of cross-statement
+// dependence the fused engine's store-load forwarding can satisfy.
+bool forms_equal(const xform::LinearForm& a, const xform::LinearForm& b) {
+  if (!a.exact || !b.exact || a.constant != b.constant) return false;
+  for (const auto& t : a.terms) {
+    if (b.coeff_of(t.sym) != t.coeff) return false;
+  }
+  for (const auto& t : b.terms) {
+    if (a.coeff_of(t.sym) != t.coeff) return false;
+  }
+  return true;
+}
+
+bool same_affine_subscript(const lang::SubscriptExpr* a,
+                           const lang::SubscriptExpr* b) {
+  if (a == nullptr || b == nullptr) return false;
+  if (a->indices.size() != b->indices.size()) return false;
+  for (std::size_t d = 0; d < a->indices.size(); ++d) {
+    if (!forms_equal(xform::linearize(*a->indices[d]),
+                     xform::linearize(*b->indices[d]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Whether a statement can join a fused group at all.
+bool member_fusable(const lang::AccessSet& s) {
+  if (s.has_user_call) return false;  // opaque effects
+  for (const auto& a : s.accesses) {
+    if (a.is_write && a.reduce != nullptr) return false;
+  }
+  return true;
+}
+
+// Whether member j (executing after member i in the unfused order) can
+// share a kernel with i.  Conservative where it must be: the bytecode
+// optimizer's forwarding check is the final authority, so a pair admitted
+// here that turns out unsafe at the register level still compiles to
+// nothing and runs unfused.
+//   - i-written scalar touched by j at all: j would see a stale value (reads
+//     are pre-group) or trip the merged commit's conflict check (writes).
+//   - write-write on an array: sequential overwrite is legal unfused but a
+//     conflict under the single merged commit.
+//   - i-written array read by j: only when every such read uses the exact
+//     same affine subscript as an i-write, so per-lane forwarding covers it
+//     (a read under a reduction gathers other lanes' elements — blocked).
+bool pair_fusable(const lang::AccessSet& i, const lang::AccessSet& j) {
+  for (const auto& wi : i.accesses) {
+    if (!wi.is_write) continue;
+    for (const auto& aj : j.accesses) {
+      if (aj.base != wi.base) continue;
+      if (wi.subscript == nullptr) return false;  // scalar hazard
+      if (aj.is_write) return false;              // array write-write
+      if (aj.reduce != nullptr) return false;     // gathered read
+      if (!same_affine_subscript(wi.subscript, aj.subscript)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::vector<Impl::FusionSeg>& Impl::fusion_segments(
+    const lang::CompoundStmt& s) {
+  auto it = fusion_segments_.find(&s);
+  if (it != fusion_segments_.end()) return it->second;
+
+  const std::size_t n = s.body.size();
+  std::vector<lang::AccessSet> acc(n);
+  std::vector<bool> ok(n, false);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (s.body[k]->kind != StmtKind::kExpr) continue;
+    lang::collect_accesses(*s.body[k], acc[k]);
+    ok[k] = member_fusable(acc[k]);
+  }
+
+  std::vector<FusionSeg> segs;
+  std::size_t k = 0;
+  while (k < n) {
+    if (!ok[k]) {
+      segs.push_back({k, 1, false});
+      ++k;
+      continue;
+    }
+    // Greedy: extend while the next statement is safe against every member
+    // already in the group.
+    std::size_t end = k + 1;
+    while (end < n && ok[end]) {
+      bool safe = true;
+      for (std::size_t i = k; i < end && safe; ++i) {
+        safe = pair_fusable(acc[i], acc[end]);
+      }
+      if (!safe) break;
+      ++end;
+    }
+    segs.push_back({k, end - k, end - k >= 2});
+    k = end;
+  }
+  return fusion_segments_[&s] = std::move(segs);
+}
+
+bool Impl::exec_fused_group(const lang::CompoundStmt& s, std::size_t begin,
+                            std::size_t count, LaneSpace& space,
+                            const std::vector<std::int64_t>& active,
+                            Frame* frame) {
+  std::vector<const Expr*> stmts(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    stmts[k] =
+        static_cast<const lang::ExprStmt&>(*s.body[begin + k]).expr.get();
+  }
+  auto& eng = kernel_engine();
+  // Compile (cached) + link.  Touches no interpreter state on failure, so
+  // declining here falls back cleanly to statement-at-a-time execution.
+  if (!eng.prepare_group(stmts.data(), count, space, frame)) return false;
+
+  check_deadline(nullptr);
+  // The group is one transactional unit but still `count` statements for
+  // checkpoint pacing and id assignment.
+  for (std::size_t k = 0; k < count; ++k) ckpt->note_statement();
+  const std::uint64_t first_stmt_id = stmt_counter + 1;
+  stmt_counter += count;
+
+  auto attempt = [&]() {
+    // Static charges, one per member under its own profiler scope so
+    // per-site cycles keep summing to the aggregate.  Member 0 pays (or
+    // plan-caches) the full front-end issue; riders share it and charge at
+    // the reduced planned overhead from their first execution.
+    for (std::size_t k = 0; k < count; ++k) {
+      ProfScope prof_scope(*this, stmts[k], "stmt", stmts[k]->range);
+      charge_expr_planned(*stmts[k], space, /*rider=*/k != 0);
+    }
+    // One pool dispatch for the whole group; host time lands on member 0.
+    std::vector<AccessStats> member_stats;
+    {
+      ProfScope prof_scope(*this, stmts[0], "stmt", stmts[0]->range);
+      eng.run_group(space, active, frame, first_stmt_id, member_stats);
+    }
+    for (std::size_t k = 0; k < count; ++k) {
+      ProfScope prof_scope(*this, stmts[k], "stmt", stmts[k]->range);
+      charge_dynamic_stats(member_stats[k], space.geom_size);
+      if (prof != nullptr) {
+        prof->note_engine(/*bytecode=*/true);
+        prof->note_fused();
+      }
+    }
+    // All faultable charges are behind us: apply the buffered writes of
+    // every member in one conflict-checked commit.
+    eng.commit_group();
+  };
+  for (;;) {
+    try {
+      attempt();
+      return true;
+    } catch (const support::TransientFault&) {
+      if (!ckpt->enabled() || !ckpt->consume_replay()) throw;
+      machine.note_rollback();
+    }
+  }
+}
+
 void Impl::commit_begin(std::size_t expected_writes) {
   commit_seen_.clear();
   commit_seen_.reserve(expected_writes);
@@ -261,6 +439,23 @@ void Impl::exec_parallel_stmt(const Stmt& stmt, LaneSpace& space,
     }
     case StmtKind::kCompound: {
       const auto& s = static_cast<const lang::CompoundStmt&>(stmt);
+      if (opts.fuse && opts.engine == ExecEngine::kBytecode &&
+          s.body.size() > 1) {
+        // Fusion (docs/VM.md): runs of provably independent expression
+        // statements execute as one kernel; anything the compiler declines
+        // falls back to statement-at-a-time execution below.
+        for (const FusionSeg& seg : fusion_segments(s)) {
+          if (seg.fusable &&
+              exec_fused_group(s, seg.begin, seg.count, space, active,
+                               frame)) {
+            continue;
+          }
+          for (std::size_t k = 0; k < seg.count; ++k) {
+            exec_parallel_stmt(*s.body[seg.begin + k], space, active, frame);
+          }
+        }
+        return;
+      }
       for (const auto& child : s.body) {
         exec_parallel_stmt(*child, space, active, frame);
       }

@@ -12,6 +12,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "cm/plan_cache.hpp"
 #include "prof/profile.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
@@ -218,6 +219,26 @@ struct Impl {
   void exec_parallel_stmt(const Stmt& stmt, LaneSpace& space,
                           const std::vector<std::int64_t>& active,
                           Frame* frame);
+
+  // --- statement fusion (docs/VM.md "Fusion") ---
+  // Partition of a compound par body into maximal runs of consecutive
+  // fusable expression statements.  Depends only on the AST, so it is
+  // computed once per CompoundStmt.
+  struct FusionSeg {
+    std::size_t begin = 0;
+    std::size_t count = 1;
+    bool fusable = false;  // >= 2 members, all provably independent
+  };
+  const std::vector<FusionSeg>& fusion_segments(const lang::CompoundStmt& s);
+  // Runs members [begin, begin+count) as one fused kernel: one pool
+  // dispatch, per-member charging under each member's own profiler scope,
+  // and a single merged commit.  Returns false (with no state mutated)
+  // when the group cannot be compiled or linked — the caller then runs the
+  // members unfused.
+  bool exec_fused_group(const lang::CompoundStmt& s, std::size_t begin,
+                        std::size_t count, LaneSpace& space,
+                        const std::vector<std::int64_t>& active,
+                        Frame* frame);
   std::unique_ptr<LaneSpace> expand(LaneSpace& parent,
                                     const std::vector<std::int64_t>& active,
                                     const std::vector<Symbol*>& sets);
@@ -257,6 +278,12 @@ struct Impl {
   // Lazily constructed bytecode engine (exec.cpp).
   kernel::Engine& kernel_engine();
   std::unique_ptr<kernel::Engine> kernel_engine_;
+  // Communication-plan cache (src/cm/plan_cache.hpp) and its invalidation
+  // epoch: bumped whenever an array is (re)declared or remapped, since
+  // cached plans bake in mapping- and shape-dependent decisions.
+  cm::PlanCache plan_cache_;
+  std::uint64_t plan_epoch_ = 0;
+  std::unordered_map<const Stmt*, std::vector<FusionSeg>> fusion_segments_;
   std::unordered_map<WriteTarget, std::pair<Value, const Expr*>,
                      WriteTargetHash>
       commit_seen_;
@@ -276,9 +303,21 @@ struct Impl {
   // Charges the static cost of one synchronous statement expression over a
   // VP set of geom_size lanes (or the front end when frontend=true),
   // including nested reductions.  `outer_space` (may be null) lets the
-  // processor optimisation recognise partitionable reductions.
+  // processor optimisation recognise partitionable reductions.  When
+  // `record` is non-null every machine charge (and every partition
+  // decision) is appended to it so the communication-plan cache can replay
+  // the recipe later; `planned` charges vector/reduce issues at the
+  // reduced plan_issue_overhead (fused rider members share their group's
+  // front-end issue).
   void charge_expr(const Expr& e, std::int64_t geom_size, bool frontend,
-                   const LaneSpace* outer_space = nullptr);
+                   const LaneSpace* outer_space = nullptr,
+                   cm::Plan* record = nullptr, bool planned = false);
+  // Plan-cached statement charging (fuse=on): on a signature hit the
+  // recorded recipe replays at reduced issue cost; on a miss the statement
+  // charges normally while recording, then the plan is cached.
+  void charge_expr_planned(const Expr& e, LaneSpace& space,
+                           bool rider = false);
+  std::uint64_t plan_key(const Expr& e, const LaneSpace& space) const;
   static std::uint64_t expr_weight(const Expr& e);
   // Like expr_weight, but repeated pure subexpressions count once — the
   // paper §4 common-subexpression optimisation as a cost-model effect.

@@ -1098,14 +1098,45 @@ bool reduction_partitions(const lang::ReduceExpr& e,
 }
 
 void Impl::charge_expr(const Expr& e, std::int64_t geom_size, bool frontend,
-                       const LaneSpace* outer_space) {
+                       const LaneSpace* outer_space, cm::Plan* record,
+                       bool planned) {
+  // Charge helpers that also append to the plan being recorded (if any):
+  // the recorded recipe must replay the exact same machine charges.
+  auto fe_charge = [&](std::uint64_t n) {
+    machine.charge_frontend(n);
+    if (record != nullptr) {
+      record->charges.push_back({cm::PlanCharge::Kind::kFrontend,
+                                 static_cast<std::int64_t>(n), 1});
+    }
+  };
+  auto vec_charge = [&](std::int64_t n, std::uint64_t m) {
+    machine.charge_vector_op(n, m, planned);
+    if (record != nullptr) {
+      record->charges.push_back({cm::PlanCharge::Kind::kVectorOp, n,
+                                 static_cast<std::int64_t>(m)});
+    }
+  };
+  auto router_charge = [&](std::int64_t n, std::uint64_t m) {
+    machine.charge_router(n, m);
+    if (record != nullptr) {
+      record->charges.push_back({cm::PlanCharge::Kind::kRouter, n,
+                                 static_cast<std::int64_t>(m)});
+    }
+  };
+  auto reduce_charge = [&](std::int64_t n, std::int64_t m) {
+    machine.charge_reduce(n, m, planned);
+    if (record != nullptr) {
+      record->charges.push_back({cm::PlanCharge::Kind::kReduce, n, m});
+    }
+  };
+
   const std::uint64_t w = opts.common_subexpression_elimination
                               ? expr_weight_cse(e)
                               : expr_weight(e);
   if (frontend) {
-    machine.charge_frontend(w);
+    fe_charge(w);
   } else {
-    machine.charge_vector_op(geom_size, w);
+    vec_charge(geom_size, w);
   }
   for_each_reduce(e, [&](const lang::ReduceExpr& red) {
     std::int64_t prod = 1;
@@ -1132,13 +1163,16 @@ void Impl::charge_expr(const Expr& e, std::int64_t geom_size, bool frontend,
                            reduction_partitions(red, *outer_space);
     const_cast<lang::ReduceExpr&>(red).partition_optimized =
         optimised ? 1 : 0;
+    if (record != nullptr) {
+      record->annotations.push_back({&red, optimised});
+    }
     if (optimised) {
-      machine.charge_vector_op(prod, arm_w);
-      machine.charge_router(prod, static_cast<std::uint64_t>(prod));
+      vec_charge(prod, arm_w);
+      router_charge(prod, static_cast<std::uint64_t>(prod));
       return;  // send-with-combine replaces the log-depth scan
     }
-    machine.charge_vector_op(red_geom, arm_w);
-    machine.charge_reduce(red_geom, prod);
+    vec_charge(red_geom, arm_w);
+    reduce_charge(red_geom, prod);
     // Nested reductions inside the arms are charged at the expanded size.
     for (const auto& arm : red.arms) {
       if (arm.pred) {
@@ -1147,8 +1181,8 @@ void Impl::charge_expr(const Expr& e, std::int64_t geom_size, bool frontend,
           for (const Symbol* s : inner.index_set_syms) {
             iprod *= static_cast<std::int64_t>(s->index_set->values.size());
           }
-          machine.charge_vector_op(red_geom * iprod, 1);
-          machine.charge_reduce(red_geom * iprod, iprod);
+          vec_charge(red_geom * iprod, 1);
+          reduce_charge(red_geom * iprod, iprod);
         });
       }
       for_each_reduce(*arm.value, [&](const lang::ReduceExpr& inner) {
@@ -1156,11 +1190,68 @@ void Impl::charge_expr(const Expr& e, std::int64_t geom_size, bool frontend,
         for (const Symbol* s : inner.index_set_syms) {
           iprod *= static_cast<std::int64_t>(s->index_set->values.size());
         }
-        machine.charge_vector_op(red_geom * iprod, 1);
-        machine.charge_reduce(red_geom * iprod, iprod);
+        vec_charge(red_geom * iprod, 1);
+        reduce_charge(red_geom * iprod, iprod);
       });
     }
   });
+}
+
+std::uint64_t Impl::plan_key(const Expr& e, const LaneSpace& space) const {
+  // Signature: statement site + declaration/mapping epoch + geometry +
+  // enclosing element structure + every reduce index-set size + the cost
+  // flags the recipe was recorded under.  Element *values* are deliberately
+  // excluded: a seq loop rebinding its tuple each iteration must still hit.
+  std::uint64_t h = 0x243f6a8885a308d3ull;
+  h = cm::PlanCache::mix(h, reinterpret_cast<std::uintptr_t>(&e));
+  h = cm::PlanCache::mix(h, plan_epoch_);
+  h = cm::PlanCache::mix(h, (opts.common_subexpression_elimination ? 1u : 0u) |
+                                (opts.processor_optimization ? 2u : 0u));
+  h = cm::PlanCache::mix(h, static_cast<std::uint64_t>(space.geom_size));
+  for (const LaneSpace* s = &space; s != nullptr; s = s->parent) {
+    for (std::int64_t d : s->dims) {
+      h = cm::PlanCache::mix(h, static_cast<std::uint64_t>(d));
+    }
+    for (const Symbol* el : s->elems) {
+      h = cm::PlanCache::mix(h, reinterpret_cast<std::uintptr_t>(el));
+    }
+  }
+  auto mix_sets = [&h](const lang::ReduceExpr& red) {
+    for (const Symbol* s : red.index_set_syms) {
+      h = cm::PlanCache::mix(h, s->index_set->values.size());
+    }
+  };
+  for_each_reduce(e, [&](const lang::ReduceExpr& red) {
+    mix_sets(red);
+    for (const auto& arm : red.arms) {
+      if (arm.pred) for_each_reduce(*arm.pred, mix_sets);
+      for_each_reduce(*arm.value, mix_sets);
+    }
+  });
+  return h;
+}
+
+void Impl::charge_expr_planned(const Expr& e, LaneSpace& space, bool rider) {
+  const std::uint64_t key = plan_key(e, space);
+  if (cm::Plan* plan = plan_cache_.find(key)) {
+    // Re-apply the recorded partition decisions before replaying so the
+    // evaluator classifies accesses exactly as it did when recording.
+    for (const auto& a : plan->annotations) {
+      const_cast<lang::ReduceExpr*>(
+          static_cast<const lang::ReduceExpr*>(a.site))
+          ->partition_optimized = a.optimized ? 1 : 0;
+    }
+    cm::PlanCache::replay(machine, *plan);
+    return;
+  }
+  // Miss: charge normally while recording, then cache the recipe.  Rider
+  // members of a fused group share their group's front-end issue even on
+  // first execution, so they charge at the planned overhead while
+  // recording the same overhead-independent recipe.  A TransientFault
+  // mid-recording simply abandons the local plan; the retry re-records.
+  cm::Plan plan;
+  charge_expr(e, space.geom_size, /*frontend=*/false, &space, &plan, rider);
+  plan_cache_.insert(key, std::move(plan));
 }
 
 }  // namespace detail

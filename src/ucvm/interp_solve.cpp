@@ -273,6 +273,7 @@ void Impl::exec_star_solve(const UcConstructStmt& stmt, LaneSpace& space,
 void Impl::apply_map_section(const lang::MapSectionStmt& section,
                              EvalCtx& ctx) {
   ProfScope prof_scope(*this, &section, "map", section.range);
+  ++plan_epoch_;  // remapping invalidates cached communication plans
   for (const auto& m : section.mappings) {
     if (m.target_symbol == nullptr) continue;
     ArrayPtr target = array_of(*m.target_symbol, ctx);

@@ -62,6 +62,7 @@ enum class Op : std::uint8_t {
   kReduceSkipOthers,  // if (enabled_any) ip = jump (skip the others arm)
   kReduceNext,      // advance the tuple odometer; more tuples => ip = jump
   kReduceEnd,       // r[dst] = final accumulator (float-coerced)
+  kMemberBoundary,  // fused kernels: entering member a (stats slot + RNG)
   kRet,             // kernel result = r[a]
 };
 
@@ -108,6 +109,10 @@ struct Kernel {
   std::vector<ArrayRef> arrays;
   std::vector<ReduceRef> reduces;
   std::uint32_t num_regs = 0;
+  // Fused kernels cover several consecutive statements of one par body;
+  // kMemberBoundary instructions mark the entry to members 1..n-1 (member 0
+  // starts at code[0]).  Plain statement kernels have num_members == 1.
+  std::uint32_t num_members = 1;
   bool uses_rand = false;  // seed the per-lane RNG only when needed
 };
 
@@ -119,5 +124,22 @@ bool can_compile_expr(const lang::Expr& e);
 // Lowers a statement expression; returns nullptr when can_compile_expr is
 // false.  Pure function of the sema'd AST — safe to cache per Expr*.
 std::unique_ptr<Kernel> compile_expr(const lang::Expr& e);
+
+// Lowers `n` consecutive statement expressions into one fused kernel
+// (docs/VM.md "Fusion") and runs the optimisation pipeline over it:
+// value-numbering CSE, cross-member store-to-load forwarding, and dead
+// temporary elimination.  Every member must satisfy can_compile_expr, and
+// the caller must have proven the members fusion-safe at the AST level
+// (interp_constructs.cpp); the bytecode-level forwarding check is the
+// final authority and returns nullptr when a later member reads an element
+// a prior member wrote through a subscript the optimiser cannot match.
+// With n == 1 this is compile_expr + optimisation and never fails.
+std::unique_ptr<Kernel> compile_fused(const lang::Expr* const* stmts,
+                                      std::size_t n);
+
+// The optimisation pipeline (optimize.cpp).  Returns false when
+// cross-member store-to-load forwarding finds an unmatchable read (the
+// kernel is then left in an unspecified state and must be discarded).
+bool optimize_kernel(Kernel& k);
 
 }  // namespace uc::vm::detail::kernel

@@ -168,7 +168,8 @@ bool same_const(const Value& a, const Value& b) {
 
 class Lowerer {
  public:
-  explicit Lowerer(Kernel& k) : k_(k) {}
+  explicit Lowerer(Kernel& k, bool optimize = false)
+      : k_(k), optimize_(optimize) {}
 
   void lower(const Expr& root) {
     const std::uint16_t r = expr(root);
@@ -176,8 +177,26 @@ class Lowerer {
     k_.num_regs = next_reg_;
   }
 
+  // Lowers several consecutive statements into one kernel.  Members 1..n-1
+  // are preceded by a kMemberBoundary (a = member index) so the executor
+  // can switch its stats slot and reseed the lane RNG; only the last
+  // member's value is returned.
+  void lower_fused(const Expr* const* stmts, std::size_t n) {
+    std::uint16_t r = 0;
+    for (std::size_t m = 0; m < n; ++m) {
+      if (m != 0) {
+        emit(Op::kMemberBoundary, 0, 0, static_cast<std::uint16_t>(m));
+      }
+      r = expr(*stmts[m]);
+    }
+    emit(Op::kRet, 0, 0, r);
+    k_.num_members = static_cast<std::uint32_t>(n);
+    k_.num_regs = next_reg_;
+  }
+
  private:
   Kernel& k_;
+  bool optimize_ = false;
   std::uint32_t next_reg_ = 0;
   const lang::ReduceExpr* cur_reduce_ = nullptr;
   std::int32_t cur_reduce_slot_ = -1;
@@ -512,6 +531,23 @@ class Lowerer {
     return r;
   }
 
+  // Lowers an arm predicate as a chain of test-and-exit branches: every
+  // kLogAnd conjunct is evaluated in order and a false conjunct jumps to
+  // the (caller-patched) fold-skip point.  Leaves other than && lower
+  // normally, so || keeps its materialised short-circuit form.
+  void pred_exits(const Expr& e, std::vector<std::size_t>& exits) {
+    if (e.kind == ExprKind::kBinary) {
+      const auto& b = static_cast<const lang::BinaryExpr&>(e);
+      if (b.op == BinaryOp::kLogAnd) {
+        pred_exits(*b.lhs, exits);
+        pred_exits(*b.rhs, exits);
+        return;
+      }
+    }
+    const std::uint16_t p = expr(e);
+    exits.push_back(emit(Op::kJumpIfFalse, 0, 0, p));
+  }
+
   std::uint16_t reduce(const lang::ReduceExpr& red) {
     k_.reduces.push_back(ReduceRef{&red});
     const auto slot = static_cast<std::uint16_t>(k_.reduces.size() - 1);
@@ -528,6 +564,19 @@ class Lowerer {
     const auto loop_start = static_cast<std::int32_t>(k_.code.size());
     for (const auto& arm : red.arms) {
       if (arm.pred) {
+        if (optimize_) {
+          // Branch-chain lowering: each && conjunct tests-and-exits
+          // directly instead of materialising the boolean, so the
+          // predicate and the value form one extended basic block and the
+          // optimiser's value numbering reaches across them.  Evaluation
+          // order and short-circuiting are unchanged.
+          std::vector<std::size_t> exits;
+          pred_exits(*arm.pred, exits);
+          const std::uint16_t v = expr(*arm.value);
+          emit(Op::kReduceFold, 0, 0, v);
+          for (const std::size_t at : exits) patch(at);
+          continue;
+        }
         const std::uint16_t p = expr(*arm.pred);
         const std::size_t skip = emit(Op::kJumpIfFalse, 0, 0, p);
         const std::uint16_t v = expr(*arm.value);
@@ -563,6 +612,21 @@ std::unique_ptr<Kernel> compile_expr(const Expr& e) {
   if (!can_compile_expr(e)) return nullptr;
   auto kernel = std::make_unique<Kernel>();
   Lowerer(*kernel).lower(e);
+  return kernel;
+}
+
+std::unique_ptr<Kernel> compile_fused(const Expr* const* stmts,
+                                      std::size_t n) {
+  if (n == 0) return nullptr;
+  for (std::size_t m = 0; m < n; ++m) {
+    if (stmts[m] == nullptr || !can_compile_expr(*stmts[m])) return nullptr;
+  }
+  auto kernel = std::make_unique<Kernel>();
+  Lowerer(*kernel, /*optimize=*/true).lower_fused(stmts, n);
+  // Registers are never reused, so a pathological fusion could overflow
+  // the 16-bit register file; decline and let the members run unfused.
+  if (kernel->num_regs > 60000) return nullptr;
+  if (!optimize_kernel(*kernel)) return nullptr;
   return kernel;
 }
 

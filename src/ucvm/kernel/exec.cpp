@@ -32,6 +32,15 @@ const Kernel* Engine::compile_cached(const Expr& expr) {
   return it->second.get();
 }
 
+const Kernel* Engine::compile_optimized_cached(const Expr& expr) {
+  auto it = opt_cache_.find(&expr);
+  if (it == opt_cache_.end()) {
+    const Expr* one[1] = {&expr};
+    it = opt_cache_.emplace(&expr, compile_fused(one, 1)).first;
+  }
+  return it->second.get();
+}
+
 namespace {
 
 // Equality of the lane geometry against an array's shape, where the lane
@@ -304,6 +313,9 @@ void Engine::run_lane(const Kernel& k, LaneSpace& space, std::int64_t lane,
              (static_cast<std::uint64_t>(lane_vp) + 0x5851f42d4c957f2dull));
   }
 
+  // Fused kernels switch this at kMemberBoundary so each member's
+  // communication is attributed (and charged) separately.
+  AccessStats* stats_cur = arena.stats.data();
   ReduceState& rs = arena.rs;
   const Inst* code = k.code.data();
   std::size_t ip = 0;
@@ -411,18 +423,18 @@ void Engine::run_lane(const Kernel& k, LaneSpace& space, std::int64_t lane,
           vm_.runtime_error(I.where,
                             "array subscript out of range: " + what);
         }
-        classify_site(la, flat, lane_vp, lane_coords, rs, arena.stats);
+        classify_site(la, flat, lane_vp, lane_coords, rs, *stats_cur);
         regs[I.dst] = Value::from_bits(la.data[flat], la.flt);
         break;
       }
       case Op::kClassify:
         classify_site(arrays[I.a], regs[I.b].i, lane_vp, lane_coords, rs,
-                      arena.stats);
+                      *stats_cur);
         break;
       case Op::kBroadcastCheck:
         // Walk: writes to a replicated array broadcast, independent of the
         // suppress/frontend classification short-circuit.
-        if (arrays[I.a].arr->replicated()) ++arena.stats.broadcast;
+        if (arrays[I.a].arr->replicated()) ++stats_cur->broadcast;
         break;
       case Op::kArrStore: {
         WriteTarget t;
@@ -436,8 +448,8 @@ void Engine::run_lane(const Kernel& k, LaneSpace& space, std::int64_t lane,
         // Fused kClassify (+ kBroadcastCheck when arg bit0) + kArrStore.
         const LinkedArray& la = arrays[I.a];
         const std::int64_t flat = regs[I.b].i;
-        classify_site(la, flat, lane_vp, lane_coords, rs, arena.stats);
-        if ((I.arg & 1) != 0 && la.arr->replicated()) ++arena.stats.broadcast;
+        classify_site(la, flat, lane_vp, lane_coords, rs, *stats_cur);
+        if ((I.arg & 1) != 0 && la.arr->replicated()) ++stats_cur->broadcast;
         WriteTarget t;
         t.kind = WriteTarget::Kind::kArray;
         t.obj = la.arr;
@@ -652,6 +664,18 @@ void Engine::run_lane(const Kernel& k, LaneSpace& space, std::int64_t lane,
         regs[I.dst] = rs.info->flt ? Value::of_float(rs.acc.as_float())
                                    : rs.acc;
         break;
+      case Op::kMemberBoundary:
+        // Entering member I.a of a fused group: its stats land in their
+        // own slot, and the lane RNG is reseeded with the member's own
+        // statement id so rand() draws match the unfused execution.
+        stats_cur = arena.stats.data() + I.a;
+        if (k.uses_rand && !use_fe_rng) {
+          rng.seed(vm_.base_seed ^
+                   ((stmt_id + I.a) * 0x9e3779b97f4a7c15ull) ^
+                   (static_cast<std::uint64_t>(lane_vp) +
+                    0x5851f42d4c957f2dull));
+        }
+        break;
       case Op::kRet:
         results[static_cast<std::size_t>(result_slot)] = regs[I.a];
         return;
@@ -660,11 +684,70 @@ void Engine::run_lane(const Kernel& k, LaneSpace& space, std::int64_t lane,
   }
 }
 
+void Engine::reset_arenas(const Kernel& k) {
+  for (auto& a : arenas_) {
+    a.writes.clear();
+    a.spans.clear();
+    a.stats.assign(k.num_members, AccessStats{});
+    if (a.regs.size() < k.num_regs) a.regs.resize(k.num_regs);
+  }
+}
+
+void Engine::run_lanes_pooled(const Kernel& k, LaneSpace& space,
+                              const std::vector<std::int64_t>& active,
+                              Frame* frame, std::uint64_t stmt_id,
+                              std::vector<Value>& results) {
+  const auto n = static_cast<std::int64_t>(active.size());
+  vm_.machine.pool().parallel_for_indexed(
+      0, n,
+      [&](unsigned worker, std::int64_t b, std::int64_t e) {
+        Arena& arena = arenas_[worker];
+        const auto span_start = static_cast<std::uint32_t>(arena.writes.size());
+        for (std::int64_t kk = b; kk < e; ++kk) {
+          run_lane(k, space, active[static_cast<std::size_t>(kk)], kk, frame,
+                   stmt_id, arena, results);
+        }
+        const auto count =
+            static_cast<std::uint32_t>(arena.writes.size()) - span_start;
+        if (count > 0) arena.spans.push_back(ChunkSpan{b, span_start, count});
+      },
+      /*min_grain=*/64);
+}
+
+void Engine::commit_buffered() {
+  // Chunks are disjoint ascending lane ranges, so sorting the spans by
+  // their first active-lane position recovers the walk's lane order for
+  // conflict detection (first-seen value wins the error message).
+  span_order_.clear();
+  std::size_t total_writes = 0;
+  for (auto& a : arenas_) {
+    total_writes += a.writes.size();
+    for (const auto& s : a.spans) span_order_.emplace_back(&s, &a);
+  }
+  std::sort(span_order_.begin(), span_order_.end(),
+            [](const auto& x, const auto& y) {
+              return x.first->begin_k < y.first->begin_k;
+            });
+  vm_.commit_begin(total_writes);
+  for (const auto& [span, arena] : span_order_) {
+    for (std::uint32_t w = 0; w < span->count; ++w) {
+      vm_.commit_check(arena->writes[span->offset + w]);
+    }
+  }
+  for (const auto& [span, arena] : span_order_) {
+    for (std::uint32_t w = 0; w < span->count; ++w) {
+      const Write& wr = arena->writes[span->offset + w];
+      vm_.apply_write(wr.target, wr.value);
+    }
+  }
+}
+
 std::optional<std::vector<Value>> Engine::try_run(
     const Expr& expr, LaneSpace& space,
     const std::vector<std::int64_t>& active, Frame* frame,
-    std::uint64_t stmt_id, bool commit) {
-  const Kernel* kern = compile_cached(expr);
+    std::uint64_t stmt_id, bool commit, bool optimize) {
+  const Kernel* kern =
+      optimize ? compile_optimized_cached(expr) : compile_cached(expr);
   if (kern == nullptr) {
     ++fallback_statements_;
     return std::nullopt;
@@ -675,63 +758,51 @@ std::optional<std::vector<Value>> Engine::try_run(
   }
   ++compiled_statements_;
 
-  const auto n = static_cast<std::int64_t>(active.size());
-  std::vector<Value> results(static_cast<std::size_t>(n));
-  for (auto& a : arenas_) {
-    a.writes.clear();
-    a.spans.clear();
-    a.stats = AccessStats{};
-    if (a.regs.size() < kern->num_regs) a.regs.resize(kern->num_regs);
-  }
-
-  vm_.machine.pool().parallel_for_indexed(
-      0, n,
-      [&](unsigned worker, std::int64_t b, std::int64_t e) {
-        Arena& arena = arenas_[worker];
-        const auto span_start = static_cast<std::uint32_t>(arena.writes.size());
-        for (std::int64_t k = b; k < e; ++k) {
-          run_lane(*kern, space, active[static_cast<std::size_t>(k)], k,
-                   frame, stmt_id, arena, results);
-        }
-        const auto count =
-            static_cast<std::uint32_t>(arena.writes.size()) - span_start;
-        if (count > 0) arena.spans.push_back(ChunkSpan{b, span_start, count});
-      },
-      /*min_grain=*/64);
+  std::vector<Value> results(active.size());
+  reset_arenas(*kern);
+  run_lanes_pooled(*kern, space, active, frame, stmt_id, results);
 
   AccessStats total;
-  for (const auto& a : arenas_) total.merge(a.stats);
+  for (const auto& a : arenas_) total.merge(a.stats[0]);
   vm_.charge_dynamic_stats(total, space.geom_size);
 
-  if (commit) {
-    // Chunks are disjoint ascending lane ranges, so sorting the spans by
-    // their first active-lane position recovers the walk's lane order for
-    // conflict detection (first-seen value wins the error message).
-    span_order_.clear();
-    std::size_t total_writes = 0;
-    for (auto& a : arenas_) {
-      total_writes += a.writes.size();
-      for (const auto& s : a.spans) span_order_.emplace_back(&s, &a);
-    }
-    std::sort(span_order_.begin(), span_order_.end(),
-              [](const auto& x, const auto& y) {
-                return x.first->begin_k < y.first->begin_k;
-              });
-    vm_.commit_begin(total_writes);
-    for (const auto& [span, arena] : span_order_) {
-      for (std::uint32_t w = 0; w < span->count; ++w) {
-        vm_.commit_check(arena->writes[span->offset + w]);
-      }
-    }
-    for (const auto& [span, arena] : span_order_) {
-      for (std::uint32_t w = 0; w < span->count; ++w) {
-        const Write& wr = arena->writes[span->offset + w];
-        vm_.apply_write(wr.target, wr.value);
-      }
-    }
-  }
+  if (commit) commit_buffered();
   return results;
 }
+
+bool Engine::prepare_group(const Expr* const* stmts, std::size_t n,
+                           LaneSpace& space, Frame* frame) {
+  if (n < 2) return false;
+  auto it = fused_cache_.find(stmts[0]);
+  if (it == fused_cache_.end()) {
+    it = fused_cache_.emplace(stmts[0], compile_fused(stmts, n)).first;
+  }
+  const Kernel* kern = it->second.get();
+  if (kern == nullptr || kern->num_members != n) return false;
+  if (!link(*kern, space, frame)) return false;
+  group_kernel_ = kern;
+  return true;
+}
+
+void Engine::run_group(LaneSpace& space,
+                       const std::vector<std::int64_t>& active, Frame* frame,
+                       std::uint64_t first_stmt_id,
+                       std::vector<AccessStats>& member_stats) {
+  const Kernel& kern = *group_kernel_;
+  compiled_statements_ += kern.num_members;
+  ++fused_groups_;
+  std::vector<Value> results(active.size());
+  reset_arenas(kern);
+  run_lanes_pooled(kern, space, active, frame, first_stmt_id, results);
+  member_stats.assign(kern.num_members, AccessStats{});
+  for (const auto& a : arenas_) {
+    for (std::uint32_t m = 0; m < kern.num_members; ++m) {
+      member_stats[m].merge(a.stats[m]);
+    }
+  }
+}
+
+void Engine::commit_group() { commit_buffered(); }
 
 }  // namespace uc::vm::detail::kernel
 

@@ -27,14 +27,35 @@ class Engine {
   // cannot be compiled or linked against the current space — the caller
   // then falls back to the tree walk (which reproduces any error the link
   // step declined to raise, e.g. an array used before its declaration).
+  // With optimize set the statement compiles through the fusion pipeline
+  // (CSE + dead-temporary elimination, separate cache); outputs are
+  // identical, dynamic comm stats can only shrink.
   std::optional<std::vector<Value>> try_run(
       const Expr& expr, LaneSpace& space,
       const std::vector<std::int64_t>& active, Frame* frame,
-      std::uint64_t stmt_id, bool commit);
+      std::uint64_t stmt_id, bool commit, bool optimize = false);
+
+  // --- fused statement groups (docs/VM.md "Fusion") ---
+  // Three-phase protocol so the driver can interleave its per-member cost
+  // charging (which may throw a TransientFault) with execution while the
+  // whole group stays one transactional unit:
+  //   1. prepare_group: compile (cached) + link.  No state is touched on
+  //      failure — the caller falls back to running the members unfused.
+  //   2. run_group: execute the lanes, buffering writes in the arenas and
+  //      collecting per-member comm stats; charges nothing itself.
+  //   3. commit_group: conflict-check and apply the buffered writes in
+  //      lane order, exactly like an unfused statement's commit.
+  bool prepare_group(const Expr* const* stmts, std::size_t n,
+                     LaneSpace& space, Frame* frame);
+  void run_group(LaneSpace& space, const std::vector<std::int64_t>& active,
+                 Frame* frame, std::uint64_t first_stmt_id,
+                 std::vector<AccessStats>& member_stats);
+  void commit_group();
 
   // Introspection for tests and ucc bench.
   std::uint64_t compiled_statements() const { return compiled_statements_; }
   std::uint64_t fallback_statements() const { return fallback_statements_; }
+  std::uint64_t fused_groups() const { return fused_groups_; }
   std::size_t cache_size() const { return cache_.size(); }
 
  private:
@@ -111,7 +132,10 @@ class Engine {
     std::vector<Value> regs;
     std::vector<Write> writes;
     std::vector<ChunkSpan> spans;
-    AccessStats stats;
+    // One slot per kernel member (plain statements use slot 0); fused
+    // kernels switch slots at kMemberBoundary so the driver can charge
+    // and attribute each member's communication separately.
+    std::vector<AccessStats> stats;
     // Reused across lanes: kReduceBegin reinitialises every field that is
     // read afterwards, so stale state from a previous lane is never seen.
     ReduceState rs;
@@ -121,7 +145,13 @@ class Engine {
   static constexpr std::int32_t kMaxDepth = 32;
 
   const Kernel* compile_cached(const Expr& expr);
+  const Kernel* compile_optimized_cached(const Expr& expr);
   bool link(const Kernel& k, LaneSpace& space, Frame* frame);
+  void reset_arenas(const Kernel& k);
+  void run_lanes_pooled(const Kernel& k, LaneSpace& space,
+                        const std::vector<std::int64_t>& active, Frame* frame,
+                        std::uint64_t stmt_id, std::vector<Value>& results);
+  void commit_buffered();
   void run_lane(const Kernel& k, LaneSpace& space, std::int64_t lane,
                 std::int64_t result_slot, Frame* frame, std::uint64_t stmt_id,
                 Arena& arena, std::vector<Value>& results);
@@ -131,6 +161,11 @@ class Engine {
 
   Impl& vm_;
   std::unordered_map<const Expr*, std::unique_ptr<Kernel>> cache_;
+  // Optimised single-statement kernels (fuse=on) and fused group kernels
+  // keyed by their first member's statement expression.
+  std::unordered_map<const Expr*, std::unique_ptr<Kernel>> opt_cache_;
+  std::unordered_map<const Expr*, std::unique_ptr<Kernel>> fused_cache_;
+  const Kernel* group_kernel_ = nullptr;  // linked by prepare_group
   // Link state, valid for the duration of one try_run call.
   std::vector<LinkedElem> elems_;
   std::vector<LinkedScalar> scalars_;
@@ -142,6 +177,7 @@ class Engine {
   std::vector<std::pair<const ChunkSpan*, Arena*>> span_order_;
   std::uint64_t compiled_statements_ = 0;
   std::uint64_t fallback_statements_ = 0;
+  std::uint64_t fused_groups_ = 0;
 };
 
 }  // namespace uc::vm::detail::kernel

@@ -1,0 +1,562 @@
+// Bytecode optimisation pipeline for fused lane kernels (docs/VM.md
+// "Fusion").
+//
+// Three passes over the straight-line code produced by lower_fused:
+//
+//   1. Value numbering with copy propagation.  A linear scan tables pure
+//      expressions (constants, elem/scalar loads, arithmetic, array reads)
+//      by the value numbers of their operands; a duplicate is rewritten to
+//      a register copy of the canonical result.  The table honours control
+//      flow without building a CFG: at every jump target, entries defined
+//      after the earliest jump source targeting it are dropped, so a
+//      surviving entry's definition dominates every later lookup.  The
+//      reduction loop needs no extra care — kReduceBegin's forward jump to
+//      kReduceEnd makes the whole loop body a dropped region at its exit,
+//      and in-body entries are re-defined every iteration before reuse.
+//      Registers with more than one static write (short-circuit and
+//      ternary join registers) are never tabled.
+//   2. Cross-member store-to-load forwarding.  Writes are buffered until
+//      the fused group commits, so a later member's read of an element an
+//      earlier member wrote must be satisfied from the buffered value: at
+//      each kMemberBoundary the completed member's unconditional puts are
+//      promoted to a forwarding table keyed (array, subscript value
+//      numbers), and a later read either matches one exactly (it becomes a
+//      register copy) or the whole fusion is rejected — the caller then
+//      runs the members unfused.  The AST-level gate in the interpreter
+//      makes rejection rare; this pass is the final authority.
+//   3. Dead temporary elimination.  A reverse scan deletes instructions
+//      whose only effect is an unused register result; stores,
+//      classification, control flow, RNG draws and anything that can raise
+//      a runtime error (div/mod, power2's range check, subscript bounds
+//      checks) are roots.  Jump targets are then remapped onto the
+//      compacted code.
+//
+// The pass never reorders instructions, so evaluation order, error sites
+// and short-circuit behaviour are exactly the unoptimised kernel's; it
+// only elides recomputation, which can shrink the dynamic communication
+// statistics (an elided duplicate read is not re-classified) — modeled
+// cycles only ever decrease.
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "ucvm/kernel/bytecode.hpp"
+
+namespace uc::vm::detail::kernel {
+
+namespace {
+
+constexpr std::size_t kNoSource = std::numeric_limits<std::size_t>::max();
+
+// Key tags for the value-numbering table.
+enum Tag : std::uint64_t {
+  kTConst = 1,
+  kTBool,
+  kTElem,
+  kTReduceElem,
+  kTScalar,
+  kTUnary,
+  kTAbs,
+  kTIncDec,
+  kTCoerce,
+  kTBinary,
+  kTMinMax,
+  kTPower2,
+  kTArrIndex,
+  kTArrGet,
+  kTArrLoad,
+};
+
+bool writes_dst(Op op) {
+  switch (op) {
+    case Op::kConst:
+    case Op::kMove:
+    case Op::kBool:
+    case Op::kLoadElem:
+    case Op::kLoadReduceElem:
+    case Op::kLoadScalar:
+    case Op::kArrIndex:
+    case Op::kArrLoad:
+    case Op::kArrGet:
+    case Op::kUnary:
+    case Op::kBinary:
+    case Op::kIncDec:
+    case Op::kCoerce:
+    case Op::kAbs:
+    case Op::kMinMax:
+    case Op::kPower2:
+    case Op::kRand:
+    case Op::kReduceEnd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_div_or_mod(std::uint8_t arg) {
+  const auto op = static_cast<lang::BinaryOp>(arg);
+  return op == lang::BinaryOp::kDiv || op == lang::BinaryOp::kMod;
+}
+
+bool deletable(const Inst& i) {
+  switch (i.op) {
+    case Op::kConst:
+    case Op::kMove:
+    case Op::kBool:
+    case Op::kLoadElem:
+    case Op::kLoadReduceElem:
+    case Op::kLoadScalar:
+    case Op::kCoerce:
+    case Op::kUnary:
+    case Op::kAbs:
+    case Op::kMinMax:
+    case Op::kIncDec:
+      return true;
+    case Op::kBinary:
+      return !is_div_or_mod(i.arg);  // div/mod raise; keep their error site
+    default:
+      return false;
+  }
+}
+
+std::uint64_t ptr_key(const void* p) {
+  return static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(p));
+}
+
+struct TabEntry {
+  std::uint64_t vn = 0;
+  std::uint16_t reg = 0;
+  std::size_t def = 0;
+};
+
+struct CanonReg {
+  std::uint16_t reg = 0;
+  std::size_t def = 0;
+};
+
+class Optimizer {
+ public:
+  explicit Optimizer(Kernel& k) : k_(k) {}
+
+  bool run() {
+    analyze();
+    if (!value_number()) return false;
+    eliminate_dead();
+    return true;
+  }
+
+ private:
+  Kernel& k_;
+  std::vector<std::uint8_t> write_count_;
+  std::vector<std::size_t> earliest_;   // earliest jump source per target
+  std::vector<std::uint8_t> guarded_;   // inside some forward-jump span
+
+  std::vector<std::uint64_t> vn_of_;
+  std::uint64_t next_vn_ = 1;
+  std::map<std::vector<std::uint64_t>, TabEntry> table_;
+  std::map<std::uint64_t, CanonReg> canon_;
+  // kArrIndex results: value number of the flat address -> (array symbol,
+  // subscript value numbers), so puts can be keyed the same way gets are.
+  std::map<std::uint64_t,
+           std::pair<const void*, std::vector<std::uint64_t>>> addr_of_;
+
+  struct PendingPut {
+    const void* sym = nullptr;
+    std::vector<std::uint64_t> subs;
+    std::uint16_t reg = 0;
+    std::uint64_t vn = 0;
+    bool forwardable = false;
+  };
+  std::vector<PendingPut> pending_puts_;
+  std::set<const void*> pending_scalars_;
+  std::map<std::pair<const void*, std::vector<std::uint64_t>>,
+           std::pair<std::uint16_t, std::uint64_t>> forward_;
+  std::set<const void*> written_arrays_;
+  std::set<const void*> poisoned_arrays_;
+  std::set<const void*> written_scalars_;
+
+  void analyze() {
+    const std::size_t n = k_.code.size();
+    write_count_.assign(k_.num_regs, 0);
+    for (const Inst& i : k_.code) {
+      if (writes_dst(i.op) && write_count_[i.dst] < 2) ++write_count_[i.dst];
+    }
+    earliest_.assign(n + 1, kNoSource);
+    std::vector<std::int32_t> diff(n + 2, 0);
+    for (std::size_t s = 0; s < n; ++s) {
+      const auto j = k_.code[s].jump;
+      if (j < 0) continue;
+      const auto t = static_cast<std::size_t>(j);
+      if (t <= n && s < earliest_[t]) earliest_[t] = s;
+      // Forward jumps make (s, t) a conditionally-skipped span.  Backward
+      // jumps (the reduction odometer) add nothing: the loop body is
+      // already spanned by kReduceBegin's forward jump to kReduceEnd.
+      if (t > s + 1) {
+        diff[s + 1] += 1;
+        diff[t] -= 1;
+      }
+    }
+    guarded_.assign(n, 0);
+    std::int32_t depth = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      depth += diff[i];
+      guarded_[i] = depth > 0 ? 1 : 0;
+    }
+  }
+
+  // Rewrites an operand register to its canonical copy and returns its
+  // value number.
+  std::uint64_t use(std::uint16_t& r) {
+    std::uint64_t v = vn_of_[r];
+    if (v == 0) {
+      v = next_vn_++;
+      vn_of_[r] = v;
+    }
+    const auto it = canon_.find(v);
+    if (it != canon_.end()) r = it->second.reg;
+    return v;
+  }
+
+  // Value number of a register without operand rewriting (subscript block
+  // registers must stay contiguous, so they are read in place).
+  std::uint64_t vn_raw(std::uint16_t r) {
+    std::uint64_t v = vn_of_[r];
+    if (v == 0) {
+      v = next_vn_++;
+      vn_of_[r] = v;
+    }
+    return v;
+  }
+
+  void define(std::uint16_t dst, std::uint64_t v, std::size_t i) {
+    if (write_count_[dst] > 1) {
+      // Join registers (short-circuit / ternary destinations) must never
+      // alias another register's value number: the scan sees only the last
+      // static write, so a later use rewritten through that number would
+      // read a path-dependent value.  Each static write gets its own
+      // number — later uses still CSE against each other (the runtime
+      // value cannot change between them), just never against a
+      // single-path definition.
+      vn_of_[dst] = next_vn_++;
+      return;
+    }
+    vn_of_[dst] = v;
+    if (canon_.find(v) == canon_.end()) canon_[v] = CanonReg{dst, i};
+  }
+
+  void fresh(std::uint16_t dst, std::size_t i) { define(dst, next_vn_++, i); }
+
+  void rewrite_to_move(Inst& inst, std::uint16_t src) {
+    inst.op = Op::kMove;
+    inst.arg = 0;
+    inst.a = src;
+    inst.b = 0;
+    inst.c = 0;
+    inst.jump = -1;
+  }
+
+  // Tables a pure instruction; a duplicate becomes a register copy of the
+  // canonical value.  Returns the instruction's value number.
+  std::uint64_t pure(Inst& inst, std::size_t i,
+                     std::vector<std::uint64_t> key) {
+    const auto it = table_.find(key);
+    if (it != table_.end()) {
+      const TabEntry e = it->second;
+      rewrite_to_move(inst, e.reg);
+      define(inst.dst, e.vn, i);
+      return e.vn;
+    }
+    const std::uint64_t v = next_vn_++;
+    if (write_count_[inst.dst] == 1) {
+      table_.emplace(std::move(key), TabEntry{v, inst.dst, i});
+    }
+    define(inst.dst, v, i);
+    return v;
+  }
+
+  void drop_after(std::size_t def_limit) {
+    for (auto it = table_.begin(); it != table_.end();) {
+      it = it->second.def > def_limit ? table_.erase(it) : std::next(it);
+    }
+    for (auto it = canon_.begin(); it != canon_.end();) {
+      it = it->second.def > def_limit ? canon_.erase(it) : std::next(it);
+    }
+  }
+
+  // Promotes the completed member's buffered writes to the forwarding
+  // table and invalidates array-read table entries the writes shadow.
+  void member_boundary() {
+    for (auto& p : pending_puts_) {
+      written_arrays_.insert(p.sym);
+      if (!p.forwardable) {
+        poisoned_arrays_.insert(p.sym);
+        continue;
+      }
+      forward_[{p.sym, p.subs}] = {p.reg, p.vn};
+    }
+    pending_puts_.clear();
+    for (const void* s : pending_scalars_) written_scalars_.insert(s);
+    pending_scalars_.clear();
+    for (auto it = table_.begin(); it != table_.end();) {
+      const auto& key = it->first;
+      const bool array_read =
+          key.size() >= 2 && (key[0] == kTArrGet || key[0] == kTArrLoad);
+      if (array_read && written_arrays_.count(
+                            reinterpret_cast<const void*>(
+                                static_cast<std::uintptr_t>(key[1])))) {
+        it = table_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  bool value_number() {
+    const std::size_t n = k_.code.size();
+    vn_of_.assign(k_.num_regs, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (earliest_[i] != kNoSource) drop_after(earliest_[i]);
+      Inst& inst = k_.code[i];
+      switch (inst.op) {
+        case Op::kConst:
+          pure(inst, i, {kTConst, inst.a});
+          break;
+        case Op::kMove: {
+          const auto v = use(inst.a);
+          define(inst.dst, v, i);
+          break;
+        }
+        case Op::kBool: {
+          const auto v = use(inst.a);
+          pure(inst, i, {kTBool, v});
+          break;
+        }
+        case Op::kLoadElem:
+          pure(inst, i, {kTElem, inst.a});
+          break;
+        case Op::kLoadReduceElem:
+          pure(inst, i, {kTReduceElem, inst.b});
+          break;
+        case Op::kLoadScalar: {
+          const void* sym = k_.scalars[inst.a].sym;
+          if (written_scalars_.count(sym)) return false;
+          pure(inst, i, {kTScalar, inst.a});
+          break;
+        }
+        case Op::kStoreScalar: {
+          const void* sym = k_.scalars[inst.a].sym;
+          if (written_scalars_.count(sym)) return false;
+          use(inst.b);
+          pending_scalars_.insert(sym);
+          break;
+        }
+        case Op::kUnary: {
+          const auto v = use(inst.a);
+          pure(inst, i, {kTUnary, inst.arg, v});
+          break;
+        }
+        case Op::kAbs: {
+          const auto v = use(inst.a);
+          pure(inst, i, {kTAbs, v});
+          break;
+        }
+        case Op::kIncDec: {
+          const auto v = use(inst.a);
+          pure(inst, i, {kTIncDec, inst.arg, v});
+          break;
+        }
+        case Op::kCoerce: {
+          const auto v = use(inst.a);
+          pure(inst, i, {kTCoerce, inst.arg, v});
+          break;
+        }
+        case Op::kBinary: {
+          const auto va = use(inst.a);
+          const auto vb = use(inst.b);
+          pure(inst, i, {kTBinary, inst.arg, va, vb});
+          break;
+        }
+        case Op::kMinMax: {
+          const auto va = use(inst.a);
+          const auto vb = use(inst.b);
+          pure(inst, i, {kTMinMax, inst.arg, va, vb});
+          break;
+        }
+        case Op::kPower2: {
+          const auto v = use(inst.a);
+          pure(inst, i, {kTPower2, v});
+          break;
+        }
+        case Op::kRand:
+          fresh(inst.dst, i);
+          break;
+        case Op::kArrIndex: {
+          const void* sym = k_.arrays[inst.a].sym;
+          std::vector<std::uint64_t> subs;
+          subs.reserve(inst.c);
+          for (std::uint16_t j = 0; j < inst.c; ++j) {
+            subs.push_back(vn_raw(static_cast<std::uint16_t>(inst.b + j)));
+          }
+          std::vector<std::uint64_t> key{kTArrIndex, ptr_key(sym)};
+          key.insert(key.end(), subs.begin(), subs.end());
+          const auto v = pure(inst, i, std::move(key));
+          addr_of_.emplace(v, std::make_pair(sym, std::move(subs)));
+          break;
+        }
+        case Op::kArrGet: {
+          const void* sym = k_.arrays[inst.a].sym;
+          std::vector<std::uint64_t> subs;
+          subs.reserve(inst.c);
+          for (std::uint16_t j = 0; j < inst.c; ++j) {
+            subs.push_back(vn_raw(static_cast<std::uint16_t>(inst.b + j)));
+          }
+          if (written_arrays_.count(sym)) {
+            if (poisoned_arrays_.count(sym)) return false;
+            const auto it = forward_.find({sym, subs});
+            if (it == forward_.end()) return false;
+            rewrite_to_move(inst, it->second.first);
+            define(inst.dst, it->second.second, i);
+            break;
+          }
+          std::vector<std::uint64_t> key{kTArrGet, ptr_key(sym)};
+          key.insert(key.end(), subs.begin(), subs.end());
+          pure(inst, i, std::move(key));
+          break;
+        }
+        case Op::kArrLoad: {
+          const void* sym = k_.arrays[inst.a].sym;
+          if (written_arrays_.count(sym)) return false;
+          const auto vflat = use(inst.b);
+          pure(inst, i, {kTArrLoad, ptr_key(sym), vflat});
+          break;
+        }
+        case Op::kClassify:
+          use(inst.b);
+          break;
+        case Op::kBroadcastCheck:
+          break;
+        case Op::kArrStore:
+        case Op::kArrPut: {
+          const void* sym = k_.arrays[inst.a].sym;
+          if (written_arrays_.count(sym)) return false;
+          const auto vflat = use(inst.b);
+          const auto vval = use(inst.c);
+          PendingPut p;
+          p.sym = sym;
+          p.reg = inst.c;
+          p.vn = vval;
+          p.forwardable = guarded_[i] == 0;
+          const auto ad = addr_of_.find(vflat);
+          if (ad != addr_of_.end() && ad->second.first == sym) {
+            p.subs = ad->second.second;
+          } else {
+            p.forwardable = false;
+          }
+          pending_puts_.push_back(std::move(p));
+          break;
+        }
+        case Op::kMemberBoundary:
+          member_boundary();
+          break;
+        case Op::kJump:
+        case Op::kReduceBegin:
+        case Op::kReduceSkipOthers:
+        case Op::kReduceNext:
+          break;
+        case Op::kJumpIfFalse:
+        case Op::kJumpIfTrue:
+        case Op::kReduceFold:
+        case Op::kRet:
+          use(inst.a);
+          break;
+        case Op::kReduceEnd:
+          fresh(inst.dst, i);
+          break;
+      }
+    }
+    return true;
+  }
+
+  void mark_uses(const Inst& inst, std::vector<std::uint8_t>& needed) {
+    switch (inst.op) {
+      case Op::kMove:
+      case Op::kBool:
+      case Op::kUnary:
+      case Op::kAbs:
+      case Op::kIncDec:
+      case Op::kCoerce:
+      case Op::kPower2:
+      case Op::kJumpIfFalse:
+      case Op::kJumpIfTrue:
+      case Op::kReduceFold:
+      case Op::kRet:
+        needed[inst.a] = 1;
+        break;
+      case Op::kBinary:
+      case Op::kMinMax:
+        needed[inst.a] = 1;
+        needed[inst.b] = 1;
+        break;
+      case Op::kArrIndex:
+      case Op::kArrGet:
+        for (std::uint16_t j = 0; j < inst.c; ++j) {
+          needed[static_cast<std::uint16_t>(inst.b + j)] = 1;
+        }
+        break;
+      case Op::kArrLoad:
+      case Op::kClassify:
+      case Op::kStoreScalar:
+        needed[inst.b] = 1;
+        break;
+      case Op::kArrStore:
+      case Op::kArrPut:
+        needed[inst.b] = 1;
+        needed[inst.c] = 1;
+        break;
+      default:
+        break;
+    }
+  }
+
+  void eliminate_dead() {
+    const std::size_t n = k_.code.size();
+    std::vector<std::uint8_t> needed(k_.num_regs, 0);
+    std::vector<std::uint8_t> keep(n, 0);
+    for (std::size_t i = n; i-- > 0;) {
+      const Inst& inst = k_.code[i];
+      // Definitions linearly precede uses, and every static write of a
+      // needed register is kept (join registers have several), so one
+      // reverse sweep suffices.
+      if (deletable(inst) && !needed[inst.dst]) continue;
+      keep[i] = 1;
+      mark_uses(inst, needed);
+    }
+    std::vector<std::int32_t> new_idx(n + 1, 0);
+    std::int32_t cnt = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      new_idx[i] = cnt;
+      if (keep[i]) ++cnt;
+    }
+    new_idx[n] = cnt;
+    std::vector<Inst> out;
+    out.reserve(static_cast<std::size_t>(cnt));
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!keep[i]) continue;
+      Inst inst = k_.code[i];
+      // A deleted jump target falls through to the next surviving
+      // instruction — deleted instructions were semantic no-ops.
+      if (inst.jump >= 0) inst.jump = new_idx[inst.jump];
+      out.push_back(inst);
+    }
+    k_.code = std::move(out);
+  }
+};
+
+}  // namespace
+
+bool optimize_kernel(Kernel& k) { return Optimizer(k).run(); }
+
+}  // namespace uc::vm::detail::kernel

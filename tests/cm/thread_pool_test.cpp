@@ -97,6 +97,31 @@ TEST_P(ThreadPoolP, PropagatesException) {
 INSTANTIATE_TEST_SUITE_P(Threads, ThreadPoolP,
                          ::testing::Values(1u, 2u, 4u, 8u));
 
+TEST(ThreadPool, SmallJobsRunInlineOnCallingThread) {
+  ThreadPool pool(4);
+  const std::uint64_t jobs0 = pool.jobs_executed();
+  std::atomic<int> count{0};
+  pool.parallel_for(
+      0, ThreadPool::kInlineCutoff,
+      [&](std::int64_t b, std::int64_t e) { count += int(e - b); },
+      /*min_grain=*/1);
+  EXPECT_EQ(count.load(), ThreadPool::kInlineCutoff);
+  EXPECT_EQ(pool.jobs_executed(), jobs0 + 1);
+  EXPECT_EQ(pool.inline_jobs(), 1u);
+  // The whole range ran as a single chunk on the calling thread.
+  EXPECT_EQ(pool.chunks_per_worker()[0], 1u);
+  for (std::size_t w = 1; w < pool.chunks_per_worker().size(); ++w) {
+    EXPECT_EQ(pool.chunks_per_worker()[w], 0u);
+  }
+
+  // One past the cutoff dispatches to the workers again.
+  pool.parallel_for(
+      0, ThreadPool::kInlineCutoff + 1,
+      [&](std::int64_t b, std::int64_t e) { count += int(e - b); },
+      /*min_grain=*/1);
+  EXPECT_EQ(pool.inline_jobs(), 1u);
+}
+
 TEST(ThreadPool, ThreadCountReported) {
   EXPECT_EQ(ThreadPool(1).thread_count(), 1u);
   EXPECT_EQ(ThreadPool(4).thread_count(), 4u);

@@ -39,6 +39,14 @@ ProfileResult profile_with(vm::ExecEngine engine, const char* source,
   return program.profile(opts);
 }
 
+ProfileResult profile_unfused(vm::ExecEngine engine, const char* source) {
+  auto program = Program::compile("prof.uc", source);
+  ProfileOptions opts;
+  opts.exec.engine = engine;
+  opts.exec.fuse = false;
+  return program.profile(opts);
+}
+
 cm::CostStats sum_sites(const std::vector<prof::Site>& sites) {
   cm::CostStats sum;
   for (const auto& s : sites) sum += s.self;
@@ -58,8 +66,10 @@ TEST(Profiler, SiteSelfCostSumsToAggregateWalk) {
 }
 
 TEST(Profiler, PerSiteCyclesIdenticalAcrossEngines) {
-  auto walk = profile_with(vm::ExecEngine::kWalk, kMixedProgram);
-  auto bc = profile_with(vm::ExecEngine::kBytecode, kMixedProgram);
+  // Fusion/plan caching deliberately lowers bytecode front-end cost, so
+  // the exact per-site comparison runs the bytecode engine with fuse off.
+  auto walk = profile_unfused(vm::ExecEngine::kWalk, kMixedProgram);
+  auto bc = profile_unfused(vm::ExecEngine::kBytecode, kMixedProgram);
   EXPECT_EQ(walk.run.output(), bc.run.output());
   EXPECT_EQ(walk.run.stats(), bc.run.stats());
 
@@ -73,6 +83,36 @@ TEST(Profiler, PerSiteCyclesIdenticalAcrossEngines) {
     EXPECT_EQ(walk.sites[k].self, bc.sites[k].self)
         << walk.sites[k].kind << " at line " << walk.sites[k].line;
   }
+}
+
+// Fused kernel groups: each member statement keeps its own site, the
+// per-site self costs still sum exactly to the aggregate CostStats, the
+// members are tagged as fused, and the fused run never costs more
+// modeled cycles than the unfused one (docs/VM.md "Fusion").
+TEST(Profiler, FusedGroupsAttributeEveryMemberSite) {
+  const char* fusable =
+      "index_set I:i = {0..15};\n"
+      "int a[16], b[16], c[16];\n"
+      "void main() {\n"
+      "  par (I) {\n"
+      "    a[i] = i * 2;\n"
+      "    b[i] = a[i] + 1;\n"
+      "    c[i] = a[i] + b[i];\n"
+      "  }\n"
+      "}\n";
+  auto fused = profile_with(vm::ExecEngine::kBytecode, fusable);
+  auto plain = profile_unfused(vm::ExecEngine::kBytecode, fusable);
+  EXPECT_EQ(sum_sites(fused.sites), fused.run.stats());
+  EXPECT_LE(fused.run.stats().cycles, plain.run.stats().cycles);
+
+  std::uint64_t fused_stmts = 0, fused_sites = 0;
+  for (const auto& s : fused.sites) {
+    fused_stmts += s.fused_stmts;
+    fused_sites += s.fused_stmts > 0 ? 1 : 0;
+  }
+  EXPECT_EQ(fused_sites, 3u);  // every member statement is attributed
+  EXPECT_GT(fused_stmts, 0u);
+  for (const auto& s : plain.sites) EXPECT_EQ(s.fused_stmts, 0u);
 }
 
 TEST(Profiler, EngineCountersReflectTheEngine) {

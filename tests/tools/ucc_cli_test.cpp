@@ -291,10 +291,12 @@ TEST(UccCli, ProfileTableIdenticalAcrossEngines) {
     }
     return out;
   };
+  // Fusion/plan caching deliberately lowers bytecode front-end cost, so
+  // exact table equality pins --fuse=off on the bytecode leg.
   auto walk = run_command(ucc() + " profile " + program("shortest_path.uc") +
                           " --engine=walk");
   auto bc = run_command(ucc() + " profile " + program("shortest_path.uc") +
-                        " --engine=bytecode");
+                        " --engine=bytecode --fuse=off");
   EXPECT_EQ(walk.exit_code, 0);
   EXPECT_EQ(bc.exit_code, 0);
   auto w = strip_host_ms(walk.output);

@@ -1,9 +1,18 @@
 // Differential suite: the tree-walk and bytecode lane-kernel engines must
 // be observationally identical (docs/VM.md).  Every shipped paper program
-// runs under both engines on fresh machines; output, every cost-model
-// counter, and named global arrays must match exactly.  Statements the
-// lowering rejects fall back to the walk inside the bytecode engine, so
-// these tests also cover the fallback seams (solve, print, user calls).
+// runs under three configurations on fresh machines:
+//
+//   walk            — the tree-walk reference
+//   bytecode        — lane kernels with fusion/optimisation off; output,
+//                     every cost-model counter, and named global arrays
+//                     must match the walk exactly
+//   bytecode-fused  — fusion, CSE, and plan caching on (the default);
+//                     output and globals must still be bit-identical, and
+//                     modeled cycles must never exceed the unfused run
+//
+// Statements the lowering rejects fall back to the walk inside the
+// bytecode engine, so these tests also cover the fallback seams (solve,
+// print, user calls).
 #include <gtest/gtest.h>
 
 #include <string>
@@ -16,9 +25,11 @@
 namespace uc::vm {
 namespace {
 
-RunResult run_with(const std::string& src, ExecEngine engine) {
+RunResult run_with(const std::string& src, ExecEngine engine,
+                   bool fuse = false) {
   ExecOptions eopts;
   eopts.engine = engine;
+  eopts.fuse = fuse;
   return run_uc(src, {}, eopts);
 }
 
@@ -36,26 +47,37 @@ void expect_stats_equal(const cm::CostStats& w, const cm::CostStats& b) {
   EXPECT_EQ(w.frontend_ops, b.frontend_ops);
 }
 
+void expect_globals_equal(const RunResult& a, const RunResult& b,
+                          const std::vector<std::string>& globals,
+                          const char* label) {
+  for (const auto& name : globals) {
+    const auto wa = a.global_array(name);
+    const auto ba = b.global_array(name);
+    ASSERT_EQ(wa.size(), ba.size()) << label << " " << name;
+    for (std::size_t i = 0; i < wa.size(); ++i) {
+      EXPECT_TRUE(wa[i] == ba[i]) << label << " " << name << "[" << i << "]";
+    }
+  }
+}
+
 void expect_parity(const std::string& src,
                    const std::vector<std::string>& globals = {}) {
   RunResult walk = run_with(src, ExecEngine::kWalk);
   RunResult byte = run_with(src, ExecEngine::kBytecode);
   EXPECT_EQ(walk.output(), byte.output());
   expect_stats_equal(walk.stats(), byte.stats());
-  for (const auto& name : globals) {
-    const auto wa = walk.global_array(name);
-    const auto ba = byte.global_array(name);
-    ASSERT_EQ(wa.size(), ba.size()) << name;
-    for (std::size_t i = 0; i < wa.size(); ++i) {
-      EXPECT_TRUE(wa[i] == ba[i]) << name << "[" << i << "]";
-    }
-  }
+  expect_globals_equal(walk, byte, globals, "walk/bytecode");
+
+  RunResult fused = run_with(src, ExecEngine::kBytecode, /*fuse=*/true);
+  EXPECT_EQ(walk.output(), fused.output());
+  expect_globals_equal(walk, fused, globals, "walk/fused");
+  EXPECT_LE(fused.stats().cycles, byte.stats().cycles);
 }
 
 // Both engines must raise the same UcRuntimeError text (the bytecode
-// executor reuses the walk's error sites and messages).
+// executor reuses the walk's error sites and messages), fused or not.
 void expect_error_parity(const std::string& src) {
-  std::string walk_what, byte_what;
+  std::string walk_what, byte_what, fused_what;
   try {
     run_with(src, ExecEngine::kWalk);
     FAIL() << "walk engine did not throw";
@@ -68,7 +90,14 @@ void expect_error_parity(const std::string& src) {
   } catch (const support::UcRuntimeError& e) {
     byte_what = e.what();
   }
+  try {
+    run_with(src, ExecEngine::kBytecode, /*fuse=*/true);
+    FAIL() << "fused bytecode engine did not throw";
+  } catch (const support::UcRuntimeError& e) {
+    fused_what = e.what();
+  }
   EXPECT_EQ(walk_what, byte_what);
+  EXPECT_EQ(walk_what, fused_what);
 }
 
 TEST(EngineParity, Fig6ShortestPathOn2) {
@@ -209,6 +238,47 @@ TEST(EngineParity, IncDecOnArraysAndScalars) {
       "  print(\"sum\", k);\n"
       "}\n",
       {"a"});
+}
+
+// --- fusion safety ---
+
+// Cross-lane RAW hazard: the second statement reads a[i+1], which the
+// first statement writes from a *different* lane.  UC's synchronous
+// semantics require the first statement to complete across all lanes
+// before the second starts, so a fused per-lane kernel that ran both
+// statements back-to-back in one lane would read the stale value.  The
+// fusion gate must refuse to fuse this pair; the run must stay
+// bit-identical to the walk.
+TEST(EngineParity, FusionBlockedOnCrossLaneRaw) {
+  expect_parity(
+      "index_set I:i = {0..7};\n"
+      "int a[9]; int b[8];\n"
+      "void main() {\n"
+      "  par (I) a[i] = i;\n"
+      "  a[8] = 100;\n"
+      "  par (I) {\n"
+      "    a[i] = a[i] * 10;\n"
+      "    b[i] = a[i + 1];\n"
+      "  }\n"
+      "}\n",
+      {"a", "b"});
+}
+
+// Same-subscript RAW is the fusable case: b[i] reads exactly the a[i]
+// the first member wrote in the same lane, so fusion may forward the
+// stored value through a register.  Results must still match the walk.
+TEST(EngineParity, FusionForwardsSameLaneRaw) {
+  expect_parity(
+      "index_set I:i = {0..7};\n"
+      "int a[8]; int b[8]; int c[8];\n"
+      "void main() {\n"
+      "  par (I) {\n"
+      "    a[i] = i * 3 + 1;\n"
+      "    b[i] = a[i] * a[i];\n"
+      "    c[i] = a[i] + b[i];\n"
+      "  }\n"
+      "}\n",
+      {"a", "b", "c"});
 }
 
 // --- diagnostics parity: same text, same location, either engine ---

@@ -4,8 +4,9 @@
 #   tools/bench.sh            full sizes, writes BENCH_vm.json at the root
 #   tools/bench.sh --smoke    small sizes (CI), same JSON format
 #
-# The JSON is an array of {program, engine, host_ms, cycles} rows — one
-# walk and one bytecode row per workload (see docs/VM.md).
+# The JSON is an array of {program, engine, host_ms, cycles} rows — walk,
+# bytecode (fusion off), bytecode-fused, and the profiling/robustness
+# variants, one of each per workload (see docs/VM.md).
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"

@@ -48,6 +48,32 @@ run_profile_smoke() {
   rm -rf "$tmp"
 }
 
+# Fusion parity smoke (docs/VM.md "Fusion"): --fuse=on (the bytecode
+# default) must leave program output byte-identical to --fuse=off on the
+# paper workloads — including under injected faults with checkpointing,
+# where a fused group replays as one transactional unit.
+run_fused_smoke() {
+  local dir="$1"
+  local ucc="$dir/tools/ucc"
+  local faults="memory:p=1e-3;router:p=1e-3;news:p=1e-3,seed=7"
+  local tmp; tmp="$(mktemp -d)"
+  for prog in fig6_shortest_path_on2 fig7_shortest_path_on3 \
+              fig8_grid_obstacle; do
+    local src="$root/programs/$prog.uc"
+    "$ucc" run "$src" --fuse=off >"$tmp/off.txt"
+    "$ucc" run "$src" --fuse=on >"$tmp/on.txt"
+    cmp "$tmp/off.txt" "$tmp/on.txt" || {
+      echo "ci.sh: fusion changed the output of $prog" >&2; exit 1; }
+    "$ucc" run "$src" --fuse=off --faults="$faults" \
+        --checkpoint-every=8 >"$tmp/fault_off.txt"
+    "$ucc" run "$src" --fuse=on --faults="$faults" \
+        --checkpoint-every=8 >"$tmp/fault_on.txt"
+    cmp "$tmp/fault_off.txt" "$tmp/fault_on.txt" || {
+      echo "ci.sh: fusion changed the faulted output of $prog" >&2; exit 1; }
+  done
+  rm -rf "$tmp"
+}
+
 # Fault-injection smoke (docs/ROBUSTNESS.md): injected transient faults
 # with checkpointing enabled must leave program output byte-identical —
 # recovery costs cycles, never correctness — and the run must actually
@@ -73,16 +99,21 @@ run_fault_smoke() {
 
 run_asan() {
   run_suite "$root/build-asan" -DUC_SANITIZE="address;undefined"
-  # Engine parity under the sanitizers: every shipped program, both
-  # engines, byte-identical output and identical modeled cycles.
+  # Engine parity under the sanitizers: every shipped program, walk vs
+  # bytecode (byte-identical output and modeled cycles) vs bytecode-fused
+  # (byte-identical output, cycles never above unfused).
   "$root/build-asan/tests/ucvm/test_ucvm" --gtest_filter='EngineParity*'
   run_profile_smoke "$root/build-asan"
+  run_fused_smoke "$root/build-asan"
   run_fault_smoke "$root/build-asan"
 }
 
 run_bench_smoke() {
   cmake -B "$root/build-release" -S "$root" -DCMAKE_BUILD_TYPE=Release
   cmake --build "$root/build-release" -j --target vm_engine
+  # vm_engine exits nonzero if any engine disagrees on output, if walk and
+  # unfused bytecode disagree on cycles, or if the fused rows cost more
+  # modeled cycles than unfused on any of fig6/7/8.
   "$root/build-release/bench/vm_engine" --smoke
 }
 
@@ -90,6 +121,7 @@ case "$mode" in
   plain)
     run_suite "$root/build"
     run_profile_smoke "$root/build"
+    run_fused_smoke "$root/build"
     run_fault_smoke "$root/build"
     ;;
   asan)  run_asan ;;
@@ -97,6 +129,7 @@ case "$mode" in
   all)
     run_suite "$root/build"
     run_profile_smoke "$root/build"
+    run_fused_smoke "$root/build"
     run_fault_smoke "$root/build"
     run_asan
     run_bench_smoke

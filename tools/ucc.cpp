@@ -14,6 +14,10 @@
 //   --stats                 print machine statistics after a run
 //   --trace                 print the Paris-style instruction trace
 //   --engine=<walk|bytecode>  VM execution engine (default bytecode)
+//   --fuse=<on|off>         statement fusion + communication-plan cache
+//                           on the bytecode engine (default on)
+//   --repeat=<n>            bench: report the median of n timed runs
+//                           after one untimed warmup (default 1, no warmup)
 //   --seed=<n>              machine RNG seed (default 1)
 //   --procs=<n>             physical processors (default 16384)
 //   --threads=<n>           host threads for the data-parallel runtime
@@ -42,6 +46,7 @@
 //   --max-field-mb=<n>      cap total CM field memory at n MiB
 //   --max-iterations=<n>    iteration limit for solve/*par/... loops
 //                           (0 = unlimited)
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -50,6 +55,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "support/error.hpp"
 #include "uc/uc.hpp"
@@ -76,6 +82,8 @@ int usage() {
       "  --stats               print machine statistics after a run\n"
       "  --trace               print the Paris-style instruction trace\n"
       "  --engine=<walk|bytecode>  VM execution engine (default bytecode)\n"
+      "  --fuse=<on|off>       statement fusion + plan cache (default on)\n"
+      "  --repeat=<n>          bench: median of n timed runs + warmup\n"
       "  --seed=<n>            machine RNG seed (default 1)\n"
       "  --procs=<n>           physical processors (default 16384)\n"
       "  --threads=<n>         host threads for the runtime\n"
@@ -132,6 +140,7 @@ struct Options {
   std::string sites_json;        // --json=<file> (profile command)
   std::string trace_json;        // --trace-json=<file>
   std::uint64_t top = 0;         // --top=<n>, 0 = all hot sites
+  std::uint64_t repeat = 1;      // bench: timed runs per row
   uc::cm::MachineOptions machine;
   uc::vm::ExecOptions exec;
   uc::CompileOptions compile;
@@ -206,6 +215,12 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.exec.engine = uc::vm::ExecEngine::kWalk;
     } else if (arg == "--engine=bytecode") {
       opts.exec.engine = uc::vm::ExecEngine::kBytecode;
+    } else if (arg == "--fuse=on") {
+      opts.exec.fuse = true;
+    } else if (arg == "--fuse=off") {
+      opts.exec.fuse = false;
+    } else if (int_value("--repeat=", v)) {
+      opts.repeat = v;
     } else if (int_value("--seed=", v, /*allow_zero=*/true)) {
       opts.machine.seed = v;
     } else if (int_value("--procs=", v)) {
@@ -322,30 +337,50 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (opts.command == "bench") {
-      // Time the same program under both engines on fresh machines and
-      // check that output and modeled cycles agree.
+      // Time the same program under each engine configuration on fresh
+      // machines.  walk and bytecode (fusion off) must agree on output and
+      // modeled cycles; the fused configuration must reproduce the output
+      // with no more modeled cycles than unfused bytecode.
       struct Row {
         const char* name;
         uc::vm::ExecEngine engine;
+        bool fuse;
         double ms = 0.0;
         std::uint64_t cycles = 0;
         std::string output;
       };
-      Row rows[2] = {{"walk", uc::vm::ExecEngine::kWalk},
-                     {"bytecode", uc::vm::ExecEngine::kBytecode}};
+      Row rows[3] = {
+          {"walk", uc::vm::ExecEngine::kWalk, false},
+          {"bytecode", uc::vm::ExecEngine::kBytecode, false},
+          {"bytecode-fused", uc::vm::ExecEngine::kBytecode, true}};
       for (auto& row : rows) {
-        uc::cm::Machine machine(opts.machine);
         uc::vm::ExecOptions eopts = opts.exec;
         eopts.engine = row.engine;
-        const auto t0 = std::chrono::steady_clock::now();
-        auto result = program.run_on(machine, eopts);
-        const auto t1 = std::chrono::steady_clock::now();
-        row.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
-        row.cycles = result.stats().cycles;
-        row.output = result.output();
+        eopts.fuse = row.fuse;
+        // --repeat=N: one untimed warmup, then the median of N timed runs
+        // (every run is a fresh machine; outputs and cycles are
+        // deterministic, only host time varies).
+        const std::uint64_t runs = opts.repeat;
+        std::vector<double> times;
+        times.reserve(static_cast<std::size_t>(runs));
+        for (std::uint64_t r = (runs > 1 ? 0 : 1); r <= runs; ++r) {
+          uc::cm::Machine machine(opts.machine);
+          const auto t0 = std::chrono::steady_clock::now();
+          auto result = program.run_on(machine, eopts);
+          const auto t1 = std::chrono::steady_clock::now();
+          if (r == 0) continue;  // warmup
+          times.push_back(
+              std::chrono::duration<double, std::milli>(t1 - t0).count());
+          row.cycles = result.stats().cycles;
+          row.output = result.output();
+        }
+        std::sort(times.begin(), times.end());
+        const std::size_t n = times.size();
+        row.ms = (n % 2 != 0) ? times[n / 2]
+                              : 0.5 * (times[n / 2 - 1] + times[n / 2]);
       }
       for (const auto& row : rows) {
-        std::printf("%-9s %10.3f ms  %12llu cycles\n", row.name, row.ms,
+        std::printf("%-14s %10.3f ms  %12llu cycles\n", row.name, row.ms,
                     static_cast<unsigned long long>(row.cycles));
       }
       if (rows[0].output != rows[1].output ||
@@ -354,6 +389,19 @@ int main(int argc, char** argv) {
                              "cycles %s)\n",
                      rows[0].output == rows[1].output ? "match" : "differ",
                      rows[0].cycles == rows[1].cycles ? "match" : "differ");
+        return 1;
+      }
+      if (rows[2].output != rows[1].output) {
+        std::fprintf(stderr,
+                     "ucc bench: fused output differs from unfused\n");
+        return 1;
+      }
+      if (rows[2].cycles > rows[1].cycles) {
+        std::fprintf(stderr,
+                     "ucc bench: fused run charged more cycles (%llu) than "
+                     "unfused (%llu)\n",
+                     static_cast<unsigned long long>(rows[2].cycles),
+                     static_cast<unsigned long long>(rows[1].cycles));
         return 1;
       }
       return 0;
