@@ -109,6 +109,27 @@ Row run_one_profiled(const std::string& name, const std::string& source,
   return row;
 }
 
+// The mapping optimiser's output (docs/MAPPING.md): run `uc::optimize_map`
+// once, then execute the rewritten program (or the original, when the search
+// finds nothing better at this problem size) on the plain bytecode engine.
+// The row must keep the output byte-identical to the bytecode row and never
+// charge more modeled cycles — the optimiser's own replay validation promises
+// exactly that.
+Row run_one_optmap(const std::string& name, const std::string& source,
+                   int reps) {
+  uc::OptimizeMapOptions oopts;
+  oopts.exec.engine = uc::vm::ExecEngine::kBytecode;
+  oopts.exec.fuse = false;  // deltas are against the plain bytecode row
+  auto opt = uc::optimize_map(name + ".uc", source, oopts);
+  const std::string& best =
+      opt.improved && opt.validated ? opt.optimized_source : source;
+  Row row = run_one(name, best, uc::vm::ExecEngine::kBytecode,
+                    /*fuse=*/false, reps);
+  row.program = name;
+  row.engine = "bytecode-optmap";
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -155,6 +176,7 @@ int main(int argc, char** argv) {
     Row prof = run_one_profiled(w.name, w.source, reps);
     Row ckpt = run_one_robust(w.name, w.source, /*with_faults=*/false, reps);
     Row faulted = run_one_robust(w.name, w.source, /*with_faults=*/true, reps);
+    Row optmap = run_one_optmap(w.name, w.source, reps);
     // Checkpoint captures and fault recovery cost extra modeled cycles by
     // design, so those rows are held only to output equality.  Fusion and
     // plan caching lower modeled cycles by design, so the fused row must
@@ -166,7 +188,9 @@ int main(int argc, char** argv) {
                        prof.output == byte.output &&
                        prof.cycles == byte.cycles &&
                        ckpt.output == byte.output &&
-                       faulted.output == byte.output;
+                       faulted.output == byte.output &&
+                       optmap.output == byte.output &&
+                       optmap.cycles <= byte.cycles;
     all_agree = all_agree && agree;
     const double speedup = byte.host_ms > 0 ? walk.host_ms / byte.host_ms : 0;
     const double fspeedup =
@@ -190,12 +214,16 @@ int main(int argc, char** argv) {
     std::printf("%-26s %-15s %10.2f %16llu %9s  %s\n", w.name.c_str(),
                 "+faults", faulted.host_ms,
                 static_cast<unsigned long long>(faulted.cycles), "", "");
+    std::printf("%-26s %-15s %10.2f %16llu %9s  %s\n", w.name.c_str(),
+                "+optmap", optmap.host_ms,
+                static_cast<unsigned long long>(optmap.cycles), "", "");
     rows.push_back(walk);
     rows.push_back(byte);
     rows.push_back(fused);
     rows.push_back(prof);
     rows.push_back(ckpt);
     rows.push_back(faulted);
+    rows.push_back(optmap);
   }
 
   if (!json_path.empty()) {

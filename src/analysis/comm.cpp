@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/comm.hpp"
 #include "analysis/pass.hpp"
 
 namespace uc::analysis {
@@ -27,12 +28,10 @@ std::uint64_t ceil_log2(std::uint64_t n) {
   return bits;
 }
 
-struct Classified {
-  CommClass cls = CommClass::kLocal;
-  std::string detail;
-};
+}  // namespace
 
-Classified classify(const ParSite& site, const std::vector<DimView>& views) {
+CommDecision classify_views(const ParSite& site,
+                            const std::vector<DimView>& views) {
   for (const auto& v : views) {
     if (v.kind == DimKind::kUnknown) {
       return {CommClass::kRouter, "subscript not affine in lane indices"};
@@ -92,8 +91,8 @@ Classified classify(const ParSite& site, const std::vector<DimView>& views) {
   return {CommClass::kLocal, ""};
 }
 
-std::uint64_t estimate_cycles(const cm::CostModel& cost, CommClass cls,
-                              std::uint64_t space) {
+std::uint64_t estimate_comm_cycles(const cm::CostModel& cost, CommClass cls,
+                                   std::uint64_t space) {
   std::uint64_t vp = cost.vp_ratio(space);
   switch (cls) {
     case CommClass::kLocal:
@@ -108,6 +107,8 @@ std::uint64_t estimate_cycles(const cm::CostModel& cost, CommClass cls,
   }
   return cost.mem_op * vp;
 }
+
+namespace {
 
 class CommPass : public Pass {
  public:
@@ -129,7 +130,7 @@ class CommPass : public Pass {
 
         auto placed = subscript_views(site, sa, ctx.model,
                                       /*apply_placement=*/true);
-        Classified c = classify(site, placed);
+        CommDecision c = classify_views(site, placed);
 
         std::uint64_t space = site.lane_count();
         const lang::ReduceExpr* reduce =
@@ -150,7 +151,7 @@ class CommPass : public Pass {
         ca.detail = c.detail;
         ca.range = sa.access.site->range;
         ca.lanes = space;
-        ca.est_cycles = estimate_cycles(ctx.options.cost, c.cls, space);
+        ca.est_cycles = estimate_comm_cycles(ctx.options.cost, c.cls, space);
 
         std::string fn =
             site.function != nullptr ? site.function->name : "<global>";
@@ -163,7 +164,7 @@ class CommPass : public Pass {
         if (ctx.model.placements.count(base) != 0) {
           auto identity = subscript_views(site, sa, ctx.model,
                                           /*apply_placement=*/false);
-          Classified ci = classify(site, identity);
+          CommDecision ci = classify_views(site, identity);
           bool cheap = ci.cls == CommClass::kLocal ||
                        ci.cls == CommClass::kNews;
           auto [ai, ains] = all_identity_cheap.try_emplace(base, true);

@@ -1,0 +1,32 @@
+// The communication classifier's core decision, shared between the comm
+// pass (UC-A2xx + summary) and the mapping optimiser (docs/MAPPING.md),
+// which re-runs the same classification under candidate placements so a
+// predicted win is a win of *this* model, not of a lookalike.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/model.hpp"
+#include "analysis/report.hpp"
+#include "cm/cost.hpp"
+
+namespace uc::analysis {
+
+struct CommDecision {
+  CommClass cls = CommClass::kLocal;
+  std::string detail;
+};
+
+// Classifies one access's per-dimension views against the site's lanes:
+// local / news / scan / router exactly as `ucc analyze` reports it.
+CommDecision classify_views(const ParSite& site,
+                            const std::vector<DimView>& views);
+
+// Cost-model estimate for one execution of an access of class `cls` over
+// an evaluation space of `space` lanes.
+std::uint64_t estimate_comm_cycles(const cm::CostModel& cost, CommClass cls,
+                                   std::uint64_t space);
+
+}  // namespace uc::analysis

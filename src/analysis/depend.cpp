@@ -1,0 +1,290 @@
+#include "analysis/depend.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "support/str.hpp"
+
+namespace uc::analysis {
+
+namespace {
+
+using lang::Symbol;
+
+// Exhaustive owner-map simulation stays exact up to this extent; larger
+// arrays fall back to rejecting any colliding candidate (fail closed).
+constexpr std::int64_t kMaxExactExtent = 1 << 16;
+
+AccessWindow window_from_view(const ParSite& site, const SiteAccess& sa,
+                              std::size_t site_index, const DimView& v) {
+  AccessWindow w;
+  w.site = &site;
+  w.site_index = site_index;
+  w.is_write = sa.access.is_write;
+  w.range = sa.access.site->range;
+  switch (v.kind) {
+    case DimKind::kIdent:
+    case DimKind::kOffset:
+    case DimKind::kScaled:
+    case DimKind::kScan: {
+      std::int64_t lo = 0, hi = -1, size = 0;
+      const LaneElem* lane = site.lane_of(v.elem);
+      if (lane != nullptr) {
+        lo = lane->min_value;
+        hi = lane->max_value;
+      } else if (!elem_value_range(v.elem, lo, hi, size)) {
+        return w;  // no range: stays inexact (covers everything)
+      }
+      w.exact = v.uniform_key.empty();
+      w.coeff = v.coeff;
+      w.offset = v.offset;
+      w.elem_lo = lo;
+      w.elem_hi = hi;
+      return w;
+    }
+    case DimKind::kUniform:
+      w.single_per_step = true;
+      w.exact = v.uniform_key.empty();
+      w.coeff = 0;
+      w.offset = v.offset;
+      return w;
+    case DimKind::kMulti:
+    case DimKind::kUnknown:
+      return w;  // inexact
+  }
+  return w;
+}
+
+bool window_can_hit(const AccessWindow& w, std::int64_t e) {
+  if (!w.exact) return true;
+  if (w.coeff == 0) return w.offset == e;
+  const std::int64_t d = e - w.offset;
+  if (d % w.coeff != 0) return false;
+  const std::int64_t v = d / w.coeff;
+  return v >= w.elem_lo && v <= w.elem_hi;
+}
+
+// Finds a parallel step that can write both co-located elements e1 and e2
+// (two lanes converging on one processor), or null when none can.
+const AccessWindow* find_cowrite(const ArrayDep& dep, std::int64_t e1,
+                                 std::int64_t e2) {
+  for (const auto& w1 : dep.windows) {
+    if (!w1.is_write) continue;
+    // One lane-varying access covering both elements writes them from two
+    // different lanes of the same step.
+    if (!w1.single_per_step && window_can_hit(w1, e1) &&
+        window_can_hit(w1, e2)) {
+      return &w1;
+    }
+    // Two write accesses of the same statement, one per element.
+    for (const auto& w2 : dep.windows) {
+      if (&w1 == &w2 || !w2.is_write) continue;
+      if (w1.site_index != w2.site_index) continue;
+      if ((window_can_hit(w1, e1) && window_can_hit(w2, e2)) ||
+          (window_can_hit(w1, e2) && window_can_hit(w2, e1))) {
+        return &w1;
+      }
+    }
+  }
+  return nullptr;
+}
+
+std::pair<std::int64_t, std::int64_t> value_range(const AccessWindow& w) {
+  const std::int64_t a = w.coeff * w.elem_lo + w.offset;
+  const std::int64_t b = w.coeff * w.elem_hi + w.offset;
+  return {std::min(a, b), std::max(a, b)};
+}
+
+}  // namespace
+
+const ArrayDep* DependSummary::of(const Symbol* array) const {
+  auto it = arrays.find(array);
+  return it == arrays.end() ? nullptr : &it->second;
+}
+
+DependSummary summarize_dependences(const ProgramModel& model) {
+  DependSummary out;
+  for (std::size_t s = 0; s < model.sites.size(); ++s) {
+    const ParSite& site = model.sites[s];
+    for (const auto& sa : site.accesses) {
+      if (sa.access.subscript == nullptr) continue;
+      const Symbol* base = sa.access.base;
+      if (base == nullptr || site.per_lane.count(base) != 0) continue;
+
+      auto [it, inserted] = out.arrays.try_emplace(base);
+      ArrayDep& dep = it->second;
+      if (inserted) dep.array = base;
+      if (sa.access.is_write) {
+        ++dep.parallel_writes;
+      }
+      if (sa.access.is_read) {
+        ++dep.parallel_reads;
+      }
+
+      // Element-space views: legality reasons about which elements a step
+      // touches, so the current placement must NOT be composed in.
+      auto views = subscript_views(site, sa, model,
+                                   /*apply_placement=*/false);
+      bool affine = true;
+      for (const auto& v : views) {
+        if (v.kind == DimKind::kUnknown) affine = false;
+      }
+      if (!affine && sa.access.is_write) dep.any_nonaffine_write = true;
+
+      if (views.size() == 1 && base->type.dims.size() == 1) {
+        dep.windows.push_back(window_from_view(site, sa, s, views[0]));
+      }
+    }
+  }
+  return out;
+}
+
+Legality prove_permute(const ArrayDep& dep, std::int64_t extent,
+                       std::int64_t coeff, std::int64_t offset) {
+  Legality r;
+  if (coeff != 1 && coeff != -1) {
+    r.blocker = "placement coefficient is not a unit (the permute would "
+                "not be invertible)";
+    return r;
+  }
+
+  // A unit-coefficient placement is a bijection of [0, extent) exactly for
+  // the identity and the reversal; everything else collides at a boundary.
+  const bool bijective = (coeff == 1 && offset == 0) ||
+                         (coeff == -1 && offset == extent - 1);
+  if (bijective) {
+    r.legal = true;
+    r.proof = support::format(
+        "placement pos(v) = %s%lldv%+lld is a bijection of [0, %lld): every "
+        "element keeps a private processor",
+        coeff < 0 ? "-" : "", static_cast<long long>(std::abs(coeff)),
+        static_cast<long long>(offset), static_cast<long long>(extent));
+    return r;
+  }
+
+  if (extent > kMaxExactExtent) {
+    r.blocker = "array too large for the exact owner-map simulation; the "
+                "colliding placement cannot be proved safe";
+    return r;
+  }
+
+  // Simulate the runtime owner table for `permute (S) T[g(i)] :- T[i]`
+  // with g(i) = coeff*i - coeff*offset: element g(i) takes element i's
+  // processor; unmapped elements keep their own.
+  std::vector<std::int64_t> owner(static_cast<std::size_t>(extent));
+  for (std::int64_t e = 0; e < extent; ++e) owner[e] = e;
+  for (std::int64_t i = 0; i < extent; ++i) {
+    const std::int64_t tgt = coeff * i - coeff * offset;
+    if (tgt >= 0 && tgt < extent) owner[tgt] = i;
+  }
+  std::vector<std::vector<std::int64_t>> groups(
+      static_cast<std::size_t>(extent));
+  for (std::int64_t e = 0; e < extent; ++e) {
+    groups[static_cast<std::size_t>(owner[e])].push_back(e);
+  }
+
+  std::size_t collisions = 0;
+  for (const auto& g : groups) {
+    if (g.size() < 2) continue;
+    ++collisions;
+    for (std::size_t a = 0; a < g.size(); ++a) {
+      for (std::size_t b = a + 1; b < g.size(); ++b) {
+        const AccessWindow* w = find_cowrite(dep, g[a], g[b]);
+        if (w != nullptr) {
+          r.blocker = support::format(
+              "elements %lld and %lld share a processor under the permute "
+              "but are written in the same parallel step (write-write "
+              "interference across the permute)",
+              static_cast<long long>(g[a]), static_cast<long long>(g[b]));
+          r.blocked_at = w->range;
+          return r;
+        }
+      }
+    }
+  }
+  r.legal = true;
+  r.proof = support::format(
+      "placement collides on %zu processor(s) at the boundary, but no "
+      "parallel step writes two co-located elements",
+      collisions);
+  return r;
+}
+
+Legality prove_fold(const ArrayDep& dep, std::int64_t extent) {
+  Legality r;
+  if (extent <= 0 || extent % 2 != 0) {
+    r.blocker = "fold requires an even extent";
+    return r;
+  }
+  if (extent > kMaxExactExtent) {
+    r.blocker = "array too large for the exact folded-pair analysis";
+    return r;
+  }
+  const std::int64_t half = extent / 2;
+
+  // Every parallel access must provably stay within one half: only then is
+  // the folded placement piecewise-affine on it (pos = v below the fold,
+  // extent-1-v above it).
+  for (const auto& w : dep.windows) {
+    if (!w.exact) {
+      r.blocker = "a parallel access has a subscript the fold analysis "
+                  "cannot bound to one half";
+      r.blocked_at = w.range;
+      return r;
+    }
+    auto [lo, hi] = value_range(w);
+    const bool low = lo >= 0 && hi < half;
+    const bool high = lo >= half && hi < extent;
+    if (!low && !high) {
+      r.blocker = support::format(
+          "a parallel access spans elements %lld..%lld, crossing the fold "
+          "at %lld; the folded placement is not affine on it",
+          static_cast<long long>(lo), static_cast<long long>(hi),
+          static_cast<long long>(half));
+      r.blocked_at = w.range;
+      return r;
+    }
+  }
+
+  // No parallel step may write both members of a folded pair (h and
+  // extent-1-h land on one processor by construction).
+  for (std::int64_t h = 0; h < half; ++h) {
+    const AccessWindow* w = find_cowrite(dep, h, extent - 1 - h);
+    if (w != nullptr) {
+      r.blocker = support::format(
+          "folded pair (%lld, %lld) is written in the same parallel step "
+          "(write-write interference across the fold)",
+          static_cast<long long>(h), static_cast<long long>(extent - 1 - h));
+      r.blocked_at = w->range;
+      return r;
+    }
+  }
+  r.legal = true;
+  r.proof = support::format(
+      "every parallel access stays within one half of [0, %lld) and no "
+      "folded pair is co-written in one step",
+      static_cast<long long>(extent));
+  return r;
+}
+
+Legality prove_copy(const ArrayDep& dep) {
+  Legality r;
+  if (dep.any_nonaffine_write) {
+    r.blocker = "a parallel write has a data-dependent subscript; the "
+                "broadcast update set for the copies cannot be proved";
+    return r;
+  }
+  r.legal = true;
+  if (dep.parallel_writes == 0) {
+    r.proof = "array is never written in a parallel step; copies stay "
+              "coherent for free";
+  } else {
+    r.proof = support::format(
+        "all %zu parallel write(s) have statically known element sets; "
+        "each update broadcasts to every copy",
+        dep.parallel_writes);
+  }
+  return r;
+}
+
+}  // namespace uc::analysis

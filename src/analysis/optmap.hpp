@@ -1,0 +1,93 @@
+// The static mapping optimiser (docs/MAPPING.md): enumerates candidate
+// `map` sections (affine permutes, folds, copies), proves each legal with
+// the dependence pass, predicts its cost by re-running the communication
+// classifier under the candidate placement, and beam-searches assignments
+// over interacting arrays.
+//
+// This layer is purely static: `uc::optimize_map` (the `ucc optimize-map`
+// subcommand) sits above it and adds the emitter + replay validator.  The
+// mapping-advice pass surfaces the same results as UC-A301/UC-A302 notes
+// from `ucc analyze`.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/depend.hpp"
+#include "analysis/model.hpp"
+#include "analysis/pass.hpp"
+
+namespace uc::analysis {
+
+enum class MapChoiceKind : std::uint8_t { kIdentity, kPermute, kFold, kCopy };
+
+const char* map_choice_kind_name(MapChoiceKind k);
+
+// One remapping decision for one array.  For permutes the placement is
+// pos(v) = coeff*v + offset; folds pair v with extent-1-v; copies
+// replicate once per element of `set`.
+struct MapChoice {
+  MapChoiceKind kind = MapChoiceKind::kIdentity;
+  const lang::Symbol* array = nullptr;
+  const lang::Symbol* set = nullptr;  // mapping index set (non-identity)
+  std::int64_t coeff = 1;
+  std::int64_t offset = 0;
+  std::int64_t extent = 0;  // 1-D extent (permute / fold)
+  std::string text;         // canonical mapping text, e.g. "copy (I) d"
+  std::string proof;        // dependence-legality proof (legal choices)
+};
+
+struct Candidate {
+  MapChoice choice;
+  bool legal = false;
+  std::string blocker;              // dependence that rejected it
+  support::SourceRange blocked_at;  // interfering access, when known
+  // Whole-program weighted communication estimate with only this array
+  // remapped (relocation sweep included), for per-array comparisons.
+  std::uint64_t predicted_cycles = 0;
+  std::uint64_t relocation_cycles = 0;
+};
+
+struct ArrayPlan {
+  const lang::Symbol* array = nullptr;
+  std::vector<Candidate> candidates;  // identity first, then alternatives
+};
+
+// One beam-search state: the non-keep choices plus the whole-program
+// prediction under them.
+struct Assignment {
+  std::vector<MapChoice> choices;
+  std::uint64_t predicted_cycles = 0;
+};
+
+struct OptimizePlan {
+  std::vector<ArrayPlan> arrays;      // sorted by array name
+  std::uint64_t baseline_cycles = 0;  // prediction under current mappings
+  std::vector<Assignment> ranked;     // beam results, best first
+  std::size_t candidates_considered = 0;
+  std::size_t candidates_blocked = 0;  // rejected by the dependence pass
+};
+
+struct OptimizeOptions {
+  cm::CostModel cost;
+  std::size_t beam_width = 4;
+  // UC-A301 fires only when the best legal assignment improves the
+  // predicted communication cycles by at least this fraction.
+  double min_gain = 0.10;
+};
+
+OptimizePlan plan_mappings(const lang::CompilationUnit& unit,
+                           const ProgramModel& model,
+                           const OptimizeOptions& options);
+
+// Whole-program weighted communication estimate with the given choices
+// overriding the arrays' current placements (choices may be empty).
+std::uint64_t predict_comm_cycles(const ProgramModel& model,
+                                  const cm::CostModel& cost,
+                                  const std::vector<MapChoice>& choices);
+
+// The UC-A301 / UC-A302 advice pass (runs in the default pipeline).
+std::unique_ptr<Pass> make_mapping_advice_pass();
+
+}  // namespace uc::analysis

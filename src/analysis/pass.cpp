@@ -23,6 +23,7 @@ Report run_default_analysis(const lang::CompilationUnit& unit,
   PassManager pm;
   pm.add(make_interference_pass());
   pm.add(make_comm_pass());
+  pm.add(make_mapping_advice_pass());
   Report report;
   pm.run(unit, options, report);
   return report;

@@ -52,8 +52,10 @@ class PassManager {
 // Factories for the built-in passes.
 std::unique_ptr<Pass> make_interference_pass();
 std::unique_ptr<Pass> make_comm_pass();
+std::unique_ptr<Pass> make_mapping_advice_pass();
 
-// Runs the default pipeline (interference + communication classifier).
+// Runs the default pipeline (interference + communication classifier +
+// mapping advice).
 Report run_default_analysis(const lang::CompilationUnit& unit,
                             const AnalysisOptions& options = {});
 

@@ -2,7 +2,33 @@
 
 #include <sstream>
 
+#include "support/str.hpp"
+
 namespace uc::analysis {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += support::format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 const char* comm_class_name(CommClass c) {
   switch (c) {
@@ -96,6 +122,63 @@ std::string Report::render(const support::SourceFile* file,
     }
     out += os.str();
   }
+  return out;
+}
+
+std::string Report::json(const support::SourceFile* file) const {
+  auto line_of = [&](support::SourceLoc loc) -> std::uint32_t {
+    return file != nullptr ? file->line_col(loc).line : 0;
+  };
+  auto col_of = [&](support::SourceLoc loc) -> std::uint32_t {
+    return file != nullptr ? file->line_col(loc).col : 0;
+  };
+
+  std::string out = "{\n";
+  out += support::format(
+      "  \"errors\": %zu, \"warnings\": %zu, \"notes\": %zu,\n",
+      error_count(), warning_count(), note_count());
+
+  out += "  \"findings\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += support::format(
+        "    {\"code\": \"%s\", \"severity\": \"%s\", \"line\": %u, "
+        "\"col\": %u, \"message\": \"%s\"}%s\n",
+        f.code, support::severity_name(f.severity), line_of(f.range.begin),
+        col_of(f.range.begin), json_escape(f.message).c_str(),
+        i + 1 < findings.size() ? "," : "");
+  }
+  out += "  ],\n";
+
+  out += "  \"functions\": [\n";
+  for (std::size_t i = 0; i < functions.size(); ++i) {
+    const FunctionComm& fn = functions[i];
+    out += support::format(
+        "    {\"function\": \"%s\", \"local\": %zu, \"news\": %zu, "
+        "\"scan\": %zu, \"router\": %zu, \"est_cycles\": %llu,\n",
+        json_escape(fn.function).c_str(), fn.count(CommClass::kLocal),
+        fn.count(CommClass::kNews), fn.count(CommClass::kScan),
+        fn.count(CommClass::kRouter),
+        static_cast<unsigned long long>(fn.est_cycles()));
+    out += "     \"accesses\": [\n";
+    for (std::size_t k = 0; k < fn.accesses.size(); ++k) {
+      const CommAccess& a = fn.accesses[k];
+      out += support::format(
+          "       {\"array\": \"%s\", \"op\": \"%s\", \"class\": \"%s\", "
+          "\"line\": %u, \"lanes\": %llu, \"est_cycles\": %llu, "
+          "\"detail\": \"%s\"}%s\n",
+          json_escape(a.array).c_str(), a.is_write ? "write" : "read",
+          comm_class_name(a.cls), line_of(a.range.begin),
+          static_cast<unsigned long long>(a.lanes),
+          static_cast<unsigned long long>(a.est_cycles),
+          json_escape(a.detail).c_str(),
+          k + 1 < fn.accesses.size() ? "," : "");
+    }
+    out += support::format("     ]}%s\n",
+                           i + 1 < functions.size() ? "," : "");
+  }
+  out += "  ]\n";
+  out += "}\n";
   return out;
 }
 

@@ -80,6 +80,10 @@ struct Report {
   // followed by the per-function communication summary.
   std::string render(const support::SourceFile* file,
                      const RenderOptions& opts = {}) const;
+
+  // Machine-readable findings + summary (`ucc analyze --json=`),
+  // mirroring the profile JSON conventions (docs/ANALYSIS.md).
+  std::string json(const support::SourceFile* file) const;
 };
 
 }  // namespace uc::analysis

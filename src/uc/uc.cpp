@@ -69,6 +69,7 @@ AnalyzeResult analyze(std::string name, std::string source,
   render.include_notes = options.include_notes;
   render.include_summary = options.include_summary;
   result.text = report.render(unit->file.get(), render);
+  result.json = report.json(unit->file.get());
   result.errors = report.error_count();
   result.warnings = report.warning_count();
   result.notes = report.note_count();

@@ -51,6 +51,7 @@ struct AnalyzeOptions {
 struct AnalyzeResult {
   bool compiled = false;  // front end succeeded; analysis ran
   std::string text;       // rendered findings (+ summary), or front-end diags
+  std::string json;       // machine-readable findings (`--json=`), or ""
   std::size_t errors = 0;
   std::size_t warnings = 0;
   std::size_t notes = 0;
@@ -62,6 +63,56 @@ struct AnalyzeResult {
 // the front-end diagnostics instead.
 AnalyzeResult analyze(std::string name, std::string source,
                       const AnalyzeOptions& options = {});
+
+// Options for the static mapping optimiser (`ucc optimize-map`,
+// docs/MAPPING.md): dependence-proved search over candidate `map`
+// sections, cost-predicted with the communication classifier, validated
+// by replay on the simulated machine.
+struct OptimizeMapOptions {
+  cm::MachineOptions machine;  // cost model + replay machine
+  vm::ExecOptions exec;        // replay engine options
+  std::size_t beam_width = 4;  // beam over interacting arrays
+  // Replay-validate: the optimized program must produce bit-identical
+  // output with strictly fewer modeled cycles, or the candidate is
+  // rejected and the next ranked assignment is tried.
+  bool validate = true;
+  std::size_t max_validation_tries = 4;
+};
+
+// One accepted remapping decision, for reporting.
+struct OptimizeMapChoice {
+  std::string array;
+  std::string kind;   // "permute" / "fold" / "copy" / "identity"
+  std::string text;   // canonical mapping text, e.g. "copy (I) d"
+  std::string proof;  // dependence-legality proof
+};
+
+struct OptimizeMapResult {
+  bool compiled = false;   // front end succeeded; the search ran
+  bool improved = false;   // an assignment was accepted
+  bool validated = false;  // ...and replay confirmed it (when validating)
+  std::string text;        // human-readable report, or front-end diags
+  std::string map_section;      // chosen `map` section UC text ("" if none)
+  std::string optimized_source; // full rewritten program ("" if none)
+  std::vector<OptimizeMapChoice> choices;
+  std::uint64_t predicted_baseline = 0;   // static estimate, current maps
+  std::uint64_t predicted_optimized = 0;  // static estimate, chosen maps
+  std::uint64_t baseline_cycles = 0;      // replay (when validating)
+  std::uint64_t optimized_cycles = 0;     // replay (when validating)
+  std::size_t candidates_considered = 0;
+  std::size_t candidates_blocked = 0;  // rejected by the dependence pass
+
+  // Machine-readable report (`--json=`), mirroring the profile JSON
+  // conventions.
+  std::string json() const;
+};
+
+// Runs the mapping optimiser: dependence pass, candidate generation, cost
+// prediction, beam search, then emission + replay validation of the best
+// assignment.  The input program is never modified; the rewritten source
+// is returned in `optimized_source`.
+OptimizeMapResult optimize_map(std::string name, std::string source,
+                               const OptimizeMapOptions& options = {});
 
 // Options for a profiled run (`ucc profile`, docs/PROFILING.md).
 struct ProfileOptions {

@@ -74,6 +74,35 @@ run_fused_smoke() {
   rm -rf "$tmp"
 }
 
+# Mapping-optimiser smoke (docs/MAPPING.md): `ucc optimize-map` on the
+# Fig 6 workload must find a validated mapping — the rewritten program's
+# replay must be bit-identical in output and strictly cheaper in modeled
+# cycles — and the emitted program must reproduce both when run standalone.
+run_optmap_smoke() {
+  local dir="$1"
+  local ucc="$dir/tools/ucc"
+  local src="$root/programs/fig6_shortest_path_on2.uc"
+  local tmp; tmp="$(mktemp -d)"
+  "$ucc" optimize-map "$src" --emit="$tmp/fig6_opt.uc" >"$tmp/report.txt"
+  grep -q "output bit-identical" "$tmp/report.txt" || {
+    echo "ci.sh: optimize-map found no replay-validated mapping for fig6" >&2
+    exit 1; }
+  "$ucc" run "$src" --stats >"$tmp/base.txt" 2>"$tmp/base_stats.txt"
+  "$ucc" run "$tmp/fig6_opt.uc" --stats >"$tmp/opt.txt" 2>"$tmp/opt_stats.txt"
+  cmp "$tmp/base.txt" "$tmp/opt.txt" || {
+    echo "ci.sh: optimize-map changed the output of fig6" >&2; exit 1; }
+  local base_cycles opt_cycles
+  base_cycles="$(sed -n 's/^cycles=\([0-9]*\).*/\1/p' "$tmp/base_stats.txt")"
+  opt_cycles="$(sed -n 's/^cycles=\([0-9]*\).*/\1/p' "$tmp/opt_stats.txt")"
+  [ -n "$base_cycles" ] && [ -n "$opt_cycles" ] || {
+    echo "ci.sh: could not read modeled cycles from --stats" >&2; exit 1; }
+  [ "$opt_cycles" -lt "$base_cycles" ] || {
+    echo "ci.sh: optimized fig6 charged $opt_cycles cycles," \
+         "baseline $base_cycles — no improvement" >&2
+    exit 1; }
+  rm -rf "$tmp"
+}
+
 # Fault-injection smoke (docs/ROBUSTNESS.md): injected transient faults
 # with checkpointing enabled must leave program output byte-identical —
 # recovery costs cycles, never correctness — and the run must actually
@@ -106,6 +135,7 @@ run_asan() {
   run_profile_smoke "$root/build-asan"
   run_fused_smoke "$root/build-asan"
   run_fault_smoke "$root/build-asan"
+  run_optmap_smoke "$root/build-asan"
 }
 
 run_bench_smoke() {
@@ -123,6 +153,7 @@ case "$mode" in
     run_profile_smoke "$root/build"
     run_fused_smoke "$root/build"
     run_fault_smoke "$root/build"
+    run_optmap_smoke "$root/build"
     ;;
   asan)  run_asan ;;
   bench) run_bench_smoke ;;
@@ -131,6 +162,7 @@ case "$mode" in
     run_profile_smoke "$root/build"
     run_fused_smoke "$root/build"
     run_fault_smoke "$root/build"
+    run_optmap_smoke "$root/build"
     run_asan
     run_bench_smoke
     ;;

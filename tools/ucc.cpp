@@ -7,6 +7,9 @@
 //   ucc check program.uc          report diagnostics (+ analysis warnings)
 //   ucc analyze program.uc        static analysis: interference + comm
 //                                 classification (docs/ANALYSIS.md)
+//   ucc optimize-map program.uc   dependence-proved mapping search: pick a
+//                                 `map` section, validate by replay
+//                                 (docs/MAPPING.md)
 //   ucc emit-cstar program.uc     print the C* translation (paper §5)
 //   ucc emit-uc program.uc        print the canonical UC rendering
 //
@@ -29,6 +32,11 @@
 //   --no-notes              analyze: drop UC-Axxx notes, keep warnings
 //   --no-summary            analyze: drop the communication summary
 //   --werror                analyze: nonzero exit on any warning
+//   --json=<file>           analyze / optimize-map: machine-readable report
+//   --emit=<file>           optimize-map: write the rewritten program
+//   --beam=<n>              optimize-map: beam width (default 4)
+//   --no-validate           optimize-map: trust the static prediction, skip
+//                           the replay validation
 //   --profile[=out.json]    run: profile; bare prints the table to stderr,
 //                           with a path writes the per-site JSON there
 //   --trace-json=<file>     profile/run --profile: Chrome trace-event JSON
@@ -75,6 +83,8 @@ int usage() {
       "  check       report diagnostics (plus analysis warnings)\n"
       "  analyze     static analysis: par-block interference and\n"
       "              communication-pattern classification\n"
+      "  optimize-map  dependence-proved mapping search; validates the\n"
+      "              chosen map section by replay (docs/MAPPING.md)\n"
       "  emit-cstar  print the C* translation\n"
       "  emit-uc     print the canonical UC rendering\n"
       "\n"
@@ -95,6 +105,9 @@ int usage() {
       "  --no-notes            analyze: drop UC-Axxx notes\n"
       "  --no-summary          analyze: drop the communication summary\n"
       "  --werror              analyze: nonzero exit on any warning\n"
+      "  --emit=<file>         optimize-map: write the rewritten program\n"
+      "  --beam=<n>            optimize-map: beam width (default 4)\n"
+      "  --no-validate         optimize-map: skip the replay validation\n"
       "  --profile[=out.json]  run: profile; bare prints the table to\n"
       "                        stderr, a path writes the per-site JSON\n"
       "  --trace-json=<file>   write Chrome trace-event JSON\n"
@@ -137,8 +150,11 @@ struct Options {
   bool profile = false;          // run --profile (table to stderr)
   bool join_static = true;       // --no-static turns the join column off
   std::string profile_json;      // --profile=<out.json>
-  std::string sites_json;        // --json=<file> (profile command)
+  std::string sites_json;        // --json=<file> (profile/analyze/opt-map)
   std::string trace_json;        // --trace-json=<file>
+  std::string emit_path;         // --emit=<file> (optimize-map)
+  bool validate = true;          // --no-validate (optimize-map)
+  std::uint64_t beam = 4;        // --beam=<n> (optimize-map)
   std::uint64_t top = 0;         // --top=<n>, 0 = all hot sites
   std::uint64_t repeat = 1;      // bench: timed runs per row
   uc::cm::MachineOptions machine;
@@ -249,6 +265,11 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.profile = true;
     } else if (str_value("--trace-json=", opts.trace_json)) {
     } else if (str_value("--json=", opts.sites_json)) {
+    } else if (str_value("--emit=", opts.emit_path)) {
+    } else if (arg == "--no-validate") {
+      opts.validate = false;
+    } else if (int_value("--beam=", v)) {
+      opts.beam = v;
     } else if (int_value("--top=", v)) {
       opts.top = v;
     } else if (arg == "--no-static") {
@@ -321,8 +342,47 @@ int main(int argc, char** argv) {
       std::fputs(analysis.text.c_str(), stdout);
       std::printf("%zu errors, %zu warnings, %zu notes\n", analysis.errors,
                   analysis.warnings, analysis.notes);
+      if (!opts.sites_json.empty() &&
+          !write_file(opts.sites_json, analysis.json)) {
+        std::fprintf(stderr, "ucc: cannot write '%s'\n",
+                     opts.sites_json.c_str());
+        return 2;
+      }
       if (analysis.errors > 0) return 1;
       if (opts.werror && analysis.warnings > 0) return 1;
+      return 0;
+    }
+
+    if (opts.command == "optimize-map") {
+      uc::OptimizeMapOptions mopts;
+      mopts.machine = opts.machine;
+      mopts.exec = opts.exec;
+      mopts.beam_width = static_cast<std::size_t>(opts.beam);
+      mopts.validate = opts.validate;
+      auto result = uc::optimize_map(opts.file, std::move(source), mopts);
+      if (!result.compiled) {
+        std::fputs(result.text.c_str(), stderr);
+        return 1;
+      }
+      std::fputs(result.text.c_str(), stdout);
+      if (!opts.sites_json.empty() &&
+          !write_file(opts.sites_json, result.json())) {
+        std::fprintf(stderr, "ucc: cannot write '%s'\n",
+                     opts.sites_json.c_str());
+        return 2;
+      }
+      if (!opts.emit_path.empty()) {
+        if (result.optimized_source.empty()) {
+          std::fprintf(stderr,
+                       "ucc: no improving mapping found; nothing to emit\n");
+          return 1;
+        }
+        if (!write_file(opts.emit_path, result.optimized_source)) {
+          std::fprintf(stderr, "ucc: cannot write '%s'\n",
+                       opts.emit_path.c_str());
+          return 2;
+        }
+      }
       return 0;
     }
 
