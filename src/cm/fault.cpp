@@ -90,6 +90,13 @@ FaultSpec parse_fault_spec(const std::string& spec) {
   FaultSpec out;
   if (spec.empty()) bad_spec(spec, "empty spec");
 
+  // Duplicate entries are rejected, not last-writer-wins: a spec like
+  // "router:p=0.1;router:p=0" almost certainly means the user edited one
+  // clause and forgot the other, and silently keeping either value makes
+  // the injection schedule differ from what they reviewed.
+  bool seen_kind[4] = {false, false, false, false};
+  bool seen_global[4] = {false, false, false, false};  // seed/retries/backoff/detect
+
   std::size_t pos = 0;
   while (pos <= spec.size()) {
     const std::size_t semi = spec.find(';', pos);
@@ -107,19 +114,29 @@ FaultSpec parse_fault_spec(const std::string& spec) {
     if (colon != std::string::npos) {
       const std::string kind = clause.substr(0, colon);
       params = clause.substr(colon + 1);
+      int kind_ix = -1;
       if (kind == "router") {
         p_slot = &out.router_p;
+        kind_ix = 0;
       } else if (kind == "news") {
         p_slot = &out.news_p;
+        kind_ix = 1;
       } else if (kind == "reduce" || kind == "scan") {
         p_slot = &out.reduce_p;
+        kind_ix = 2;
       } else if (kind == "memory" || kind == "field") {
         p_slot = &out.memory_p;
+        kind_ix = 3;
       } else {
         bad_spec(spec, "unknown fault kind '" + kind +
                            "' (want router, news, reduce or memory)");
       }
+      if (seen_kind[kind_ix]) {
+        bad_spec(spec, "duplicate clause for fault kind '" + kind + "'");
+      }
+      seen_kind[kind_ix] = true;
     }
+    bool seen_p = false;
 
     std::size_t ppos = 0;
     while (ppos <= params.size()) {
@@ -135,19 +152,29 @@ FaultSpec parse_fault_spec(const std::string& spec) {
       }
       const std::string key = param.substr(0, eq);
       const std::string value = param.substr(eq + 1);
+      const auto check_global = [&](int ix) {
+        if (seen_global[ix]) bad_spec(spec, "duplicate key '" + key + "'");
+        seen_global[ix] = true;
+      };
       if (key == "p") {
         if (p_slot == nullptr) {
           bad_spec(spec, "p= outside a kind clause (write e.g. router:p=" +
                              value + ")");
         }
+        if (seen_p) bad_spec(spec, "duplicate p= in clause '" + clause + "'");
+        seen_p = true;
         *p_slot = parse_prob(spec, value);
       } else if (key == "seed") {
+        check_global(0);
         out.seed = parse_count(spec, key, value);
       } else if (key == "retries") {
+        check_global(1);
         out.max_retries = parse_count(spec, key, value);
       } else if (key == "backoff") {
+        check_global(2);
         out.backoff_cycles = parse_count(spec, key, value);
       } else if (key == "detect") {
+        check_global(3);
         out.detect_cycles = parse_count(spec, key, value);
       } else {
         bad_spec(spec, "unknown key '" + key +

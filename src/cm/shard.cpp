@@ -1,0 +1,38 @@
+#include "cm/shard.hpp"
+
+#include "support/error.hpp"
+
+namespace uc::cm {
+
+ShardLayout::ShardLayout(std::int64_t size, unsigned shards)
+    : size_(size), shards_(shards == 0 ? 1 : shards) {
+  if (size < 0) {
+    throw support::ApiError("ShardLayout: negative VP-set size");
+  }
+  // ceil(size / shards), minimum 1 so owner() never divides by zero on an
+  // empty geometry.
+  block_ = size_ > 0
+               ? (size_ + static_cast<std::int64_t>(shards_) - 1) /
+                     static_cast<std::int64_t>(shards_)
+               : 1;
+  if (block_ < 1) block_ = 1;
+}
+
+ExchangeSchedule build_shift_exchange(const Geometry& geom,
+                                      const ShardLayout& layout,
+                                      std::size_t axis, std::int64_t delta) {
+  ExchangeSchedule sched;
+  sched.per_shard.resize(layout.shard_count());
+  // A shift along the innermost axes moves sources by a bounded flat
+  // offset, so only VPs within |offset| of a block edge can cross; scanning
+  // the whole range keeps the code shape simple and is a one-time cost per
+  // (geometry, axis, delta, shard count) thanks to the exchange cache.
+  for (VpIndex vp = 0; vp < geom.size(); ++vp) {
+    const auto src = geom.neighbor(vp, axis, delta);
+    if (!src || layout.same_shard(vp, *src)) continue;
+    sched.per_shard[layout.owner(vp)].push_back({vp, *src});
+  }
+  return sched;
+}
+
+}  // namespace uc::cm

@@ -1,0 +1,108 @@
+// Shard decomposition of the simulated CM (docs/SHARDING.md).
+//
+// A ShardLayout partitions a geometry's flat VP order into S contiguous
+// coordinate blocks, one per shard.  Each shard owns its block of every
+// field allocated in that geometry (the per-shard storage slice) and is
+// processed by one host worker per SIMD instruction, so shard-local work
+// never shares cache lines with another shard's writes.
+//
+// Cross-shard data motion is explicit: an op that needs a value owned by
+// another shard does not reach into the foreign block mid-pass.  Instead
+// the op is decomposed into an intra-shard pass plus an exchange phase
+// driven by an ExchangeSchedule — the list, per destination shard, of
+// (dst, src) lanes whose source lives in a foreign block.  The schedule is
+// built once per (geometry, axis, delta, shard count, layout epoch) and
+// cached in the machine's exchange PlanCache; executing it is
+// gather-then-commit in recorded (ascending dst) lane order, which is what
+// keeps sharded outputs bit-identical to the unsharded machine.
+//
+// Sharding is a *host execution* concept, like the thread pool: it never
+// changes what the modeled machine charges.  Outputs and modeled cycles
+// are bit-identical for any shard count; only host wall time and the
+// per-shard utilization counters (ShardStats) vary.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cm/geometry.hpp"
+
+namespace uc::cm {
+
+// Contiguous-block partition of the flat VP range [0, size) into S shards.
+// Blocks are ceil(size/S) wide; trailing shards may be empty when S exceeds
+// the VP count.  Cheap to construct (two divisions), so layouts are built
+// on demand rather than cached.
+class ShardLayout {
+ public:
+  ShardLayout(std::int64_t size, unsigned shards);
+
+  unsigned shard_count() const { return shards_; }
+  std::int64_t size() const { return size_; }
+  std::int64_t block() const { return block_; }
+
+  // The half-open flat-VP block owned by shard s (empty when begin==end).
+  std::int64_t begin(unsigned s) const {
+    const auto b = static_cast<std::int64_t>(s) * block_;
+    return b < size_ ? b : size_;
+  }
+  std::int64_t end(unsigned s) const {
+    const auto e = (static_cast<std::int64_t>(s) + 1) * block_;
+    return e < size_ ? e : size_;
+  }
+
+  // The shard owning a VP; vp must be in [0, size).
+  unsigned owner(VpIndex vp) const {
+    return static_cast<unsigned>(vp / block_);
+  }
+
+  // True when src lives in the same block as dst (no exchange needed).
+  bool same_shard(VpIndex a, VpIndex b) const {
+    return a / block_ == b / block_;
+  }
+
+ private:
+  std::int64_t size_ = 0;
+  std::int64_t block_ = 1;
+  unsigned shards_ = 1;
+};
+
+// A cross-shard exchange schedule: for each destination shard, the lanes
+// whose source VP is owned by a different shard, in ascending dst order.
+// Built once (and cached) for shift-style ops whose source function is
+// static; router ops with data-dependent addresses build a transient
+// schedule per instruction.
+struct ExchangeSchedule {
+  struct Lane {
+    VpIndex dst = 0;
+    VpIndex src = 0;
+  };
+  std::vector<std::vector<Lane>> per_shard;  // indexed by owner(dst)
+
+  std::uint64_t remote_lanes() const {
+    std::uint64_t n = 0;
+    for (const auto& v : per_shard) n += v.size();
+    return n;
+  }
+};
+
+// Builds the exchange schedule for a NEWS shift (dst[vp] = src[vp+delta
+// along axis]): every in-grid source that crosses a shard boundary.  The
+// schedule is mask-independent — activity is checked at execution time, so
+// one schedule serves every context the statement runs under.
+ExchangeSchedule build_shift_exchange(const Geometry& geom,
+                                      const ShardLayout& layout,
+                                      std::size_t axis, std::int64_t delta);
+
+// Host-side observability counters for one shard (docs/SHARDING.md).
+// Like the ThreadPool utilization counters these never affect results or
+// modeled cycles; each shard's slot is written only by the worker
+// processing that shard inside a fork-join region, so no synchronisation
+// is needed beyond the pool's own join.
+struct ShardStats {
+  std::uint64_t ops = 0;             // sharded instructions touching this shard
+  std::uint64_t intra_lanes = 0;     // lanes satisfied inside the block
+  std::uint64_t exchange_lanes = 0;  // lanes fed through an exchange phase
+};
+
+}  // namespace uc::cm

@@ -4,9 +4,46 @@
 
 namespace uc::cm {
 
+namespace {
+
+// Per-thread region state.  tls_in_region marks "this thread is currently
+// executing a chunk body"; tls_worker_id is the id that body runs under.
+// Nested regions consult both: they execute inline on the current thread
+// and keep reporting the outer worker id, so per-worker scratch (kernel
+// arenas) stays exclusive to one thread even across nesting.
+thread_local bool tls_in_region = false;
+thread_local unsigned tls_worker_id = 0;
+
+class RegionGuard {
+ public:
+  explicit RegionGuard(unsigned worker_id)
+      : prev_in_(tls_in_region), prev_id_(tls_worker_id) {
+    tls_in_region = true;
+    tls_worker_id = worker_id;
+  }
+  ~RegionGuard() {
+    tls_in_region = prev_in_;
+    tls_worker_id = prev_id_;
+  }
+  RegionGuard(const RegionGuard&) = delete;
+  RegionGuard& operator=(const RegionGuard&) = delete;
+
+ private:
+  bool prev_in_;
+  unsigned prev_id_;
+};
+
+}  // namespace
+
 ThreadPool::ThreadPool(unsigned thread_count) {
   if (thread_count == 0) {
-    thread_count = std::max(1u, std::thread::hardware_concurrency());
+    thread_count = std::thread::hardware_concurrency();
+    if (thread_count == 0) {
+      // hardware_concurrency() may legally return 0 ("not computable");
+      // fall back to a single-threaded pool rather than spawning a
+      // 0-worker pool with an empty counter table.
+      thread_count = 1;
+    }
   }
   // The calling thread participates in parallel_for (as worker 0), so
   // spawn one fewer; pool workers take ids 1..thread_count-1.
@@ -40,6 +77,14 @@ void ThreadPool::parallel_for_indexed(
     const std::function<void(unsigned, std::int64_t, std::int64_t)>& fn,
     std::int64_t min_grain) {
   if (begin >= end) return;
+  if (tls_in_region) {
+    // Nested region: the pool holds one job at a time, so posting from
+    // inside a chunk body would clobber the outer job and deadlock its
+    // join.  Run inline under the current worker id; counters are owned
+    // by the top-level issuing thread and are left alone.
+    fn(tls_worker_id, begin, end);
+    return;
+  }
   ++jobs_executed_;
   const std::int64_t n = end - begin;
   // Small-job fast path: below the cutoff the fork-join handshake costs
@@ -47,13 +92,48 @@ void ThreadPool::parallel_for_indexed(
   if (workers_.empty() || n <= std::max(min_grain, kInlineCutoff)) {
     ++inline_jobs_;
     ++chunks_per_worker_[0];
+    RegionGuard guard(0);
     fn(0, begin, end);
     return;
   }
   // Aim for a few chunks per worker so stragglers re-balance.
   const auto nthreads = static_cast<std::int64_t>(workers_.size()) + 1;
-  std::int64_t grain = std::max<std::int64_t>(min_grain, n / (nthreads * 4));
+  const std::int64_t grain =
+      std::max<std::int64_t>(min_grain, n / (nthreads * 4));
+  run_pooled(begin, end, fn, grain);
+}
 
+void ThreadPool::for_shards(
+    unsigned count, const std::function<void(unsigned, unsigned)>& fn) {
+  if (count == 0) return;
+  const std::function<void(unsigned, std::int64_t, std::int64_t)> body =
+      [&fn](unsigned worker, std::int64_t b, std::int64_t e) {
+        for (std::int64_t s = b; s < e; ++s) {
+          fn(worker, static_cast<unsigned>(s));
+        }
+      };
+  if (tls_in_region) {
+    body(tls_worker_id, 0, count);
+    return;
+  }
+  ++jobs_executed_;
+  if (workers_.empty() || count == 1) {
+    ++inline_jobs_;
+    ++chunks_per_worker_[0];
+    RegionGuard guard(0);
+    body(0, 0, count);
+    return;
+  }
+  // Grain 1: exactly one chunk per shard, deliberately skipping the
+  // kInlineCutoff — shard counts are tiny, but each shard's chunk covers
+  // a whole block of VPs and must land on its own worker.
+  run_pooled(0, count, body, /*grain=*/1);
+}
+
+void ThreadPool::run_pooled(
+    std::int64_t begin, std::int64_t end,
+    const std::function<void(unsigned, std::int64_t, std::int64_t)>& fn,
+    std::int64_t grain) {
   std::unique_lock<std::mutex> lock(mu_);
   job_.fn = &fn;
   job_.end = end;
@@ -61,6 +141,7 @@ void ThreadPool::parallel_for_indexed(
   job_.next = begin;
   job_.outstanding = 0;
   job_.error = nullptr;
+  job_.error_begin = 0;
   ++job_.epoch;
   lock.unlock();
   work_cv_.notify_all();
@@ -88,13 +169,21 @@ void ThreadPool::run_chunks(std::unique_lock<std::mutex>& lock,
     lock.unlock();
     std::exception_ptr error;
     try {
+      RegionGuard guard(worker_id);
       (*fn)(worker_id, chunk_begin, chunk_end);
     } catch (...) {
       error = std::current_exception();
     }
     lock.lock();
     ++chunks_per_worker_[worker_id];
-    if (error && !job_.error) job_.error = error;
+    // Keep the error from the lowest-indexed failing chunk, not the first
+    // to finish: chunk completion order is scheduling-dependent, and the
+    // rethrown error should be the same on every run (it is also what a
+    // serial left-to-right execution would have hit first).
+    if (error && (!job_.error || chunk_begin < job_.error_begin)) {
+      job_.error = error;
+      job_.error_begin = chunk_begin;
+    }
     --job_.outstanding;
     if (job_.next >= job_.end && job_.outstanding == 0) {
       done_cv_.notify_all();

@@ -12,7 +12,13 @@
 //   * with thread_count <= 1 the loop runs inline, which keeps the pool
 //     usable on single-core machines with zero overhead;
 //   * exceptions thrown by chunk bodies are captured and rethrown on the
-//     calling thread (first one wins).
+//     calling thread; when several chunks throw, the one covering the
+//     lowest range wins, so the reported error is deterministic for any
+//     chunk completion order;
+//   * nested use is safe: a region body that issues pool work (shard
+//     workers do, docs/SHARDING.md) runs the inner region inline on its
+//     own worker — the pool holds one job at a time, and an inner posting
+//     would otherwise clobber it and deadlock the outer join.
 #pragma once
 
 #include <condition_variable>
@@ -27,7 +33,9 @@ namespace uc::cm {
 
 class ThreadPool {
  public:
-  // thread_count == 0 means std::thread::hardware_concurrency().
+  // thread_count == 0 means "one per hardware thread"; when the platform
+  // cannot report its concurrency (hardware_concurrency() == 0 is a legal
+  // return) the pool falls back to a single thread explicitly.
   explicit ThreadPool(unsigned thread_count = 0);
   ~ThreadPool();
 
@@ -58,13 +66,25 @@ class ThreadPool {
       const std::function<void(unsigned, std::int64_t, std::int64_t)>& fn,
       std::int64_t min_grain = 1024);
 
+  // Shard dispatch (docs/SHARDING.md): calls fn(worker, shard) once per
+  // shard in [0, count), one chunk per shard so each shard's block is
+  // processed by exactly one worker per region (worker affinity without
+  // the inline cutoff folding all shards onto the caller).  `worker` is
+  // the executing worker id, usable for per-worker arenas exactly as in
+  // parallel_for_indexed.  Blocks until every shard completes.
+  void for_shards(unsigned count,
+                  const std::function<void(unsigned, unsigned)>& fn);
+
   // ---- Utilization counters (host-side observability, docs/PROFILING.md).
   // Counters only ever grow; they do not affect scheduling, results, or
   // modeled cycles.  Read them between parallel regions (the pool is
   // quiescent then, so no synchronisation is needed on the reader side).
+  // Nested (inline) regions are not counted: their chunks already execute
+  // inside an outer counted region, and the counters are written by the
+  // top-level issuing thread only.
 
-  // Number of parallel_for / parallel_for_indexed regions executed,
-  // including ones that ran inline on the calling thread.
+  // Number of parallel_for / parallel_for_indexed / for_shards regions
+  // executed, including ones that ran inline on the calling thread.
   std::uint64_t jobs_executed() const { return jobs_executed_; }
   // Of jobs_executed(): regions that ran inline without posting to the
   // workers (single-threaded pool, or at most max(min_grain, kInlineCutoff)
@@ -92,11 +112,19 @@ class ThreadPool {
     std::int64_t outstanding = 0; // chunks claimed but not finished
     std::uint64_t epoch = 0;
     std::exception_ptr error;
+    std::int64_t error_begin = 0; // chunk_begin of the captured error
   };
 
   void worker_loop(unsigned worker_id);
   // Claims and runs chunks of the current job until none remain.
   void run_chunks(std::unique_lock<std::mutex>& lock, unsigned worker_id);
+  // Posts [begin, end) with the given grain, participates, waits for the
+  // drain, and rethrows the winning error.  Caller has checked for nesting
+  // and the inline fast path.
+  void run_pooled(std::int64_t begin, std::int64_t end,
+                  const std::function<void(unsigned, std::int64_t,
+                                           std::int64_t)>& fn,
+                  std::int64_t grain);
 
   std::mutex mu_;
   std::condition_variable work_cv_;  // signalled when a job is posted / quit

@@ -93,6 +93,29 @@ std::unique_ptr<LaneSpace> Impl::expand(
 // Synchronous evaluation over lanes
 // ---------------------------------------------------------------------------
 
+std::vector<std::pair<std::int64_t, std::int64_t>> shard_lane_ranges(
+    const LaneSpace& space, const std::vector<std::int64_t>& active,
+    const cm::ShardLayout& layout) {
+  std::vector<std::pair<std::int64_t, std::int64_t>> ranges(
+      layout.shard_count());
+  const auto n = static_cast<std::int64_t>(active.size());
+  std::int64_t k = 0;
+  for (unsigned s = 0; s < layout.shard_count(); ++s) {
+    const std::int64_t lo = k;
+    // First position whose VP lies past shard s's block (VPs are monotone
+    // along the active list, see interp_detail.hpp).
+    const auto bound = layout.end(s);
+    k = std::lower_bound(active.begin() + lo, active.begin() + n, bound,
+                         [&space](std::int64_t lane, std::int64_t b) {
+                           return space.vps[static_cast<std::size_t>(lane)] <
+                                  b;
+                         }) -
+        active.begin();
+    ranges[s] = {lo, k};
+  }
+  return ranges;
+}
+
 std::vector<Value> Impl::eval_lanes(const Expr& expr, LaneSpace& space,
                                     const std::vector<std::int64_t>& active,
                                     Frame* frame, bool commit) {
@@ -138,35 +161,51 @@ std::vector<Value> Impl::eval_lanes(const Expr& expr, LaneSpace& space,
     std::vector<std::string> prints(static_cast<std::size_t>(n));
     std::vector<AccessStats> stats(static_cast<std::size_t>(n));
 
-    machine.pool().parallel_for(
-        0, n,
-        [&](std::int64_t b, std::int64_t e_) {
-          for (std::int64_t k = b; k < e_; ++k) {
-            EvalCtx ctx;
-            ctx.vm = this;
-            ctx.space = &space;
-            ctx.lane = active[static_cast<std::size_t>(k)];
-            ctx.frame = frame;
-            ctx.statement_frame = frame;
-            ctx.writes = &writes[static_cast<std::size_t>(k)];
-            ctx.stats = &stats[static_cast<std::size_t>(k)];
-            ctx.print_out = &prints[static_cast<std::size_t>(k)];
-            // Per-lane RNG seeded from the statement id captured above so
-            // all lanes of this statement share one instance id.
-            ctx.rng_seeded = false;
-            ctx.rng.seed(0);
-            // stmt_counter may move under recursion via eval (reductions do
-            // not call eval_lanes, so in practice it is stable); use the
-            // captured id for the seed.
-            const auto vp =
-                static_cast<std::uint64_t>(space.vps[ctx.lane]);
-            ctx.rng.seed(base_seed ^ (stmt_id * 0x9e3779b97f4a7c15ull) ^
-                         (vp + 0x5851f42d4c957f2dull));
-            ctx.rng_seeded = true;
-            results[static_cast<std::size_t>(k)] = eval(expr, ctx);
-          }
-        },
-        /*min_grain=*/64);
+    const auto run_range = [&](std::int64_t b, std::int64_t e_) {
+      for (std::int64_t k = b; k < e_; ++k) {
+        EvalCtx ctx;
+        ctx.vm = this;
+        ctx.space = &space;
+        ctx.lane = active[static_cast<std::size_t>(k)];
+        ctx.frame = frame;
+        ctx.statement_frame = frame;
+        ctx.writes = &writes[static_cast<std::size_t>(k)];
+        ctx.stats = &stats[static_cast<std::size_t>(k)];
+        ctx.print_out = &prints[static_cast<std::size_t>(k)];
+        // Per-lane RNG seeded from the statement id captured above so
+        // all lanes of this statement share one instance id.
+        ctx.rng_seeded = false;
+        ctx.rng.seed(0);
+        // stmt_counter may move under recursion via eval (reductions do
+        // not call eval_lanes, so in practice it is stable); use the
+        // captured id for the seed.
+        const auto vp =
+            static_cast<std::uint64_t>(space.vps[ctx.lane]);
+        ctx.rng.seed(base_seed ^ (stmt_id * 0x9e3779b97f4a7c15ull) ^
+                     (vp + 0x5851f42d4c957f2dull));
+        ctx.rng_seeded = true;
+        results[static_cast<std::size_t>(k)] = eval(expr, ctx);
+      }
+    };
+    const unsigned shards = machine.shard_count();
+    if (shards > 1 && n > cm::ThreadPool::kInlineCutoff) {
+      // Sharded dispatch (docs/SHARDING.md): each shard's contiguous
+      // slice of the active list goes to exactly one worker.  Per-lane
+      // results/writes/stats land in lane-indexed slots either way, so
+      // the commit below is dispatch-order independent.
+      const cm::ShardLayout layout(space.geom_size, shards);
+      const auto ranges = shard_lane_ranges(space, active, layout);
+      auto& sstats = machine.shard_stats();
+      machine.pool().for_shards(shards, [&](unsigned, unsigned s) {
+        const auto [b, e_] = ranges[s];
+        if (b >= e_) return;
+        run_range(b, e_);
+        sstats[s].ops += 1;
+        sstats[s].intra_lanes += static_cast<std::uint64_t>(e_ - b);
+      });
+    } else {
+      machine.pool().parallel_for(0, n, run_range, /*min_grain=*/64);
+    }
 
     // Merge dynamic comm stats and charge them on the issuing thread.
     AccessStats total;

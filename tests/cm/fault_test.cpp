@@ -69,6 +69,43 @@ TEST(FaultSpec, RejectsMalformedSpecs) {
   expect_bad("router:p=0.1,", "empty parameter");
 }
 
+TEST(FaultSpec, RejectsOutOfRangeNumbers) {
+  // Probabilities outside [0,1] in every representation, including values
+  // that overflow a double (strtod sets ERANGE).
+  expect_bad("router:p=1.0000001", "outside [0,1]");
+  expect_bad("router:p=100e100", "outside [0,1]");
+  expect_bad("router:p=1e999", "not a probability");   // ERANGE overflow
+  expect_bad("router:p=1e-999", "not a probability");  // ERANGE underflow
+  expect_bad("router:p=nan", "not a probability");
+  // ±inf parse cleanly and fall outside [0,1], so the range check trips.
+  expect_bad("router:p=inf", "outside [0,1]");
+  expect_bad("router:p=-inf", "outside [0,1]");
+  // Counts that overflow uint64 (strtoull sets ERANGE) or go negative.
+  expect_bad("seed=99999999999999999999", "non-negative integer");
+  expect_bad("retries=-1", "non-negative integer");
+  expect_bad("backoff=18446744073709551616", "non-negative integer");
+  expect_bad("detect=1e3", "non-negative integer");
+}
+
+TEST(FaultSpec, RejectsDuplicateEntries) {
+  // Duplicates are rejected rather than last-writer-wins: a spec with two
+  // clauses for one kind almost certainly means the user edited one and
+  // forgot the other, and silently keeping either changes the schedule.
+  expect_bad("router:p=0.1;router:p=0", "duplicate clause");
+  expect_bad("scan:p=0.1;reduce:p=0.2", "duplicate clause");   // aliases
+  expect_bad("memory:p=0.1;field:p=0.2", "duplicate clause");  // aliases
+  expect_bad("router:p=0.1,p=0.2", "duplicate p=");
+  expect_bad("router:p=0.1,seed=1;news:p=0.2,seed=2", "duplicate key 'seed'");
+  expect_bad("router:retries=1,retries=2", "duplicate key 'retries'");
+  expect_bad("news:p=0.5,backoff=4,backoff=8", "duplicate key 'backoff'");
+  expect_bad("router:p=1,detect=1;detect=2", "duplicate key 'detect'");
+  // Distinct kinds and one of each global stay legal.
+  const FaultSpec ok = parse_fault_spec(
+      "router:p=0.1;news:p=0.2;scan:p=0.3;field:p=0.4,seed=9,retries=1");
+  EXPECT_DOUBLE_EQ(ok.reduce_p, 0.3);
+  EXPECT_DOUBLE_EQ(ok.memory_p, 0.4);
+}
+
 // ---- injector determinism ----
 
 TEST(FaultInjector, SameSeedSameSchedule) {

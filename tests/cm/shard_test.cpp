@@ -1,0 +1,426 @@
+// Shard decomposition (docs/SHARDING.md): block layout arithmetic, the
+// NEWS exchange-schedule builder, the machine-level shard knobs, and the
+// ThreadPool's sharded/nested dispatch paths the decompositions rely on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "cm/machine.hpp"
+#include "cm/ops.hpp"
+#include "cm/plan_cache.hpp"
+#include "cm/shard.hpp"
+#include "cm/thread_pool.hpp"
+#include "support/error.hpp"
+
+namespace uc::cm {
+namespace {
+
+// ---- ShardLayout ----
+
+TEST(ShardLayout, BlocksAreCeilDivision) {
+  const ShardLayout l(10, 4);  // block = ceil(10/4) = 3
+  EXPECT_EQ(l.block(), 3);
+  EXPECT_EQ(l.begin(0), 0);
+  EXPECT_EQ(l.end(0), 3);
+  EXPECT_EQ(l.begin(3), 9);
+  EXPECT_EQ(l.end(3), 10);  // clamped: last block holds only one VP
+}
+
+TEST(ShardLayout, BlocksPartitionTheRange) {
+  for (const std::int64_t size : {0, 1, 5, 7, 16, 100, 101}) {
+    for (const unsigned shards : {1u, 2u, 3u, 4u, 7u, 128u}) {
+      const ShardLayout l(size, shards);
+      std::int64_t covered = 0;
+      for (unsigned s = 0; s < shards; ++s) {
+        ASSERT_LE(l.begin(s), l.end(s));
+        if (s > 0) {
+          ASSERT_EQ(l.begin(s), l.end(s - 1));  // gap-free
+        }
+        covered += l.end(s) - l.begin(s);
+        for (auto vp = l.begin(s); vp < l.end(s); ++vp) {
+          ASSERT_EQ(l.owner(vp), s) << "size=" << size << " shards=" << shards;
+        }
+      }
+      ASSERT_EQ(covered, size) << "size=" << size << " shards=" << shards;
+    }
+  }
+}
+
+TEST(ShardLayout, TrailingShardsMayBeEmpty) {
+  const ShardLayout l(3, 8);  // block = 1; shards 3..7 own nothing
+  for (unsigned s = 3; s < 8; ++s) {
+    EXPECT_EQ(l.begin(s), l.end(s)) << "shard " << s;
+  }
+}
+
+TEST(ShardLayout, SameShardMatchesOwner) {
+  const ShardLayout l(100, 7);
+  EXPECT_TRUE(l.same_shard(0, l.block() - 1));
+  EXPECT_FALSE(l.same_shard(l.block() - 1, l.block()));
+  for (VpIndex a : {0, 14, 15, 42, 99}) {
+    for (VpIndex b : {0, 14, 15, 42, 99}) {
+      EXPECT_EQ(l.same_shard(a, b), l.owner(a) == l.owner(b));
+    }
+  }
+}
+
+TEST(ShardLayout, RejectsNegativeSize) {
+  EXPECT_THROW(ShardLayout(-1, 2), support::ApiError);
+}
+
+// ---- build_shift_exchange ----
+
+TEST(ShiftExchange, OneDimShiftCrossesEachBoundaryOnce) {
+  const Geometry geom({16});
+  const ShardLayout layout(16, 4);  // blocks of 4
+  // dst[vp] = src[vp + 1]: lanes 3, 7, 11 read across a boundary (lane 15
+  // has no in-grid source).
+  const ExchangeSchedule sched = build_shift_exchange(geom, layout, 0, 1);
+  EXPECT_EQ(sched.remote_lanes(), 3u);
+  ASSERT_EQ(sched.per_shard.size(), 4u);
+  for (unsigned s = 0; s < 3; ++s) {
+    ASSERT_EQ(sched.per_shard[s].size(), 1u) << "shard " << s;
+    const auto lane = sched.per_shard[s][0];
+    EXPECT_EQ(lane.dst, static_cast<VpIndex>(4 * s + 3));
+    EXPECT_EQ(lane.src, lane.dst + 1);
+    EXPECT_EQ(layout.owner(lane.dst), s);
+    EXPECT_FALSE(layout.same_shard(lane.dst, lane.src));
+  }
+  EXPECT_TRUE(sched.per_shard[3].empty());
+}
+
+TEST(ShiftExchange, LanesAreAscendingPerShard) {
+  // 2-D shift along the column axis: every row's lane crosses, so each
+  // shard gets several lanes and their recorded order must be ascending —
+  // the execution commit loop relies on it for deterministic replay.
+  const Geometry geom({8, 8});
+  const ShardLayout layout(64, 4);
+  const ExchangeSchedule sched = build_shift_exchange(geom, layout, 0, -1);
+  EXPECT_GT(sched.remote_lanes(), 0u);
+  for (unsigned s = 0; s < 4; ++s) {
+    const auto& lanes = sched.per_shard[s];
+    for (std::size_t i = 0; i + 1 < lanes.size(); ++i) {
+      ASSERT_LT(lanes[i].dst, lanes[i + 1].dst);
+    }
+    for (const auto& lane : lanes) {
+      ASSERT_EQ(layout.owner(lane.dst), s);
+      ASSERT_FALSE(layout.same_shard(lane.dst, lane.src));
+      const auto back = geom.neighbor(lane.dst, 0, -1);
+      ASSERT_TRUE(back.has_value());
+      ASSERT_EQ(*back, lane.src);
+    }
+  }
+}
+
+TEST(ShiftExchange, SingleShardNeedsNoExchange) {
+  const Geometry geom({32});
+  const ExchangeSchedule sched =
+      build_shift_exchange(geom, ShardLayout(32, 1), 0, 1);
+  EXPECT_EQ(sched.remote_lanes(), 0u);
+}
+
+// ---- machine-level knobs ----
+
+TEST(MachineShards, ShardCountClampsAndDefaults) {
+  EXPECT_EQ(Machine().shard_count(), 1u);
+  MachineOptions opts;
+  opts.shards = 4;
+  EXPECT_EQ(Machine(opts).shard_count(), 4u);
+  // 0 = one shard per host thread.
+  opts.host_threads = 3;
+  opts.shards = 0;
+  EXPECT_EQ(Machine(opts).shard_count(), 3u);
+}
+
+TEST(MachineShards, LayoutEpochAdvancesExchangeKeys) {
+  MachineOptions opts;
+  opts.shards = 2;
+  Machine m(opts);
+  const auto e0 = m.layout_epoch();
+  m.note_layout_change();
+  EXPECT_EQ(m.layout_epoch(), e0 + 1);
+}
+
+TEST(MachineShards, ExchangeCacheHitsAndEviction) {
+  MachineOptions opts;
+  opts.shards = 2;
+  Machine m(opts);
+  PlanCache& cache = m.exchange_cache();
+  EXPECT_EQ(cache.find_exchange(42), nullptr);
+
+  ExchangeSchedule sched;
+  sched.per_shard.resize(2);
+  sched.per_shard[1].push_back({8, 7});
+  const ExchangeSchedule& stored = cache.insert_exchange(42, std::move(sched));
+  EXPECT_EQ(stored.remote_lanes(), 1u);
+  ASSERT_NE(cache.find_exchange(42), nullptr);
+  EXPECT_EQ(cache.find_exchange(42), &stored);  // stable across rehash
+  EXPECT_EQ(cache.exchange_hits(), 2u);
+  EXPECT_EQ(cache.exchange_size(), 1u);
+
+  cache.clear();
+  EXPECT_EQ(cache.find_exchange(42), nullptr);
+  EXPECT_EQ(cache.exchange_size(), 0u);
+}
+
+TEST(MachineShards, ShardStatsResetAndSize) {
+  MachineOptions opts;
+  opts.shards = 3;
+  Machine m(opts);
+  ASSERT_EQ(m.shard_stats().size(), 3u);
+  m.shard_stats()[1].ops = 5;
+  m.reset_shard_stats();
+  EXPECT_EQ(m.shard_stats()[1].ops, 0u);
+}
+
+// ---- ThreadPool sharded dispatch ----
+
+TEST(PoolShards, ForShardsRunsEachShardExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr unsigned kShards = 7;
+  std::vector<std::atomic<int>> hits(kShards);
+  pool.for_shards(kShards, [&](unsigned worker, unsigned shard) {
+    ASSERT_LT(worker, pool.thread_count());
+    hits[shard].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (unsigned s = 0; s < kShards; ++s) {
+    EXPECT_EQ(hits[s].load(), 1) << "shard " << s;
+  }
+}
+
+TEST(PoolShards, ForShardsPostsOneChunkPerShard) {
+  // Each shard must be its own pool chunk — for_shards deliberately
+  // bypasses the inline cutoff so a shard's whole block can land on its
+  // own worker.  (Which worker picks up which chunk is OS scheduling and
+  // not asserted; on a single-core host the caller may drain them all.)
+  ThreadPool pool(4);
+  const std::uint64_t jobs0 = pool.jobs_executed();
+  const std::uint64_t inline0 = pool.inline_jobs();
+  const std::uint64_t chunks0 = pool.total_chunks();
+  pool.for_shards(4, [](unsigned, unsigned) {});
+  EXPECT_EQ(pool.jobs_executed(), jobs0 + 1);
+  EXPECT_EQ(pool.inline_jobs(), inline0);  // posted, not inline
+  EXPECT_EQ(pool.total_chunks(), chunks0 + 4);
+}
+
+TEST(PoolShards, NestedParallelForRunsInline) {
+  // Ops sharded via for_shards may internally call helpers that use
+  // parallel_for; the pool holds a single job slot, so the nested region
+  // must run inline on the calling worker instead of re-entering the pool.
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(4 * 1000);
+  pool.for_shards(4, [&](unsigned, unsigned shard) {
+    pool.parallel_for(
+        shard * 1000, (shard + 1) * 1000,
+        [&](std::int64_t b, std::int64_t e) {
+          for (auto i = b; i < e; ++i) {
+            hits[static_cast<std::size_t>(i)].fetch_add(
+                1, std::memory_order_relaxed);
+          }
+        },
+        /*min_grain=*/8);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(PoolShards, ForShardsPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.for_shards(4,
+                               [&](unsigned, unsigned shard) {
+                                 if (shard == 2) throw std::runtime_error("x");
+                               }),
+               std::runtime_error);
+  // Pool is still usable afterwards.
+  std::atomic<int> ok{0};
+  pool.for_shards(3, [&](unsigned, unsigned) { ok++; });
+  EXPECT_EQ(ok.load(), 3);
+}
+
+TEST(PoolShards, ErrorFromLowestRangeWins) {
+  // When several chunks throw, the rethrown error must be the one the
+  // serial left-to-right execution would have hit first — not whichever
+  // worker finished first (scheduling-dependent).
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.parallel_for_indexed(
+          0, 4000,
+          [&](unsigned, std::int64_t b, std::int64_t) {
+            throw std::runtime_error("chunk@" + std::to_string(b));
+          },
+          /*min_grain=*/100);
+      FAIL() << "expected a throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "chunk@0");
+    }
+  }
+}
+
+// ---- sharded cm::ops differential ----
+//
+// The vector primitives in src/cm/ops.cpp take the sharded decomposition
+// whenever the machine has more than one shard.  Run one mixed scenario —
+// masked/aliased NEWS shifts, router gathers, every shard-exact reduction
+// and scan, broadcasts — on machines differing only in shard count, and
+// require every field word, every front-end scalar, and every cost counter
+// to match the unsharded machine bitwise.
+
+struct OpsScenarioResult {
+  std::vector<Bits> words;    // all field contents, concatenated
+  std::vector<Bits> scalars;  // reduce results + global_or
+  CostStats stats;
+};
+
+OpsScenarioResult run_ops_scenario(unsigned shards) {
+  MachineOptions opts;
+  opts.host_threads = 4;
+  opts.shards = shards;
+  Machine m(opts);
+  const GeomId g = m.create_geometry({18, 17});  // 306 VPs, odd blocks
+  const Geometry& geom = m.geometry(g);
+  const std::int64_t n = geom.size();
+  ContextStack ctx(&geom);
+  Field& a = m.field(m.allocate_field(g, "a", ElemType::kInt));
+  Field& b = m.field(m.allocate_field(g, "b", ElemType::kInt));
+  Field& x = m.field(m.allocate_field(g, "x", ElemType::kFloat));
+  Field& y = m.field(m.allocate_field(g, "y", ElemType::kFloat));
+
+  elementwise(m, ctx, b, [](VpIndex vp) { return from_int(vp * 7 - 3); });
+  elementwise(m, ctx, x,
+              [](VpIndex vp) { return from_float(vp * 0.5 - 3.25); });
+  a.fill(from_int(-1));
+  y.fill(from_float(0.0));
+
+  OpsScenarioResult r;
+  // NEWS shifts along both axes, masked, aliased in place, |delta| > 1;
+  // two rounds so the second replays the cached exchange schedules.
+  for (int round = 0; round < 2; ++round) {
+    news_shift(m, ctx, a, b, 0, 1);
+    ctx.where([](VpIndex vp) { return vp % 3 != 0; });
+    news_shift(m, ctx, a, b, 1, -1);
+    ctx.end();
+    news_shift(m, ctx, a, a, 1, 2);   // dst aliases src
+    news_shift(m, ctx, y, x, 0, -3);  // float payloads, multi-hop
+  }
+  // Router gathers: full reversal (every lane crosses a boundary at
+  // shards>1) and a masked sparse pattern with skipped lanes.
+  router_get(m, ctx, a, b,
+             [n](VpIndex vp) -> std::optional<VpIndex> { return n - 1 - vp; });
+  ctx.where([](VpIndex vp) { return vp % 5 == 1; });
+  router_get(m, ctx, y, x, [n](VpIndex vp) -> std::optional<VpIndex> {
+    if (vp % 2 == 0) return std::nullopt;
+    return (vp * 13) % n;
+  });
+  ctx.end();
+  // Every shard-exact reduction, the non-exact float add (which must take
+  // the serial path and still match), a masked subset, and an empty set.
+  for (const ReduceOp op : {ReduceOp::kAdd, ReduceOp::kMul, ReduceOp::kMin,
+                            ReduceOp::kMax, ReduceOp::kAnd, ReduceOp::kOr,
+                            ReduceOp::kXor}) {
+    r.scalars.push_back(reduce(m, ctx, b, op));
+  }
+  for (const ReduceOp op : {ReduceOp::kAdd, ReduceOp::kMin, ReduceOp::kMax}) {
+    r.scalars.push_back(reduce(m, ctx, x, op));
+  }
+  ctx.where([](VpIndex vp) { return vp % 4 == 2; });
+  r.scalars.push_back(reduce(m, ctx, b, ReduceOp::kAdd));
+  ctx.end();
+  ctx.where([](VpIndex) { return false; });
+  r.scalars.push_back(reduce(m, ctx, b, ReduceOp::kMin));  // identity
+  ctx.end();
+  // Scans: full and masked, int and float, including the 3-phase sharded
+  // decomposition's apply step on trailing shards.
+  scan(m, ctx, a, b, ReduceOp::kAdd);
+  scan(m, ctx, y, x, ReduceOp::kMax);
+  ctx.where([](VpIndex vp) { return vp % 2 == 1; });
+  scan(m, ctx, a, b, ReduceOp::kMin);
+  ctx.end();
+  // Broadcast + global-OR under a mask.
+  ctx.where([](VpIndex vp) { return vp % 7 == 3; });
+  broadcast(m, ctx, a, from_int(4242));
+  r.scalars.push_back(from_int(global_or(m, ctx) ? 1 : 0));
+  ctx.end();
+
+  for (const Field* f : {&a, &b, &x, &y}) {
+    for (VpIndex vp = 0; vp < n; ++vp) r.words.push_back(f->get(vp));
+  }
+  r.stats = m.stats();
+  return r;
+}
+
+TEST(ShardedOps, BitIdenticalAcrossShardCounts) {
+  const OpsScenarioResult base = run_ops_scenario(1);
+  for (const unsigned shards : {2u, 4u, 7u}) {
+    const OpsScenarioResult got = run_ops_scenario(shards);
+    ASSERT_EQ(base.words.size(), got.words.size());
+    for (std::size_t i = 0; i < base.words.size(); ++i) {
+      ASSERT_EQ(base.words[i], got.words[i])
+          << "field word " << i << " at shards=" << shards;
+    }
+    ASSERT_EQ(base.scalars.size(), got.scalars.size());
+    for (std::size_t i = 0; i < base.scalars.size(); ++i) {
+      ASSERT_EQ(base.scalars[i], got.scalars[i])
+          << "scalar " << i << " at shards=" << shards;
+    }
+    EXPECT_TRUE(base.stats == got.stats) << "stats at shards=" << shards;
+  }
+}
+
+TEST(ShardedOps, RepeatedShiftHitsExchangeCache) {
+  MachineOptions opts;
+  opts.host_threads = 2;
+  opts.shards = 4;
+  Machine m(opts);
+  const GeomId g = m.create_geometry({64});
+  ContextStack ctx(&m.geometry(g));
+  Field& a = m.field(m.allocate_field(g, "a", ElemType::kInt));
+  Field& b = m.field(m.allocate_field(g, "b", ElemType::kInt));
+  b.fill(from_int(9));
+  news_shift(m, ctx, a, b, 0, 1);  // builds + caches the schedule
+  EXPECT_EQ(m.exchange_cache().exchange_size(), 1u);
+  const auto hits0 = m.exchange_cache().exchange_hits();
+  news_shift(m, ctx, a, b, 0, 1);  // replays it
+  EXPECT_EQ(m.exchange_cache().exchange_size(), 1u);
+  EXPECT_GT(m.exchange_cache().exchange_hits(), hits0);
+  // A layout change retires the old key; the next shift rebuilds.
+  m.note_layout_change();
+  news_shift(m, ctx, a, b, 0, 1);
+  EXPECT_EQ(m.exchange_cache().exchange_size(), 2u);
+}
+
+TEST(ShardedOps, ShardStatsSeeExchangeTraffic) {
+  MachineOptions opts;
+  opts.host_threads = 2;
+  opts.shards = 4;
+  Machine m(opts);
+  const GeomId g = m.create_geometry({64});
+  ContextStack ctx(&m.geometry(g));
+  Field& a = m.field(m.allocate_field(g, "a", ElemType::kInt));
+  Field& b = m.field(m.allocate_field(g, "b", ElemType::kInt));
+  b.fill(from_int(1));
+  news_shift(m, ctx, a, b, 0, 1);
+  std::uint64_t intra = 0, exchange = 0;
+  for (const auto& s : m.shard_stats()) {
+    intra += s.intra_lanes;
+    exchange += s.exchange_lanes;
+  }
+  EXPECT_GT(intra, 0u);
+  EXPECT_GT(exchange, 0u);  // shard-boundary lanes went through gather
+}
+
+TEST(PoolShards, ZeroThreadCountFallsBackToHardware) {
+  // thread_count==0 means "ask the OS"; even when hardware_concurrency()
+  // itself returns 0 the pool must come up with at least one thread.
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+  std::atomic<int> n{0};
+  pool.for_shards(2, [&](unsigned, unsigned) { n++; });
+  EXPECT_EQ(n.load(), 2);
+}
+
+}  // namespace
+}  // namespace uc::cm

@@ -1,0 +1,235 @@
+// Sharded-execution differential suite (docs/SHARDING.md): splitting the
+// VP set across shards is a host-only knob, so for every shard count the
+// output text, every named global array, and every cost-model counter —
+// including modeled cycles — must be bit-identical to the unsharded
+// (--shards=1) machine, in both execution engines, fused or not, and with
+// fault injection + checkpointing enabled.
+//
+// Shard counts cover the interesting partitions: 2 (one boundary), 4
+// (typical), and 7 (odd count that leaves a short trailing block and, on
+// small geometries, empty trailing shards).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cm/fault.hpp"
+#include "uc/paper_programs.hpp"
+#include "ucvm/interp.hpp"
+
+namespace uc::vm {
+namespace {
+
+constexpr unsigned kShardCounts[] = {2, 4, 7};
+
+struct Config {
+  ExecEngine engine = ExecEngine::kWalk;
+  bool fuse = false;
+  const char* faults = nullptr;      // fault spec, nullptr = off
+  std::uint64_t checkpoint_every = 0;
+};
+
+RunResult run_sharded(const std::string& src, unsigned shards,
+                      const Config& cfg) {
+  cm::MachineOptions mopts;
+  mopts.host_threads = 4;
+  mopts.shards = shards;
+  if (cfg.faults != nullptr) mopts.faults = cm::parse_fault_spec(cfg.faults);
+  ExecOptions eopts;
+  eopts.engine = cfg.engine;
+  eopts.fuse = cfg.fuse;
+  eopts.checkpoint_every = cfg.checkpoint_every;
+  return run_uc(src, mopts, eopts);
+}
+
+// Field-by-field so a divergence pinpoints which counter broke; covers the
+// robustness and plan-cache counters too — a sharded run that drew a
+// different fault schedule or missed a cached plan is a real bug even when
+// the output happens to match.
+void expect_stats_equal(const cm::CostStats& a, const cm::CostStats& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.cycles, b.cycles) << label;
+  EXPECT_EQ(a.vector_ops, b.vector_ops) << label;
+  EXPECT_EQ(a.news_ops, b.news_ops) << label;
+  EXPECT_EQ(a.router_ops, b.router_ops) << label;
+  EXPECT_EQ(a.router_messages, b.router_messages) << label;
+  EXPECT_EQ(a.reductions, b.reductions) << label;
+  EXPECT_EQ(a.global_ors, b.global_ors) << label;
+  EXPECT_EQ(a.broadcasts, b.broadcasts) << label;
+  EXPECT_EQ(a.frontend_ops, b.frontend_ops) << label;
+  EXPECT_EQ(a.faults, b.faults) << label;
+  EXPECT_EQ(a.retries, b.retries) << label;
+  EXPECT_EQ(a.rollbacks, b.rollbacks) << label;
+  EXPECT_EQ(a.checkpoints, b.checkpoints) << label;
+  EXPECT_EQ(a.plan_hits, b.plan_hits) << label;
+}
+
+void expect_shard_parity(const std::string& src, const Config& cfg,
+                         const std::vector<std::string>& globals = {}) {
+  const RunResult base = run_sharded(src, 1, cfg);
+  for (const unsigned shards : kShardCounts) {
+    const std::string label = "shards=" + std::to_string(shards);
+    const RunResult sharded = run_sharded(src, shards, cfg);
+    EXPECT_EQ(base.output(), sharded.output()) << label;
+    expect_stats_equal(base.stats(), sharded.stats(), label);
+    for (const auto& name : globals) {
+      const auto want = base.global_array(name);
+      const auto got = sharded.global_array(name);
+      ASSERT_EQ(want.size(), got.size()) << label << " " << name;
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_TRUE(want[i] == got[i])
+            << label << " " << name << "[" << i << "]";
+      }
+    }
+  }
+}
+
+// Every engine configuration a user can select.
+const Config kWalk{ExecEngine::kWalk, false, nullptr, 0};
+const Config kBytecode{ExecEngine::kBytecode, false, nullptr, 0};
+const Config kFused{ExecEngine::kBytecode, true, nullptr, 0};
+
+// ---- clean runs, full paper corpus ----
+
+TEST(ShardParity, Fig6ShortestPathOn2) {
+  const auto src = papers::shortest_path_on2(12);
+  expect_shard_parity(src, kWalk, {"d"});
+  expect_shard_parity(src, kBytecode, {"d"});
+  expect_shard_parity(src, kFused, {"d"});
+}
+
+TEST(ShardParity, Fig7ShortestPathOn3) {
+  const auto src = papers::shortest_path_on3(10);
+  expect_shard_parity(src, kWalk, {"d"});
+  expect_shard_parity(src, kFused, {"d"});
+}
+
+TEST(ShardParity, Fig8GridObstacle) {
+  const auto src = papers::grid_shortest_path(10, 10, true);
+  expect_shard_parity(src, kWalk, {"d"});
+  expect_shard_parity(src, kBytecode, {"d"});
+  expect_shard_parity(src, kFused, {"d"});
+}
+
+TEST(ShardParity, StarSolveShortestPath) {
+  // *solve runs through the walk fallback inside the bytecode engine.
+  const auto src = papers::shortest_path_star_solve(10);
+  expect_shard_parity(src, kWalk, {"d"});
+  expect_shard_parity(src, kFused, {"d"});
+}
+
+TEST(ShardParity, PrefixSums) {
+  // Scans: the 3-phase sharded scan must match the serial scan bitwise.
+  expect_shard_parity(papers::prefix_sums_star_par(300), kWalk, {"a"});
+  expect_shard_parity(papers::prefix_sums_star_par(300), kFused, {"a"});
+  expect_shard_parity(papers::prefix_sums_seq_par(64), kFused, {"a"});
+}
+
+TEST(ShardParity, Ranksort) {
+  // Router-heavy: data-dependent addresses build transient exchange
+  // schedules every instruction.
+  const auto src = papers::ranksort(48);
+  expect_shard_parity(src, kWalk);
+  expect_shard_parity(src, kFused);
+}
+
+TEST(ShardParity, OddEvenSort) {
+  const auto src = papers::odd_even_sort(40);
+  expect_shard_parity(src, kWalk);
+  expect_shard_parity(src, kFused);
+}
+
+TEST(ShardParity, Wavefront) {
+  const auto src = papers::wavefront(10);
+  expect_shard_parity(src, kWalk);
+  expect_shard_parity(src, kFused);
+}
+
+TEST(ShardParity, Histogram) {
+  const auto src = papers::histogram(400);
+  expect_shard_parity(src, kWalk);
+  expect_shard_parity(src, kFused);
+}
+
+TEST(ShardParity, ShiftedSumWithMapSection) {
+  // The map section remaps the layout mid-run, bumping the layout epoch;
+  // cached exchange schedules from the old layout must not replay.
+  expect_shard_parity(papers::shifted_sum(320, 3, true), kWalk, {"a"});
+  expect_shard_parity(papers::shifted_sum(320, 3, true), kFused, {"a"});
+  expect_shard_parity(papers::shifted_sum(320, 3, false), kFused, {"a"});
+}
+
+TEST(ShardParity, ReversalWithMapSection) {
+  expect_shard_parity(papers::reversal(300, 2, true), kFused, {"a"});
+}
+
+// ---- under fault injection and checkpointing ----
+
+// Hits every protected instruction class; figure-sized workloads draw a
+// healthy number of faults at these rates (see fault_recovery_test.cpp).
+constexpr const char* kFaultSpec =
+    "router:p=2e-4;news:p=2e-4;reduce:p=2e-4;memory:p=1e-3,"
+    "seed=7,retries=2,backoff=32,detect=16";
+
+TEST(ShardParity, Fig6UnderFaultsAndCheckpoints) {
+  const auto src = papers::shortest_path_on2(8);
+  for (const auto engine : {ExecEngine::kWalk, ExecEngine::kBytecode}) {
+    const Config cfg{engine, engine == ExecEngine::kBytecode, kFaultSpec, 8};
+    const RunResult base = run_sharded(src, 1, cfg);
+    ASSERT_GT(base.stats().faults, 0u)
+        << "workload drew no faults; raise p so the test means something";
+    ASSERT_GT(base.stats().checkpoints, 0u);
+    expect_shard_parity(src, cfg, {"d"});
+  }
+}
+
+TEST(ShardParity, Fig8UnderFaultsAndCheckpoints) {
+  const auto src = papers::grid_shortest_path(8, 8, true);
+  const Config cfg{ExecEngine::kBytecode, true, kFaultSpec, 8};
+  const RunResult base = run_sharded(src, 1, cfg);
+  ASSERT_GT(base.stats().faults, 0u);
+  expect_shard_parity(src, cfg, {"d"});
+}
+
+TEST(ShardParity, RanksortUnderFaults) {
+  // Router retries re-issue the transient exchange build; the replay must
+  // stay deterministic across shard counts.
+  const auto src = papers::ranksort(32);
+  expect_shard_parity(src, Config{ExecEngine::kWalk, false, kFaultSpec, 8});
+  expect_shard_parity(src,
+                      Config{ExecEngine::kBytecode, true, kFaultSpec, 8});
+}
+
+// ---- faults + checkpoint + plan cache differential ----
+
+// Locks in the checkpoint/epoch ordering fix: a rollback restores VM state
+// recorded *before* a map-section remap, so any plan or exchange schedule
+// recorded under the later layout epoch must not replay after the restore.
+// Before the fix, restore rewound the plan epoch to the captured value,
+// colliding with recipes recorded pre-capture under the same epoch number.
+TEST(ShardParity, MapRemapUnderFaultsMatchesCleanRun) {
+  const auto src = papers::shifted_sum(256, 4, true);
+  for (const unsigned shards : {1u, 2u, 4u}) {
+    const std::string label = "shards=" + std::to_string(shards);
+    const RunResult clean =
+        run_sharded(src, shards, Config{ExecEngine::kBytecode, true, nullptr, 0});
+    const Config faulty{ExecEngine::kBytecode, true,
+                        "memory:p=2e-3;news:p=5e-4,seed=11,retries=1", 4};
+    const RunResult faulted = run_sharded(src, shards, faulty);
+    EXPECT_GT(faulted.stats().checkpoints, 0u) << label;
+    EXPECT_EQ(clean.output(), faulted.output()) << label;
+    const auto want = clean.global_array("a");
+    const auto got = faulted.global_array("a");
+    ASSERT_EQ(want.size(), got.size()) << label;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_TRUE(want[i] == got[i]) << label << " a[" << i << "]";
+    }
+    // Deterministic: the same faulted run replays bit-identically.
+    const RunResult again = run_sharded(src, shards, faulty);
+    EXPECT_EQ(faulted.output(), again.output()) << label;
+    expect_stats_equal(faulted.stats(), again.stats(), label + " replay");
+  }
+}
+
+}  // namespace
+}  // namespace uc::vm

@@ -5,8 +5,9 @@
 #   tools/bench.sh --smoke    small sizes (CI), same JSON format
 #
 # The JSON is an array of {program, engine, host_ms, cycles} rows — walk,
-# bytecode (fusion off), bytecode-fused, and the profiling/robustness
-# variants, one of each per workload (see docs/VM.md).
+# bytecode (fusion off), bytecode-fused, the profiling/robustness
+# variants, and the bytecode-shard1/2/4 scaling rows (docs/SHARDING.md),
+# one of each per workload (see docs/VM.md).
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification, plain and under ASan/UBSan.
+# Tier-1 verification, plain and under ASan/UBSan/TSan.
 #
-#   tools/ci.sh          both configurations + Release bench smoke
+#   tools/ci.sh          all configurations + Release bench smoke
 #   tools/ci.sh plain    plain RelWithDebInfo build + ctest only
-#   tools/ci.sh asan     sanitized build + ctest only
+#   tools/ci.sh asan     ASan/UBSan build + ctest only
+#   tools/ci.sh tsan     ThreadSanitizer build + concurrency suites
 #   tools/ci.sh bench    Release build + vm_engine --smoke only
 #
 # The asan configuration re-runs the engine parity suite explicitly (the
@@ -131,11 +132,27 @@ run_asan() {
   # Engine parity under the sanitizers: every shipped program, walk vs
   # bytecode (byte-identical output and modeled cycles) vs bytecode-fused
   # (byte-identical output, cycles never above unfused).
-  "$root/build-asan/tests/ucvm/test_ucvm" --gtest_filter='EngineParity*'
+  "$root/build-asan/tests/ucvm/test_ucvm" \
+      --gtest_filter='EngineParity*:ShardParity*'
   run_profile_smoke "$root/build-asan"
   run_fused_smoke "$root/build-asan"
   run_fault_smoke "$root/build-asan"
   run_optmap_smoke "$root/build-asan"
+}
+
+# ThreadSanitizer lane (docs/SHARDING.md): sharded execution hands each
+# shard's block to its own pool worker, so the pool and the sharded parity
+# suites run under TSan.  The full ctest tier under TSan is slow; this lane
+# focuses on the suites that actually fork and join threads: the cm pool /
+# shard / ops / machine tests and the engine + shard differential suites,
+# which run every paper program through the sharded dispatch paths.
+run_tsan() {
+  cmake -B "$root/build-tsan" -S "$root" -DUC_SANITIZE="thread"
+  cmake --build "$root/build-tsan" -j
+  "$root/build-tsan/tests/cm/test_cm" \
+      --gtest_filter='ThreadPool*:Threads/*:PoolShards*:Shard*:ShiftExchange*:MachineShards*:Machine*:Ops*'
+  "$root/build-tsan/tests/ucvm/test_ucvm" \
+      --gtest_filter='ShardParity*:EngineParity*'
 }
 
 run_bench_smoke() {
@@ -156,6 +173,7 @@ case "$mode" in
     run_optmap_smoke "$root/build"
     ;;
   asan)  run_asan ;;
+  tsan)  run_tsan ;;
   bench) run_bench_smoke ;;
   all)
     run_suite "$root/build"
@@ -164,10 +182,11 @@ case "$mode" in
     run_fault_smoke "$root/build"
     run_optmap_smoke "$root/build"
     run_asan
+    run_tsan
     run_bench_smoke
     ;;
   *)
-    echo "usage: tools/ci.sh [plain|asan|bench|all]" >&2
+    echo "usage: tools/ci.sh [plain|asan|tsan|bench|all]" >&2
     exit 2
     ;;
 esac
