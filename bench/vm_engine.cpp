@@ -11,7 +11,9 @@
 // --smoke shrinks the problem sizes (for CI); --json writes the rows as a
 // JSON array (tools/bench.sh uses this to produce BENCH_vm.json).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -116,6 +118,38 @@ Row run_one_robust(const std::string& name, const std::string& source,
   return row;
 }
 
+// Durable-checkpoint row (docs/ROBUSTNESS.md "Durable checkpoints &
+// resume"): the in-memory checkpoint row plus atomic snapshot persistence
+// to a scratch directory at every capture.  Durability is host-side I/O
+// only, so the row must charge exactly the same modeled cycles as
+// "bytecode-ckpt" and keep the output byte-identical; its host_ms delta
+// against that row is the encode + fsync + rename cost.
+Row run_one_durable(const std::string& name, const std::string& source,
+                    int reps) {
+  auto program = uc::Program::compile(name + ".uc", source);
+  Row row;
+  row.program = name;
+  row.engine = "bytecode-durable-ckpt";
+  for (int r = 0; r < reps; ++r) {
+    char dir_template[] = "/tmp/uc-bench-ckpt-XXXXXX";
+    const char* dir = ::mkdtemp(dir_template);
+    uc::cm::Machine machine;
+    uc::vm::ExecOptions eopts;
+    eopts.engine = uc::vm::ExecEngine::kBytecode;
+    eopts.fuse = false;  // overhead deltas are against the plain bytecode row
+    eopts.checkpoint_every = 8;
+    if (dir != nullptr) eopts.checkpoint_dir = dir;
+    uc::bench::WallTimer timer;
+    auto result = program.run_on(machine, eopts);
+    const double ms = timer.elapsed_ms();
+    if (r == 0 || ms < row.host_ms) row.host_ms = ms;
+    row.cycles = result.stats().cycles;
+    row.output = result.output();
+    if (dir != nullptr) std::filesystem::remove_all(dir);
+  }
+  return row;
+}
+
 // The bytecode engine with per-site profiling attached (docs/PROFILING.md):
 // the row's delta against the plain bytecode row is the profiler's host
 // overhead.  Cycles and output must not move at all.
@@ -206,6 +240,7 @@ int main(int argc, char** argv) {
                         /*fuse=*/true, reps);
     Row prof = run_one_profiled(w.name, w.source, reps);
     Row ckpt = run_one_robust(w.name, w.source, /*with_faults=*/false, reps);
+    Row durable = run_one_durable(w.name, w.source, reps);
     Row faulted = run_one_robust(w.name, w.source, /*with_faults=*/true, reps);
     Row optmap = run_one_optmap(w.name, w.source, reps);
     Row shard1 = run_one_sharded(w.name, w.source, 1, reps);
@@ -222,6 +257,10 @@ int main(int argc, char** argv) {
                        prof.output == byte.output &&
                        prof.cycles == byte.cycles &&
                        ckpt.output == byte.output &&
+                       // Durable persistence is host-side I/O only: same
+                       // modeled cycles as the in-memory checkpoint row.
+                       durable.output == byte.output &&
+                       durable.cycles == ckpt.cycles &&
                        faulted.output == byte.output &&
                        optmap.output == byte.output &&
                        optmap.cycles <= byte.cycles &&
@@ -254,6 +293,9 @@ int main(int argc, char** argv) {
                 "+ckpt", ckpt.host_ms,
                 static_cast<unsigned long long>(ckpt.cycles), "", "");
     std::printf("%-26s %-15s %10.2f %16llu %9s  %s\n", w.name.c_str(),
+                "+durable-ckpt", durable.host_ms,
+                static_cast<unsigned long long>(durable.cycles), "", "");
+    std::printf("%-26s %-15s %10.2f %16llu %9s  %s\n", w.name.c_str(),
                 "+faults", faulted.host_ms,
                 static_cast<unsigned long long>(faulted.cycles), "", "");
     std::printf("%-26s %-15s %10.2f %16llu %9s  %s\n", w.name.c_str(),
@@ -271,6 +313,7 @@ int main(int argc, char** argv) {
     rows.push_back(fused);
     rows.push_back(prof);
     rows.push_back(ckpt);
+    rows.push_back(durable);
     rows.push_back(faulted);
     rows.push_back(optmap);
     rows.push_back(shard1);

@@ -19,6 +19,8 @@ CostStats& CostStats::operator+=(const CostStats& o) {
   rollbacks += o.rollbacks;
   checkpoints += o.checkpoints;
   plan_hits += o.plan_hits;
+  durable_checkpoints += o.durable_checkpoints;
+  resumes += o.resumes;
   return *this;
 }
 
@@ -37,6 +39,8 @@ CostStats& CostStats::operator-=(const CostStats& o) {
   rollbacks -= o.rollbacks;
   checkpoints -= o.checkpoints;
   plan_hits -= o.plan_hits;
+  durable_checkpoints -= o.durable_checkpoints;
+  resumes -= o.resumes;
   return *this;
 }
 
@@ -58,6 +62,15 @@ std::string CostStats::to_string(const CostModel& model) const {
   // exactly as before the cache existed.
   if (plan_hits != 0) {
     os << " plan_hits=" << plan_hits;
+  }
+  // Durable-checkpoint counters, each gated on its own activity so a
+  // resumed run's stats line differs from the uninterrupted baseline only
+  // in the resume count itself (soak compares the cycles= field).
+  if (durable_checkpoints != 0) {
+    os << " durable_checkpoints=" << durable_checkpoints;
+  }
+  if (resumes != 0) {
+    os << " resumes=" << resumes;
   }
   return os.str();
 }

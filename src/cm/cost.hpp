@@ -73,6 +73,13 @@ struct CostStats {
   // fused bytecode engine replays cached issue plans.
   std::uint64_t plan_hits = 0;    // statements issued from a cached plan
 
+  // Durable checkpoints (docs/ROBUSTNESS.md "Durable checkpoints &
+  // resume").  Host-side bookkeeping only — writing a snapshot to disk
+  // and restoring one never charges modeled cycles beyond the in-memory
+  // capture cost, so --checkpoint-dir is cycle-neutral.
+  std::uint64_t durable_checkpoints = 0;  // snapshots persisted to disk
+  std::uint64_t resumes = 0;              // restores from a durable snapshot
+
   CostStats& operator+=(const CostStats& o);
   // Counter-wise difference; well-defined only for b -= a where a is an
   // earlier snapshot of the same accumulator (counters never decrease).

@@ -91,6 +91,15 @@ class FaultInjector {
   // backoff_cycles << (consecutive-1), capped at 10 doublings.
   std::uint64_t backoff(std::uint64_t consecutive) const;
 
+  // Schedule state, for durable snapshots: restoring it makes the
+  // post-resume fault schedule identical to the uninterrupted run's, so
+  // cycle counts stay bit-identical under faults.  (In-memory rollback
+  // deliberately does NOT restore it — rewinding the schedule would
+  // replay the same fault forever; durable resume only ever continues
+  // forward, so the hazard does not apply.)
+  std::uint64_t rng_state() const { return rng_.state(); }
+  void set_rng_state(std::uint64_t s) { rng_.seed(s); }
+
  private:
   FaultSpec spec_;
   support::SplitMix64 rng_;

@@ -157,8 +157,18 @@ class Machine {
   // ---- Robustness layer (docs/ROBUSTNESS.md) ----
 
   const FaultInjector& fault_injector() const { return injector_; }
+  // Mutable access, for durable-snapshot restore only: a resume sets the
+  // injector RNG back to the captured schedule position so post-resume
+  // fault draws — and therefore cycles — match the uninterrupted run.
+  FaultInjector& fault_injector() { return injector_; }
   // One VM-level replay (statement retry or checkpoint restore).
   void note_rollback() { stats_.rollbacks += 1; }
+  // One snapshot persisted to disk / one restore from disk
+  // (docs/ROBUSTNESS.md "Durable checkpoints & resume").  Host-side
+  // counters only: neither charges modeled cycles, so --checkpoint-dir
+  // and --resume are cycle-neutral.
+  void note_durable_checkpoint() { stats_.durable_checkpoints += 1; }
+  void note_resume() { stats_.resumes += 1; }
   // One statement issued from a cached communication/issue plan
   // (src/cm/plan_cache.hpp).  Pure counter — the cycle savings land via
   // the `planned` flag on charge_vector_op / charge_reduce.
@@ -171,6 +181,15 @@ class Machine {
 
   MachineImage snapshot_state() const;
   void restore_state(const MachineImage& image);
+
+  // Durable-restore hooks: a resumed process re-executes the run prefix
+  // deterministically, then jumps machine accounting forward to the
+  // captured values (restored stats are always >= the prefix's — the
+  // delta is the skipped window's charges) and pins the layout epoch to
+  // the captured one so restored plan-cache entries stay valid.  Only the
+  // durable-checkpoint layer calls these (docs/ROBUSTNESS.md).
+  void set_stats(const CostStats& s) { stats_ = s; }
+  void set_layout_epoch(std::uint64_t e) { layout_epoch_ = e; }
 
  private:
   // Runs the detection/retry protocol for one protected instruction whose

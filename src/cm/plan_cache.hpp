@@ -65,6 +65,13 @@ class PlanCache {
     exchanges_.clear();
   }
   std::size_t size() const { return plans_.size(); }
+  // Read-only view of the charge-recipe entries, for durable-snapshot
+  // serialization (docs/ROBUSTNESS.md "Durable checkpoints & resume").
+  // Exchange schedules are host-only derivations and deliberately stay
+  // out: a resumed process rebuilds them on demand.
+  const std::unordered_map<std::uint64_t, Plan>& entries() const {
+    return plans_;
+  }
 
   // ---- Cross-shard exchange schedules (docs/SHARDING.md) ----
   // Same idea as charge-recipe plans, different payload: the per-shard

@@ -75,18 +75,26 @@ std::string render_table(const std::vector<Site>& sites,
   // keep their pre-fusion layout.  Both columns are fixed width, so
   // flt/rty/rb/ck and plan$ stay aligned whichever combination is shown.
   bool any_plans = false;
+  // And for the durable-checkpoint column: only runs that persisted a
+  // snapshot to disk or restored one (`--checkpoint-dir`/`--resume`,
+  // docs/ROBUSTNESS.md) show dur/res.
+  bool any_durable = false;
   for (const auto& s : sites) {
     if (s.self.faults != 0 || s.self.retries != 0 || s.self.rollbacks != 0 ||
         s.self.checkpoints != 0) {
       any_faults = true;
     }
     if (s.self.plan_hits != 0) any_plans = true;
+    if (s.self.durable_checkpoints != 0 || s.self.resumes != 0) {
+      any_durable = true;
+    }
   }
   out += format(
-      "%12s %6s %9s %8s  %-23s %s%s%-5s %-12s %s\n", "self-cycles", "%",
+      "%12s %6s %9s %8s  %-23s %s%s%s%-5s %-12s %s\n", "self-cycles", "%",
       "host-ms", "entries", "ops v/n/r/sc/go/bc/fe",
       any_plans ? "plan$    " : "", any_faults ? "flt/rty/rb/ck   " : "",
-      "eng", opts.show_static ? "static" : "", "site");
+      any_durable ? "dur/res  " : "", "eng",
+      opts.show_static ? "static" : "", "site");
 
   const auto order = hot_order(sites);
   std::uint64_t sum_cycles = 0;
@@ -140,6 +148,15 @@ std::string render_table(const std::vector<Site>& sites,
                  static_cast<unsigned long long>(s.self.checkpoints))
               .c_str());
     }
+    std::string durable_mix;
+    if (any_durable) {
+      durable_mix = format(
+          "%-9s",
+          format("%llu/%llu",
+                 static_cast<unsigned long long>(s.self.durable_checkpoints),
+                 static_cast<unsigned long long>(s.self.resumes))
+              .c_str());
+    }
     // Sites whose statements ran inside a fused kernel group carry a
     // fused×N tag (N = member-statement executions, docs/VM.md "Fusion").
     std::string kind_tag = s.kind;
@@ -148,11 +165,12 @@ std::string render_table(const std::vector<Site>& sites,
                          static_cast<unsigned long long>(s.fused_stmts));
     }
     out += format(
-        "%12llu %5.1f%% %9.3f %8llu  %-23s %s%s%-5s %-12s %s %s | %s\n",
+        "%12llu %5.1f%% %9.3f %8llu  %-23s %s%s%s%-5s %-12s %s %s | %s\n",
         static_cast<unsigned long long>(s.self.cycles), pct,
         static_cast<double>(s.self_wall_ns) / 1e6,
         static_cast<unsigned long long>(s.entries), mix.c_str(),
-        plan_col.c_str(), fault_mix.c_str(), engine_mark(s).c_str(),
+        plan_col.c_str(), fault_mix.c_str(), durable_mix.c_str(),
+        engine_mark(s).c_str(),
         opts.show_static
             ? (s.static_classes.empty() ? "-" : s.static_classes.c_str())
             : "",
@@ -237,6 +255,7 @@ std::string sites_json(const std::vector<Site>& sites,
         "\"global_ors\": %llu, \"broadcasts\": %llu, "
         "\"frontend_ops\": %llu, \"faults\": %llu, \"retries\": %llu, "
         "\"rollbacks\": %llu, \"checkpoints\": %llu, "
+        "\"durable_checkpoints\": %llu, \"resumes\": %llu, "
         "\"plan_hits\": %llu, \"pool_chunks\": %llu, "
         "\"bytecode_stmts\": %llu, \"walk_stmts\": %llu, "
         "\"fused_stmts\": %llu, \"static\": \"%s\"}",
@@ -257,6 +276,8 @@ std::string sites_json(const std::vector<Site>& sites,
         static_cast<unsigned long long>(s.self.retries),
         static_cast<unsigned long long>(s.self.rollbacks),
         static_cast<unsigned long long>(s.self.checkpoints),
+        static_cast<unsigned long long>(s.self.durable_checkpoints),
+        static_cast<unsigned long long>(s.self.resumes),
         static_cast<unsigned long long>(s.self.plan_hits),
         static_cast<unsigned long long>(s.pool_chunks),
         static_cast<unsigned long long>(s.bytecode_stmts),

@@ -44,6 +44,16 @@ class TransientFault : public UcRuntimeError {
   std::uint64_t failed_attempts_ = 0;
 };
 
+// A TransientFault that exhausted the VM's in-memory recovery chain
+// (replay budget spent, or checkpointing off).  Distinguished from plain
+// UcRuntimeError so a driver holding durable on-disk snapshots
+// (docs/ROBUSTNESS.md "Durable checkpoints & resume") can restore from
+// disk and retry instead of aborting.
+class EscalatedFault : public UcRuntimeError {
+ public:
+  explicit EscalatedFault(const std::string& what) : UcRuntimeError(what) {}
+};
+
 // A UC program failed to compile; carries the rendered diagnostics.
 class UcCompileError : public std::runtime_error {
  public:

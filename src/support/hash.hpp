@@ -1,0 +1,66 @@
+// Stable, seedless hashes for on-disk identity and integrity checks.
+// Both functions are fully specified (no pointer or ASLR input), so the
+// values they produce are comparable across processes and hosts — the
+// property the durable-checkpoint header relies on
+// (docs/ROBUSTNESS.md "Durable checkpoints & resume").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace uc::support {
+
+// FNV-1a over arbitrary bytes: the program/options identity hash.
+inline std::uint64_t fnv1a(const void* data, std::size_t n,
+                           std::uint64_t h = 0xcbf29ce484222325ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t k = 0; k < n; ++k) {
+    h ^= p[k];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a(const std::string& s,
+                           std::uint64_t h = 0xcbf29ce484222325ull) {
+  return fnv1a(s.data(), s.size(), h);
+}
+
+// Fold one integer into a running FNV-1a hash, byte by byte
+// (little-endian, so the result is host-order independent in practice:
+// every supported target is little-endian, and the value only ever
+// compares against hashes produced the same way).
+inline std::uint64_t fnv1a_u64(std::uint64_t v,
+                               std::uint64_t h = 0xcbf29ce484222325ull) {
+  unsigned char bytes[8];
+  for (int k = 0; k < 8; ++k) bytes[k] = static_cast<unsigned char>(v >> (8 * k));
+  return fnv1a(bytes, 8, h);
+}
+
+// CRC-32 (IEEE 802.3 polynomial, reflected) — the snapshot payload
+// checksum.  Table built on first use; thread-safe under C++11 static
+// initialization.
+inline std::uint32_t crc32(const void* data, std::size_t n,
+                           std::uint32_t crc = 0) {
+  static const auto table = [] {
+    struct Table { std::uint32_t e[256]; };
+    Table t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+      }
+      t.e[i] = c;
+    }
+    return t;
+  }();
+  crc ^= 0xffffffffu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t k = 0; k < n; ++k) {
+    crc = table.e[(crc ^ p[k]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+}  // namespace uc::support

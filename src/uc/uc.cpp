@@ -96,7 +96,17 @@ ProfileResult Program::profile(const ProfileOptions& options) const {
   exec.profiler = &profiler;
 
   ProfileResult result;
-  result.run = run_on(machine, exec);
+  try {
+    result.run = run_on(machine, exec);
+    result.stats = result.run.stats();
+  } catch (const support::UcRuntimeError& e) {
+    // A timeout, memory-cap hit or escalated fault mid-profile: keep the
+    // attribution gathered so far so the caller can still print the table
+    // alongside the machine's partial statistics (docs/ROBUSTNESS.md).
+    result.aborted = true;
+    result.error = e.what();
+    result.stats = machine.stats();
+  }
   result.model = machine.cost_model();
 
   result.pool.threads = machine.pool().thread_count();
@@ -140,11 +150,11 @@ ProfileResult Program::profile(const ProfileOptions& options) const {
 }
 
 std::string ProfileResult::table(const prof::TableOptions& opts) const {
-  return prof::render_table(sites, model, run.stats(), pool, opts);
+  return prof::render_table(sites, model, stats, pool, opts);
 }
 
 std::string ProfileResult::json() const {
-  return prof::sites_json(sites, run.stats(), pool);
+  return prof::sites_json(sites, stats, pool);
 }
 
 std::string ProfileResult::trace() const {

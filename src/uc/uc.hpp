@@ -124,9 +124,18 @@ struct ProfileOptions {
 
 // Result of a profiled run: the ordinary RunResult plus the per-site
 // attribution.  The invariant checked by the test suite: the sum of
-// Site::self.cycles over `sites` equals `run.stats().cycles`.
+// Site::self.cycles over `sites` equals `stats.cycles`.
+//
+// A run that aborts mid-way (watchdog timeout, memory cap, escalated
+// fault) still returns a result: `aborted` is set, `error` carries the
+// runtime error text, `run` stays default-constructed, and `sites`/`stats`
+// hold the attribution accumulated up to the abort so the hot-site table
+// remains printable (docs/ROBUSTNESS.md).
 struct ProfileResult {
   vm::RunResult run;
+  bool aborted = false;    // the run threw before completing
+  std::string error;       // runtime error text when aborted
+  cm::CostStats stats;     // run.stats() on success, partial on abort
   std::vector<prof::Site> sites;
   std::vector<prof::TraceEvent> events;  // empty unless capture_trace
   prof::PoolUtilization pool;

@@ -1,6 +1,7 @@
 #include "ucvm/checkpoint.hpp"
 
 #include "support/str.hpp"
+#include "ucvm/durable.hpp"
 #include "ucvm/interp_detail.hpp"
 
 namespace uc::vm::detail {
@@ -16,12 +17,19 @@ bool CheckpointManager::due() const {
 }
 
 bool CheckpointManager::consume_replay() {
+  // Replays during prefix re-execution (a durable resume that has not yet
+  // reached its snapshot's scope) are free: that stretch of the program
+  // already succeeded once, and the deterministic fault schedule replays
+  // the same faults it survived then.  Charging them would make a resumed
+  // run strictly weaker than the original (docs/ROBUSTNESS.md).
+  if (vm_.durable != nullptr && vm_.durable->resume_pending()) return true;
   if (replays_ >= vm_.opts.max_replays) return false;
   ++replays_;
   return true;
 }
 
-Checkpoint CheckpointManager::capture(LaneSpace* space, Frame* frame) {
+Checkpoint CheckpointManager::capture(LaneSpace* space, Frame* frame,
+                                      bool charge) {
   Checkpoint c;
   c.machine = vm_.machine.snapshot_state();
   std::int64_t words = c.machine.words();
@@ -50,7 +58,7 @@ Checkpoint CheckpointManager::capture(LaneSpace* space, Frame* frame) {
   c.output_size = vm_.output.size();
   c.stmt_counter = vm_.stmt_counter;
   c.fe_rng_state = vm_.fe_rng.state();
-  vm_.machine.charge_checkpoint(words);
+  if (charge) vm_.machine.charge_checkpoint(words);
   last_capture_seq_ = stmt_seq_;
   return c;
 }
@@ -86,7 +94,7 @@ void CheckpointManager::restore(const Checkpoint& c) {
 }
 
 RecoveryScope::RecoveryScope(Impl& vm, const lang::Stmt* where)
-    : vm_(vm), where_(where) {}
+    : vm_(vm), where_(where), ordinal_(vm.scope_seq_++) {}
 
 RecoveryScope::~RecoveryScope() {
   if (ckpt_.has_value()) --vm_.ckpt->live_checkpoints_;
@@ -96,10 +104,37 @@ void RecoveryScope::safe_point(LaneSpace* space, Frame* frame,
                                bool mandatory) {
   auto& mgr = *vm_.ckpt;
   if (!mgr.enabled()) return;
+  // Cross-process resume hand-off (docs/ROBUSTNESS.md "Durable checkpoints
+  // & resume"): the fresh process re-executed the run prefix and has now
+  // constructed the very scope whose snapshot survived on disk.  Apply it
+  // instead of capturing, and re-anchor the restored state as this scope's
+  // in-memory checkpoint (charge-free: the original capture's cost is part
+  // of the restored stats).  Every safe point of one scope passes the same
+  // (space, frame) pair, so a snapshot captured at a later sweep top
+  // installs correctly at construct entry — re-dispatching from entry with
+  // sweep-N state resumes sweep N, the same argument in-memory recovery
+  // rests on.
+  if (vm_.durable != nullptr && vm_.durable->resume_pending() &&
+      vm_.durable->resume_ordinal() == ordinal_ && !ckpt_.has_value()) {
+    if (vm_.durable->apply_resume(space, frame)) {
+      ckpt_ = mgr.capture(space, frame, /*charge=*/false);
+      ++mgr.live_checkpoints_;
+      return;
+    }
+    // Shape mismatch: the pending resume was dropped; fall through and run
+    // forward from here as a normal from-scratch execution.
+  }
   if (!mandatory && mgr.any_checkpoint() && !mgr.due()) return;
   const bool had = ckpt_.has_value();
   ckpt_ = mgr.capture(space, frame);
   if (!had) ++mgr.live_checkpoints_;
+  // Persist every capture (no extra cadence, so --checkpoint-dir never
+  // changes modeled cycles) — except while a resume is still pending:
+  // prefix re-execution must not rotate out the generations it may yet
+  // need to fall back to.
+  if (vm_.durable != nullptr && !vm_.durable->resume_pending()) {
+    vm_.durable->write(*ckpt_, ordinal_);
+  }
 }
 
 bool RecoveryScope::try_recover() {

@@ -78,13 +78,30 @@ class CheckpointManager {
   bool due() const;
   bool any_checkpoint() const { return live_checkpoints_ > 0; }
 
-  Checkpoint capture(LaneSpace* space, Frame* frame);
+  // `charge` is false only when re-anchoring state restored from a durable
+  // snapshot: the original run already paid the capture cost, and it is
+  // part of the restored stats.
+  Checkpoint capture(LaneSpace* space, Frame* frame, bool charge = true);
   void restore(const Checkpoint& ckpt);
 
   // Consumes one unit of the replay budget; false = budget exhausted and
   // the fault must escalate.
   bool consume_replay();
   std::uint64_t replays() const { return replays_; }
+
+  // Cadence state, exposed for the durable-checkpoint layer
+  // (docs/ROBUSTNESS.md "Durable checkpoints & resume").
+  std::uint64_t statements() const { return stmt_seq_; }
+  std::uint64_t last_capture() const { return last_capture_seq_; }
+  // Jumps the cadence counters and replay budget to a durable snapshot's
+  // captured values, so post-resume pacing matches the uninterrupted run.
+  void restore_durable_counters(std::uint64_t stmt_seq,
+                                std::uint64_t last_capture,
+                                std::uint64_t replays) {
+    stmt_seq_ = stmt_seq;
+    last_capture_seq_ = last_capture;
+    replays_ = replays;
+  }
 
  private:
   friend class RecoveryScope;
@@ -118,9 +135,17 @@ class RecoveryScope {
 
   bool has_checkpoint() const { return ckpt_.has_value(); }
 
+  // Construction ordinal within the run (0 = the top-level net in run()).
+  // Scope construction is deterministic given the program and seeds, so a
+  // durable snapshot can name its capturing scope by ordinal and a resumed
+  // process re-executing the prefix will construct the very same scope
+  // with the very same ordinal — the hand-off point for --resume.
+  std::uint64_t ordinal() const { return ordinal_; }
+
  private:
   Impl& vm_;
   const lang::Stmt* where_;
+  std::uint64_t ordinal_ = 0;
   std::optional<Checkpoint> ckpt_;
 };
 

@@ -3,10 +3,12 @@
 #include "ucvm/interp.hpp"
 
 #include <algorithm>
+#include <csignal>
 
 #include "support/error.hpp"
 #include "support/str.hpp"
 #include "ucvm/checkpoint.hpp"
+#include "ucvm/durable.hpp"
 #include "ucvm/interp_detail.hpp"
 #include "ucvm/kernel/kernel.hpp"
 
@@ -63,6 +65,194 @@ Impl::Impl(const lang::CompilationUnit& u, cm::Machine& m, ExecOptions o)
   root.parent_lane = {0};
   root.geom_size = 1;
   ckpt = std::make_unique<CheckpointManager>(*this);
+  build_node_ids();
+  if (!opts.checkpoint_dir.empty()) {
+    if (opts.checkpoint_every == 0) {
+      throw support::ApiError(
+          "ExecOptions: checkpoint_dir requires checkpoint_every > 0 "
+          "(durable snapshots are persisted at in-memory captures, "
+          "docs/ROBUSTNESS.md)");
+    }
+    durable = std::make_unique<DurableCheckpoints>(*this);
+  }
+}
+
+void Impl::maybe_die() {
+  if (opts.die_at_statement == 0) return;
+  if (ckpt->statements() >= opts.die_at_statement) {
+    // SIGKILL, not exit(): the point is to model a process that gets no
+    // chance to flush or unwind — exactly what the durable layer's atomic
+    // writes must survive (tools/soak.sh).
+    std::raise(SIGKILL);
+  }
+}
+
+void Impl::build_node_ids() {
+  // Deterministic pre-order walk over the analysed program, numbering
+  // every expression and resolved symbol.  The order depends only on the
+  // AST, so two processes compiling the same source agree on every id.
+  struct Walker {
+    std::unordered_map<const void*, std::uint64_t>& ids;
+    std::vector<const void*>& by_id;
+
+    void reg(const void* node) {
+      if (node == nullptr) return;
+      auto [it, inserted] = ids.try_emplace(node, by_id.size());
+      if (inserted) by_id.push_back(node);
+    }
+    void reg_symbol(const Symbol* s) {
+      if (s == nullptr) return;
+      reg(s);
+      if (s->index_set != nullptr) reg(s->index_set->elem);
+    }
+    void walk(const Expr* e) {
+      if (e == nullptr) return;
+      reg(e);
+      switch (e->kind) {
+        case lang::ExprKind::kIntLit:
+        case lang::ExprKind::kFloatLit:
+        case lang::ExprKind::kStringLit:
+          return;
+        case lang::ExprKind::kIdent:
+          reg_symbol(static_cast<const lang::IdentExpr*>(e)->symbol);
+          return;
+        case lang::ExprKind::kSubscript: {
+          const auto* s = static_cast<const lang::SubscriptExpr*>(e);
+          walk(s->base.get());
+          for (const auto& i : s->indices) walk(i.get());
+          return;
+        }
+        case lang::ExprKind::kCall: {
+          const auto* c = static_cast<const lang::CallExpr*>(e);
+          reg_symbol(c->symbol);
+          for (const auto& a : c->args) walk(a.get());
+          return;
+        }
+        case lang::ExprKind::kUnary:
+          walk(static_cast<const lang::UnaryExpr*>(e)->operand.get());
+          return;
+        case lang::ExprKind::kBinary: {
+          const auto* b = static_cast<const lang::BinaryExpr*>(e);
+          walk(b->lhs.get());
+          walk(b->rhs.get());
+          return;
+        }
+        case lang::ExprKind::kAssign: {
+          const auto* a = static_cast<const lang::AssignExpr*>(e);
+          walk(a->lhs.get());
+          walk(a->rhs.get());
+          return;
+        }
+        case lang::ExprKind::kTernary: {
+          const auto* t = static_cast<const lang::TernaryExpr*>(e);
+          walk(t->cond.get());
+          walk(t->then_expr.get());
+          walk(t->else_expr.get());
+          return;
+        }
+        case lang::ExprKind::kReduce: {
+          const auto* r = static_cast<const lang::ReduceExpr*>(e);
+          for (const Symbol* s : r->index_set_syms) reg_symbol(s);
+          for (const auto& arm : r->arms) {
+            walk(arm.pred.get());
+            walk(arm.value.get());
+          }
+          walk(r->others.get());
+          return;
+        }
+        case lang::ExprKind::kIncDec:
+          walk(static_cast<const lang::IncDecExpr*>(e)->operand.get());
+          return;
+      }
+    }
+    void walk(const Stmt* s) {
+      if (s == nullptr) return;
+      switch (s->kind) {
+        case StmtKind::kExpr:
+          walk(static_cast<const lang::ExprStmt*>(s)->expr.get());
+          return;
+        case StmtKind::kCompound:
+          for (const auto& c : static_cast<const lang::CompoundStmt*>(s)->body) {
+            walk(c.get());
+          }
+          return;
+        case StmtKind::kIf: {
+          const auto* i = static_cast<const lang::IfStmt*>(s);
+          walk(i->cond.get());
+          walk(i->then_stmt.get());
+          walk(i->else_stmt.get());
+          return;
+        }
+        case StmtKind::kWhile: {
+          const auto* w = static_cast<const lang::WhileStmt*>(s);
+          walk(w->cond.get());
+          walk(w->body.get());
+          return;
+        }
+        case StmtKind::kFor: {
+          const auto* f = static_cast<const lang::ForStmt*>(s);
+          walk(f->init.get());
+          walk(f->cond.get());
+          walk(f->step.get());
+          walk(f->body.get());
+          return;
+        }
+        case StmtKind::kReturn:
+          walk(static_cast<const lang::ReturnStmt*>(s)->value.get());
+          return;
+        case StmtKind::kBreak:
+        case StmtKind::kContinue:
+        case StmtKind::kEmpty:
+          return;
+        case StmtKind::kVarDecl:
+          for (const auto& d :
+               static_cast<const lang::VarDeclStmt*>(s)->declarators) {
+            reg_symbol(d.symbol);
+            for (const auto& dim : d.dim_exprs) walk(dim.get());
+            walk(d.init.get());
+          }
+          return;
+        case StmtKind::kIndexSetDecl:
+          for (const auto& def :
+               static_cast<const lang::IndexSetDeclStmt*>(s)->defs) {
+            reg_symbol(def.symbol);
+            walk(def.range_lo.get());
+            walk(def.range_hi.get());
+            for (const auto& l : def.listed) walk(l.get());
+          }
+          return;
+        case StmtKind::kUcConstruct: {
+          const auto* u = static_cast<const lang::UcConstructStmt*>(s);
+          for (const Symbol* sym : u->index_set_syms) reg_symbol(sym);
+          for (const auto& block : u->blocks) {
+            walk(block.pred.get());
+            walk(block.body.get());
+          }
+          walk(u->others.get());
+          return;
+        }
+        case StmtKind::kMapSection:
+          for (const auto& m :
+               static_cast<const lang::MapSectionStmt*>(s)->mappings) {
+            for (const Symbol* sym : m.index_set_syms) reg_symbol(sym);
+            reg_symbol(m.target_symbol);
+            reg_symbol(m.source_symbol);
+            for (const auto& t : m.target_subscripts) walk(t.get());
+            for (const auto& src : m.source_subscripts) walk(src.get());
+          }
+          return;
+      }
+    }
+  };
+  Walker w{node_ids_, node_by_id_};
+  for (const auto& item : unit.program->items) {
+    if (item.decl) w.walk(item.decl.get());
+    if (item.func) {
+      w.reg_symbol(item.func->symbol);
+      for (const auto& p : item.func->params) w.reg_symbol(p.symbol);
+      w.walk(item.func->body.get());
+    }
+  }
 }
 
 void Impl::check_deadline(const Stmt* where) {
@@ -86,7 +276,11 @@ void Impl::fatal_fault(const support::TransientFault& tf, const Stmt* where) {
         "(--max-replays)",
         static_cast<unsigned long long>(ckpt->replays()));
   }
-  runtime_error(where, msg);
+  // EscalatedFault (a UcRuntimeError) rather than runtime_error: a driver
+  // holding durable on-disk snapshots can tell this apart from ordinary
+  // failures and restore-and-retry instead of aborting.
+  const std::string at = where != nullptr ? locate(where->range) + ": " : "";
+  throw support::EscalatedFault(at + msg);
 }
 
 std::string Impl::locate(support::SourceRange range) const {
@@ -200,6 +394,11 @@ RunResult Impl::run() {
     } catch (const support::TransientFault& tf) {
       if (!top.try_recover()) fatal_fault(tf, nullptr);
     }
+  }
+
+  if (durable != nullptr && durable->resume_pending() && opts.log) {
+    opts.log("--resume: the snapshot's recovery scope was never reached; "
+             "the run completed from scratch");
   }
 
   RunResult result;

@@ -89,6 +89,39 @@ struct ExecOptions {
   // scopes on this profiler.  Profiling never changes program output or
   // modeled cycles; null (the default) adds no overhead.
   prof::Profiler* profiler = nullptr;
+  // Durable checkpoints (docs/ROBUSTNESS.md "Durable checkpoints &
+  // resume").  When non-empty, every in-memory capture is also persisted
+  // to this directory as a rotating generation of checksummed snapshot
+  // files written atomically, so a killed process can continue with
+  // `resume`.  Requires checkpoint_every > 0 (the durable path piggybacks
+  // on in-memory captures; ApiError otherwise).  Cycle-neutral: no extra
+  // capture cadence, and disk writes charge nothing.
+  std::string checkpoint_dir;
+  // Snapshot generations kept on disk; older ones are deleted only after
+  // a newer one is durably in place.  Clamped to at least 1.
+  std::uint64_t checkpoint_keep = 3;
+  // Restore the newest intact snapshot from checkpoint_dir.  The run
+  // re-executes its prefix deterministically, then jumps to the captured
+  // state at the matching recovery scope; corrupt or torn generations are
+  // skipped (with a `log` diagnostic) in favour of older ones, and with no
+  // intact generation the run simply executes from scratch.
+  bool resume = false;
+  // Identity of the compiled program (hash of source + compile flags),
+  // stamped into snapshot headers so a resume never restores a different
+  // program's state.  0 = unchecked (single-process library use).
+  std::uint64_t program_hash = 0;
+  // On resume, reset the replay budget to zero used instead of restoring
+  // the captured count.  The escalated-fault retry path sets this so a
+  // budget-exhausted run restored from disk does not re-escalate on its
+  // first post-resume fault.
+  bool fresh_replay_budget = false;
+  // Crash-testing hook (tools/soak.sh): raise SIGKILL before synchronous
+  // statement N (1-based) executes; 0 = never.  Deterministic, so a kill
+  // point found once reproduces exactly.
+  std::uint64_t die_at_statement = 0;
+  // Diagnostic sink for the durable-checkpoint layer (skipped-generation
+  // and resume notes).  Null = silent.
+  std::function<void(const std::string&)> log;
 };
 
 // Everything a run produces: program output, final machine stats, and a

@@ -121,6 +121,7 @@ std::vector<Value> Impl::eval_lanes(const Expr& expr, LaneSpace& space,
                                     Frame* frame, bool commit) {
   check_deadline(nullptr);
   ckpt->note_statement();
+  maybe_die();  // deterministic pre-statement kill point (tools/soak.sh)
   ++stmt_counter;
   const std::uint64_t stmt_id = stmt_counter;
 
@@ -367,6 +368,7 @@ bool Impl::exec_fused_group(const lang::CompoundStmt& s, std::size_t begin,
   // The group is one transactional unit but still `count` statements for
   // checkpoint pacing and id assignment.
   for (std::size_t k = 0; k < count; ++k) ckpt->note_statement();
+  maybe_die();  // deterministic pre-group kill point (tools/soak.sh)
   const std::uint64_t first_stmt_id = stmt_counter + 1;
   stmt_counter += count;
 

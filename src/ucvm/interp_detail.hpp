@@ -25,6 +25,8 @@ namespace kernel {
 class Engine;
 }
 
+class DurableCheckpoints;  // durable.hpp
+
 using lang::Expr;
 using lang::FuncDecl;
 using lang::Stmt;
@@ -341,10 +343,43 @@ struct Impl {
   bool has_deadline = false;
   std::chrono::steady_clock::time_point deadline{};
   void check_deadline(const Stmt* where);
-  // Converts an unrecovered transient fault into a fatal UcRuntimeError
-  // with source context and a pointer at the recovery knobs.
+  // Converts an unrecovered transient fault into a fatal
+  // support::EscalatedFault with source context and a pointer at the
+  // recovery knobs — distinguishable from other runtime errors so a
+  // driver with durable snapshots can restore-and-retry.
   [[noreturn]] void fatal_fault(const support::TransientFault& tf,
                                 const Stmt* where);
+
+  // --- durable checkpoints (docs/ROBUSTNESS.md "Durable ... & resume") ---
+  // RecoveryScope construction ordinals.  Deterministic given the program
+  // and seeds (fault-triggered replays included: the schedule itself is
+  // seeded), so a snapshot can name its capturing scope by ordinal and a
+  // resumed process re-executing the prefix will meet it again.
+  std::uint64_t scope_seq_ = 0;
+  // Null unless ExecOptions::checkpoint_dir is set.
+  std::unique_ptr<DurableCheckpoints> durable;
+  // Crash-testing hook: SIGKILLs the process once the statement counter
+  // reaches ExecOptions::die_at_statement (checked at the two statement
+  // funnels, before the statement executes).
+  void maybe_die();
+  // Stable AST node ids: deterministic pre-order numbering of every
+  // expression and resolved symbol of the program, identical across
+  // processes for the same source — the currency durable snapshots use for
+  // plan-cache keys and annotation sites in place of raw pointers.
+  std::unordered_map<const void*, std::uint64_t> node_ids_;
+  std::vector<const void*> node_by_id_;
+  void build_node_ids();
+  // Unregistered nodes fall back to the pointer value (high bit set, so it
+  // cannot collide with a real id): still correct in-process, only the
+  // cross-process stability of that one key is lost.
+  std::uint64_t node_id(const void* node) const {
+    auto it = node_ids_.find(node);
+    if (it != node_ids_.end()) return it->second;
+    return reinterpret_cast<std::uintptr_t>(node) | (1ull << 63);
+  }
+  const void* node_by_id(std::uint64_t id) const {
+    return id < node_by_id_.size() ? node_by_id_[id] : nullptr;
+  }
 
   // --- profiling (docs/PROFILING.md) ---
   // Null unless the caller passed ExecOptions::profiler; every hook is a

@@ -1202,8 +1202,11 @@ std::uint64_t Impl::plan_key(const Expr& e, const LaneSpace& space) const {
   // enclosing element structure + every reduce index-set size + the cost
   // flags the recipe was recorded under.  Element *values* are deliberately
   // excluded: a seq loop rebinding its tuple each iteration must still hit.
+  // Sites and element symbols enter as stable node ids rather than raw
+  // pointers, so keys survive durable-snapshot serialization across
+  // processes (docs/ROBUSTNESS.md "Durable checkpoints & resume").
   std::uint64_t h = 0x243f6a8885a308d3ull;
-  h = cm::PlanCache::mix(h, reinterpret_cast<std::uintptr_t>(&e));
+  h = cm::PlanCache::mix(h, node_id(&e));
   h = cm::PlanCache::mix(h, plan_epoch_);
   h = cm::PlanCache::mix(h, (opts.common_subexpression_elimination ? 1u : 0u) |
                                 (opts.processor_optimization ? 2u : 0u));
@@ -1213,7 +1216,7 @@ std::uint64_t Impl::plan_key(const Expr& e, const LaneSpace& space) const {
       h = cm::PlanCache::mix(h, static_cast<std::uint64_t>(d));
     }
     for (const Symbol* el : s->elems) {
-      h = cm::PlanCache::mix(h, reinterpret_cast<std::uintptr_t>(el));
+      h = cm::PlanCache::mix(h, node_id(el));
     }
   }
   auto mix_sets = [&h](const lang::ReduceExpr& red) {

@@ -124,6 +124,7 @@ void Impl::exec_solve(const UcConstructStmt& stmt, LaneSpace& space,
     bool all_done = true;
     for (std::size_t a = 0; a < assigns.size(); ++a) {
       ckpt->note_statement();
+      maybe_die();  // deterministic pre-equation kill point (tools/soak.sh)
       ++stmt_counter;
       const std::uint64_t stmt_id = stmt_counter;
       const auto n = static_cast<std::int64_t>(enabled[a].size());

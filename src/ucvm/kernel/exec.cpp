@@ -11,6 +11,7 @@
 #include "ucvm/kernel/kernel.hpp"
 
 #include "uclang/symbols.hpp"
+#include "ucvm/durable.hpp"  // complete type for ~Impl's unique_ptr member
 
 namespace uc::vm::detail::kernel {
 

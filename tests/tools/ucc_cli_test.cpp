@@ -359,4 +359,96 @@ TEST(UccCli, ProfileTopLimitsRows) {
       << r.output;
 }
 
+// ---- durable checkpoints & resume (docs/ROBUSTNESS.md) ----
+
+TEST(UccCli, ResumeRequiresCheckpointDir) {
+  auto r = run_command(ucc() + " run " + program("hello.uc") + " --resume");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--resume needs a checkpoint directory"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(UccCli, CheckpointDirRequiresCadence) {
+  auto r = run_command(ucc() + " run " + program("hello.uc") +
+                       " --checkpoint-dir=/tmp/ucc_cli_nocadence");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--checkpoint-every"), std::string::npos)
+      << r.output;
+}
+
+// The full crash story in one test: a run SIGKILLed mid-program (--die-at
+// raises the signal at a deterministic statement) leaves durable
+// generations behind; --resume restores the newest one and must finish
+// with the same program output AND the same modeled cycle count as an
+// uninterrupted run.  tools/soak.sh repeats this at randomized kill points
+// across programs, engines and shard counts.
+TEST(UccCli, DieAtKillsAndResumeReproducesBitIdentical) {
+  const std::string dir = "/tmp/ucc_cli_ck";
+  run_command("rm -rf " + dir + " " + dir + "_base");
+  auto base = run_command(ucc() + " run " + program("shortest_path.uc") +
+                          " --checkpoint-every=4 --checkpoint-dir=" + dir +
+                          "_base --stats");
+  EXPECT_EQ(base.exit_code, 0) << base.output;
+  EXPECT_NE(base.output.find("durable_checkpoints="), std::string::npos)
+      << base.output;
+
+  auto kill = run_command(ucc() + " run " + program("shortest_path.uc") +
+                          " --checkpoint-every=4 --checkpoint-dir=" + dir +
+                          " --die-at=10");
+  // SIGKILL: pclose reports a signal death, not a normal exit.
+  EXPECT_NE(kill.exit_code, 0) << kill.output;
+
+  auto res = run_command(ucc() + " run " + program("shortest_path.uc") +
+                         " --checkpoint-every=4 --resume=" + dir +
+                         " --stats");
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("--resume: restoring generation"),
+            std::string::npos)
+      << res.output;
+
+  auto value_line = [](const std::string& s) {
+    auto pos = s.find("d[0][N-1] =");
+    if (pos == std::string::npos) return std::string();
+    return s.substr(pos, s.find('\n', pos) - pos);
+  };
+  ASSERT_FALSE(value_line(base.output).empty()) << base.output;
+  EXPECT_EQ(value_line(base.output), value_line(res.output));
+  auto cycles = [](const std::string& s) {
+    auto pos = s.find("cycles=");
+    if (pos == std::string::npos) return std::string();
+    return s.substr(pos, s.find(' ', pos) - pos);
+  };
+  ASSERT_FALSE(cycles(base.output).empty());
+  EXPECT_EQ(cycles(base.output), cycles(res.output));
+  run_command("rm -rf " + dir + " " + dir + "_base");
+}
+
+// A profiled run that aborts (here: the wall-clock watchdog) must still
+// flush the hot-site table and the partial machine statistics instead of
+// dropping the attribution on the floor.
+TEST(UccCli, AbortedProfiledRunStillFlushesTable) {
+  const std::string path = "/tmp/ucc_cli_runaway.uc";
+  {
+    std::ofstream out(path);
+    out << "void main() {\n"
+           "  int i;\n"
+           "  i = 0;\n"
+           "  while (i < 2000000000) { i = i + 1; }\n"
+           "}\n";
+  }
+  auto r = run_command(ucc() + " run " + path +
+                       " --profile --stats --timeout=0.05");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("runtime error"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("self-cycles"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("partial statistics"), std::string::npos)
+      << r.output;
+
+  auto p = run_command(ucc() + " profile " + path + " --timeout=0.05");
+  EXPECT_EQ(p.exit_code, 1) << p.output;
+  EXPECT_NE(p.output.find("self-cycles"), std::string::npos) << p.output;
+  std::remove(path.c_str());
+}
+
 }  // namespace

@@ -1,0 +1,363 @@
+// Durable-checkpoint suite (docs/ROBUSTNESS.md "Durable checkpoints &
+// resume"): snapshots written to a checkpoint directory must restore
+// bit-identically in a fresh process, corrupt or version-skewed
+// generations must be skipped with a sourced diagnostic (falling back to
+// the next older intact one), and a snapshot from a different program or
+// option set must never be applied.  True process death is exercised by
+// tools/soak.sh and the CLI tests; here the same machinery runs in-process
+// through `resume` on a second run.
+#include <gtest/gtest.h>
+
+#include <stdlib.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cm/fault.hpp"
+#include "support/error.hpp"
+#include "uc/paper_programs.hpp"
+#include "ucvm/interp.hpp"
+
+namespace uc::vm {
+namespace {
+
+cm::MachineOptions with_faults(const std::string& spec) {
+  cm::MachineOptions m;
+  m.faults = cm::parse_fault_spec(spec);
+  return m;
+}
+
+ExecOptions with_engine(ExecEngine engine, std::uint64_t checkpoint_every) {
+  ExecOptions e;
+  e.engine = engine;
+  e.checkpoint_every = checkpoint_every;
+  return e;
+}
+
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char buf[] = "/tmp/uc-durable-XXXXXX";
+    path = ::mkdtemp(buf);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+};
+
+std::vector<std::filesystem::path> generations(const std::string& dir) {
+  std::vector<std::filesystem::path> out;
+  for (const auto& ent : std::filesystem::directory_iterator(dir)) {
+    if (ent.path().extension() == ".uck") out.push_back(ent.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void patch_byte(const std::filesystem::path& path, std::uint64_t offset,
+                unsigned char value) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.put(static_cast<char>(value));
+}
+
+// Flips the final payload byte: the header parses, the CRC does not.
+void corrupt_payload(const std::filesystem::path& path) {
+  const auto size = std::filesystem::file_size(path);
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekg(static_cast<std::streamoff>(size - 1));
+  const int c = f.get();
+  f.seekp(static_cast<std::streamoff>(size - 1));
+  f.put(static_cast<char>(c ^ 0xff));
+}
+
+bool logged(const std::vector<std::string>& logs, const std::string& what) {
+  for (const auto& line : logs) {
+    if (line.find(what) != std::string::npos) return true;
+  }
+  return false;
+}
+
+class DurableP : public ::testing::TestWithParam<ExecEngine> {};
+
+// A completed run leaves rotating generations behind; a second run with
+// `resume` restores the newest one mid-program and must still finish with
+// the same output and the same modeled cycles (the snapshot carries the
+// machine statistics, so the forward jump is cycle-neutral).
+TEST_P(DurableP, ResumeRoundTripBitIdentical) {
+  const std::string src = papers::shortest_path_on2(8, 11);
+  TempDir dir;
+  ExecOptions base = with_engine(GetParam(), 4);
+  base.checkpoint_dir = dir.path;
+  const RunResult first = run_uc(src, {}, base);
+  EXPECT_GT(first.stats().durable_checkpoints, 0u);
+  EXPECT_EQ(first.stats().resumes, 0u);
+  ASSERT_FALSE(generations(dir.path).empty());
+
+  std::vector<std::string> logs;
+  ExecOptions res = base;
+  res.resume = true;
+  res.log = [&](const std::string& line) { logs.push_back(line); };
+  const RunResult second = run_uc(src, {}, res);
+  EXPECT_EQ(second.stats().resumes, 1u);
+  EXPECT_TRUE(logged(logs, "restoring generation")) << "no restore logged";
+  EXPECT_EQ(first.output(), second.output());
+  EXPECT_EQ(first.stats().cycles, second.stats().cycles);
+}
+
+// Rotation keeps only `checkpoint_keep` generations on disk.
+TEST_P(DurableP, RotationBoundsTheDirectory) {
+  const std::string src = papers::shortest_path_on2(8, 11);
+  TempDir dir;
+  ExecOptions e = with_engine(GetParam(), 2);
+  e.checkpoint_dir = dir.path;
+  e.checkpoint_keep = 2;
+  const RunResult run = run_uc(src, {}, e);
+  EXPECT_GT(run.stats().durable_checkpoints, 2u);
+  EXPECT_EQ(generations(dir.path).size(), 2u);
+}
+
+// A bit flip in the newest generation's payload fails the CRC; resume must
+// fall back to the next older intact generation with a diagnostic naming
+// the skipped file, and still finish bit-identically.
+TEST_P(DurableP, CorruptNewestGenerationFallsBack) {
+  const std::string src = papers::shortest_path_on2(8, 11);
+  TempDir dir;
+  ExecOptions base = with_engine(GetParam(), 2);
+  base.checkpoint_dir = dir.path;
+  const RunResult first = run_uc(src, {}, base);
+  auto gens = generations(dir.path);
+  ASSERT_GE(gens.size(), 2u) << "need at least two generations to fall back";
+  corrupt_payload(gens.back());
+
+  std::vector<std::string> logs;
+  ExecOptions res = base;
+  res.resume = true;
+  res.log = [&](const std::string& line) { logs.push_back(line); };
+  const RunResult second = run_uc(src, {}, res);
+  EXPECT_TRUE(logged(logs, "skipping")) << "corrupt generation not skipped";
+  EXPECT_TRUE(logged(logs, "checksum mismatch"));
+  EXPECT_TRUE(logged(logs, "restoring generation"));
+  EXPECT_EQ(second.stats().resumes, 1u);
+  EXPECT_EQ(first.output(), second.output());
+  EXPECT_EQ(first.stats().cycles, second.stats().cycles);
+}
+
+// A torn write (truncated tail, as left by a crash mid-write without the
+// atomic rename) is detected by the payload-size check, not the CRC.
+TEST_P(DurableP, TornTailFallsBack) {
+  const std::string src = papers::shortest_path_on2(8, 11);
+  TempDir dir;
+  ExecOptions base = with_engine(GetParam(), 2);
+  base.checkpoint_dir = dir.path;
+  const RunResult first = run_uc(src, {}, base);
+  auto gens = generations(dir.path);
+  ASSERT_GE(gens.size(), 2u);
+  std::filesystem::resize_file(gens.back(),
+                               std::filesystem::file_size(gens.back()) - 9);
+
+  std::vector<std::string> logs;
+  ExecOptions res = base;
+  res.resume = true;
+  res.log = [&](const std::string& line) { logs.push_back(line); };
+  const RunResult second = run_uc(src, {}, res);
+  EXPECT_TRUE(logged(logs, "torn write")) << "truncated tail not diagnosed";
+  EXPECT_TRUE(logged(logs, "restoring generation"));
+  EXPECT_EQ(first.output(), second.output());
+  EXPECT_EQ(first.stats().cycles, second.stats().cycles);
+}
+
+// A future format version is refused outright rather than misparsed.  The
+// version word sits at byte offset 8 of the header, outside the payload
+// CRC, so a single-byte patch produces exactly a version-skewed file.
+TEST(DurableCheckpoint, VersionSkewIsRefused) {
+  const std::string src = papers::shortest_path_on2(8, 11);
+  TempDir dir;
+  ExecOptions base = with_engine(ExecEngine::kBytecode, 2);
+  base.checkpoint_dir = dir.path;
+  const RunResult first = run_uc(src, {}, base);
+  auto gens = generations(dir.path);
+  ASSERT_GE(gens.size(), 2u);
+  patch_byte(gens.back(), 8, 2);
+
+  std::vector<std::string> logs;
+  ExecOptions res = base;
+  res.resume = true;
+  res.log = [&](const std::string& line) { logs.push_back(line); };
+  const RunResult second = run_uc(src, {}, res);
+  EXPECT_TRUE(logged(logs, "format version 2, expected 1")) << "bad skew msg";
+  EXPECT_TRUE(logged(logs, "restoring generation"));
+  EXPECT_EQ(first.output(), second.output());
+}
+
+// Snapshots are bound to the program text: a different program hash means
+// every generation is rejected and the run completes from scratch.
+TEST(DurableCheckpoint, WrongProgramHashRunsFromScratch) {
+  const std::string src = papers::shortest_path_on2(8, 11);
+  TempDir dir;
+  ExecOptions base = with_engine(ExecEngine::kBytecode, 4);
+  base.checkpoint_dir = dir.path;
+  base.program_hash = 11;
+  const RunResult first = run_uc(src, {}, base);
+  ASSERT_FALSE(generations(dir.path).empty());
+
+  std::vector<std::string> logs;
+  ExecOptions res = base;
+  res.resume = true;
+  res.program_hash = 22;
+  res.log = [&](const std::string& line) { logs.push_back(line); };
+  const RunResult second = run_uc(src, {}, res);
+  EXPECT_TRUE(logged(logs, "different program"));
+  EXPECT_TRUE(logged(logs, "no intact checkpoint"));
+  EXPECT_EQ(second.stats().resumes, 0u);
+  EXPECT_EQ(first.output(), second.output());
+}
+
+// Same program, different execution options (here: the fusion flag, which
+// changes what a mid-run snapshot means) — also rejected.
+TEST(DurableCheckpoint, DifferentOptionsRunFromScratch) {
+  const std::string src = papers::shortest_path_on2(8, 11);
+  TempDir dir;
+  ExecOptions base = with_engine(ExecEngine::kBytecode, 4);
+  base.checkpoint_dir = dir.path;
+  const RunResult first = run_uc(src, {}, base);
+  ASSERT_FALSE(generations(dir.path).empty());
+
+  std::vector<std::string> logs;
+  ExecOptions res = base;
+  res.resume = true;
+  res.fuse = !res.fuse;
+  res.log = [&](const std::string& line) { logs.push_back(line); };
+  const RunResult second = run_uc(src, {}, res);
+  EXPECT_TRUE(logged(logs, "different execution options"));
+  EXPECT_EQ(second.stats().resumes, 0u);
+  EXPECT_EQ(first.output(), second.output());
+}
+
+// Every generation corrupt: the fallback chain is exhausted, the run
+// proceeds from scratch with a diagnostic, and the output is still right.
+TEST(DurableCheckpoint, AllGenerationsCorruptRunsFromScratch) {
+  const std::string src = papers::shortest_path_on2(8, 11);
+  TempDir dir;
+  ExecOptions base = with_engine(ExecEngine::kBytecode, 2);
+  base.checkpoint_dir = dir.path;
+  const RunResult first = run_uc(src, {}, base);
+  auto gens = generations(dir.path);
+  ASSERT_GE(gens.size(), 2u);
+  for (const auto& g : gens) corrupt_payload(g);
+
+  std::vector<std::string> logs;
+  ExecOptions res = base;
+  res.resume = true;
+  res.log = [&](const std::string& line) { logs.push_back(line); };
+  const RunResult second = run_uc(src, {}, res);
+  EXPECT_TRUE(logged(logs, "no intact checkpoint"));
+  EXPECT_EQ(second.stats().resumes, 0u);
+  EXPECT_EQ(first.output(), second.output());
+  EXPECT_EQ(first.stats().cycles, second.stats().cycles);
+}
+
+// Stray non-checkpoint files in the directory are ignored by the scan and
+// never deleted by rotation.
+TEST(DurableCheckpoint, StrayFilesSurviveAndAreIgnored) {
+  const std::string src = papers::shortest_path_on2(8, 11);
+  TempDir dir;
+  const std::string stray = dir.path + "/notes.txt";
+  { std::ofstream(stray) << "keep me\n"; }
+  ExecOptions base = with_engine(ExecEngine::kBytecode, 2);
+  base.checkpoint_dir = dir.path;
+  base.checkpoint_keep = 1;
+  run_uc(src, {}, base);
+  EXPECT_TRUE(std::filesystem::exists(stray));
+  ExecOptions res = base;
+  res.resume = true;
+  const RunResult second = run_uc(src, {}, res);
+  EXPECT_EQ(second.stats().resumes, 1u);
+  EXPECT_TRUE(std::filesystem::exists(stray));
+}
+
+// A checkpoint directory without a capture cadence can never write a
+// snapshot; that is library misuse, reported eagerly.
+TEST(DurableCheckpoint, DirWithoutCadenceIsApiError) {
+  TempDir dir;
+  ExecOptions e;
+  e.checkpoint_dir = dir.path;
+  e.checkpoint_every = 0;
+  EXPECT_THROW(run_uc(papers::shortest_path_on2(6, 11), {}, e),
+               support::ApiError);
+}
+
+// An exhausted in-memory replay budget escalates as EscalatedFault — a
+// distinct type, so a driver can tell "retry from disk might help" apart
+// from timeouts and caps — and the durable generations survive the throw.
+TEST(DurableCheckpoint, EscalationLeavesSnapshotsBehind) {
+  TempDir dir;
+  ExecOptions e = with_engine(ExecEngine::kWalk, 4);
+  e.checkpoint_dir = dir.path;
+  e.max_replays = 2;
+  EXPECT_THROW(run_uc(papers::shortest_path_on2(6, 11),
+                      with_faults("memory:p=1,retries=2"), e),
+               support::EscalatedFault);
+  EXPECT_FALSE(generations(dir.path).empty());
+}
+
+// The ucc driver's recovery loop, in miniature: run with a tiny replay
+// budget under injected faults; on escalation, resume from disk with a
+// fresh budget (`fresh_replay_budget`).  Each attempt restarts from the
+// newest snapshot, so the loop makes forward progress and must converge to
+// the clean run's exact output.
+TEST(DurableCheckpoint, RetryLoopWithFreshBudgetConverges) {
+  const std::string src = papers::shortest_path_on2(8, 11);
+  const RunResult clean =
+      run_uc(src, {}, with_engine(ExecEngine::kWalk, 0));
+  TempDir dir;
+  // The schedule is deterministic, so this test either always passes or
+  // always fails.  The tuning rule if a VM change ever shifts the fault
+  // draws: the run needs >= 2 rollbacks in total (else the budget below is
+  // never exhausted and the loop is vacuous), but no two faults inside one
+  // capture window (one replay per attempt could then never reach the next
+  // capture, and the loop would livelock — the situation the driver's
+  // attempt cap exists for).  Adjust seed/p until both hold.
+  const cm::MachineOptions faults =
+      with_faults("memory:p=8e-3,retries=0,seed=1");
+  ExecOptions e = with_engine(ExecEngine::kWalk, 1);
+  e.checkpoint_dir = dir.path;
+  e.max_replays = 1;
+  bool done = false;
+  int escalations = 0;
+  std::string out;
+  for (int attempt = 0; attempt < 30 && !done; ++attempt) {
+    try {
+      const RunResult r = run_uc(src, faults, e);
+      out = r.output();
+      done = true;
+    } catch (const support::EscalatedFault&) {
+      ++escalations;
+      e.resume = true;
+      e.fresh_replay_budget = true;
+    }
+  }
+  ASSERT_TRUE(done) << "retry loop failed to converge in 30 attempts";
+  EXPECT_GT(escalations, 0) << "budget was never exhausted; the loop is "
+                               "vacuous — lower max_replays or raise p";
+  EXPECT_EQ(clean.output(), out);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, DurableP,
+                         ::testing::Values(ExecEngine::kWalk,
+                                           ExecEngine::kBytecode),
+                         [](const auto& info) {
+                           return info.param == ExecEngine::kWalk
+                                      ? "walk"
+                                      : "bytecode";
+                         });
+
+}  // namespace
+}  // namespace uc::vm

@@ -127,6 +127,16 @@ run_fault_smoke() {
   rm -rf "$tmp"
 }
 
+# Durable-checkpoint soak smoke (docs/ROBUSTNESS.md "Durable checkpoints
+# & resume"): one randomized SIGKILL + --resume round per configuration,
+# including a forced corrupt-newest-generation fallback, asserting the
+# resumed output and modeled cycles are bit-identical to an uninterrupted
+# run.  tools/soak.sh with default knobs is the long-form version.
+run_soak_smoke() {
+  local dir="$1"; shift
+  BUILD_DIR="$dir" SOAK_KILLS=1 "$@" "$root/tools/soak.sh"
+}
+
 run_asan() {
   run_suite "$root/build-asan" -DUC_SANITIZE="address;undefined"
   # Engine parity under the sanitizers: every shipped program, walk vs
@@ -138,6 +148,9 @@ run_asan() {
   run_fused_smoke "$root/build-asan"
   run_fault_smoke "$root/build-asan"
   run_optmap_smoke "$root/build-asan"
+  # Bounded under the sanitizers: one program, unsharded, one kill.
+  run_soak_smoke "$root/build-asan" \
+      env SOAK_PROGS=fig6_shortest_path_on2 SOAK_SHARDS=1
 }
 
 # ThreadSanitizer lane (docs/SHARDING.md): sharded execution hands each
@@ -171,6 +184,7 @@ case "$mode" in
     run_fused_smoke "$root/build"
     run_fault_smoke "$root/build"
     run_optmap_smoke "$root/build"
+    run_soak_smoke "$root/build"
     ;;
   asan)  run_asan ;;
   tsan)  run_tsan ;;
@@ -181,6 +195,7 @@ case "$mode" in
     run_fused_smoke "$root/build"
     run_fault_smoke "$root/build"
     run_optmap_smoke "$root/build"
+    run_soak_smoke "$root/build"
     run_asan
     run_tsan
     run_bench_smoke

@@ -51,6 +51,18 @@
 //   --checkpoint-every=<n>  capture recovery checkpoints every n
 //                           statements (0 = off, the default)
 //   --max-replays=<n>       checkpoint replay budget (default 64)
+//   --checkpoint-dir=<dir>  persist every captured checkpoint durably in
+//                           <dir> (atomic write + generation rotation,
+//                           docs/ROBUSTNESS.md); requires
+//                           --checkpoint-every
+//   --checkpoint-keep=<n>   on-disk snapshot generations to keep
+//                           (default 3)
+//   --resume[=<dir>]        restore the newest intact snapshot from <dir>
+//                           (bare form: from --checkpoint-dir) and finish
+//                           the run; corrupt or torn generations are
+//                           skipped with a diagnostic
+//   --die-at=<n>            testing hook: raise SIGKILL just before the
+//                           n-th statement (tools/soak.sh)
 //   --timeout=<secs>        wall-clock watchdog: abort cleanly after this
 //                           many host seconds
 //   --max-field-mb=<n>      cap total CM field memory at n MiB
@@ -68,6 +80,7 @@
 #include <vector>
 
 #include "support/error.hpp"
+#include "support/hash.hpp"
 #include "uc/uc.hpp"
 
 namespace {
@@ -122,6 +135,12 @@ int usage() {
       "  --checkpoint-every=<n>  capture recovery checkpoints every n\n"
       "                        statements (0 = off)\n"
       "  --max-replays=<n>     checkpoint replay budget (default 64)\n"
+      "  --checkpoint-dir=<dir>  persist checkpoints durably in <dir>\n"
+      "                        (requires --checkpoint-every)\n"
+      "  --checkpoint-keep=<n> on-disk generations to keep (default 3)\n"
+      "  --resume[=<dir>]      restore the newest intact snapshot and\n"
+      "                        finish the run (skips corrupt generations)\n"
+      "  --die-at=<n>          testing: SIGKILL before the n-th statement\n"
       "  --timeout=<secs>      wall-clock watchdog (abort cleanly)\n"
       "  --max-field-mb=<n>    cap total CM field memory at n MiB\n"
       "  --max-iterations=<n>  loop iteration limit (0 = unlimited)\n");
@@ -260,6 +279,17 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.exec.checkpoint_every = v;
     } else if (int_value("--max-replays=", v)) {
       opts.exec.max_replays = v;
+    } else if (str_value("--checkpoint-dir=", sv)) {
+      opts.exec.checkpoint_dir = sv;
+    } else if (int_value("--checkpoint-keep=", v)) {
+      opts.exec.checkpoint_keep = v;
+    } else if (arg == "--resume") {
+      opts.exec.resume = true;
+    } else if (str_value("--resume=", sv)) {
+      opts.exec.resume = true;
+      opts.exec.checkpoint_dir = sv;
+    } else if (int_value("--die-at=", v)) {
+      opts.exec.die_at_statement = v;
     } else if (float_value("--timeout=", opts.exec.timeout_seconds)) {
     } else if (int_value("--max-field-mb=", v)) {
       opts.machine.max_field_bytes = v << 20;
@@ -304,6 +334,23 @@ bool parse_args(int argc, char** argv, Options& opts) {
     }
     if (bad_value) return false;
   }
+  // Durable-checkpoint option consistency is checked here, where the
+  // message can name the flags, rather than deep in the VM where only the
+  // ExecOptions fields are visible (docs/ROBUSTNESS.md).
+  if (opts.exec.resume && opts.exec.checkpoint_dir.empty()) {
+    std::fprintf(stderr,
+                 "ucc: --resume needs a checkpoint directory; pass "
+                 "--resume=<dir> or add --checkpoint-dir=<dir>\n");
+    return false;
+  }
+  if (!opts.exec.checkpoint_dir.empty() &&
+      opts.exec.checkpoint_every == 0) {
+    std::fprintf(stderr,
+                 "ucc: --checkpoint-dir requires --checkpoint-every=<n> "
+                 "with n > 0 (durable snapshots are written at in-memory "
+                 "capture points, docs/ROBUSTNESS.md)\n");
+    return false;
+  }
   return true;
 }
 
@@ -317,6 +364,24 @@ int main(int argc, char** argv) {
   if (!read_file(opts.file, source)) {
     std::fprintf(stderr, "ucc: cannot read '%s'\n", opts.file.c_str());
     return 2;
+  }
+
+  // Durable checkpoints refuse to resume a snapshot written by a different
+  // program or under different source-level compilation flags; the hash
+  // binds the snapshot to this exact input (docs/ROBUSTNESS.md).
+  {
+    std::uint64_t h = uc::support::fnv1a(source);
+    h = uc::support::fnv1a_u64(
+        (opts.compile.lower_solve ? 1ull : 0ull) |
+            (opts.compile.rewrite_permutes ? 2ull : 0ull) |
+            (opts.compile.fold_constants ? 4ull : 0ull),
+        h);
+    opts.exec.program_hash = h;
+  }
+  if (!opts.exec.checkpoint_dir.empty()) {
+    opts.exec.log = [](const std::string& line) {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    };
   }
 
   try {
@@ -483,6 +548,16 @@ int main(int argc, char** argv) {
       uc::prof::TableOptions topts;
       topts.max_rows = static_cast<std::size_t>(opts.top);
       topts.show_static = opts.join_static;
+      if (prof.aborted) {
+        // A timeout or escalated fault mid-profile still flushes the
+        // per-site table — the hot sites up to the abort are exactly what
+        // a hang or fault storm needs diagnosed (docs/ROBUSTNESS.md).
+        std::fprintf(stderr, "runtime error: %s\n", prof.error.c_str());
+        std::fputs(prof.table(topts).c_str(), stderr);
+        std::fprintf(stderr, "partial statistics (run aborted):\n%s\n",
+                     prof.stats.to_string(opts.machine.cost).c_str());
+        return 1;
+      }
       std::fputs(prof.table(topts).c_str(), stdout);
       if (!opts.sites_json.empty() &&
           !write_file(opts.sites_json, prof.json())) {
@@ -509,6 +584,17 @@ int main(int argc, char** argv) {
       popts.join_static = opts.join_static;
       auto prof = program.profile(popts);
       std::fputs(prof.run.output().c_str(), stdout);
+      if (prof.aborted) {
+        // Same contract as the plain run's partial statistics: an aborted
+        // profiled run still surfaces the table it attributed so far.
+        std::fprintf(stderr, "runtime error: %s\n", prof.error.c_str());
+        std::fputs(prof.table().c_str(), stderr);
+        if (opts.stats) {
+          std::fprintf(stderr, "partial statistics (run aborted):\n%s\n",
+                       prof.stats.to_string(opts.machine.cost).c_str());
+        }
+        return 1;
+      }
       if (opts.profile && opts.profile_json.empty()) {
         std::fputs(prof.table().c_str(), stderr);
       } else if (!opts.profile_json.empty() &&
@@ -525,42 +611,63 @@ int main(int argc, char** argv) {
       }
       if (opts.stats) {
         std::fprintf(stderr, "%s\n",
-                     prof.run.stats().to_string(opts.machine.cost).c_str());
+                     prof.stats.to_string(opts.machine.cost).c_str());
       }
       return 0;
     }
 
-    uc::cm::Machine machine(opts.machine);
-    try {
-      auto result = program.run_on(machine, opts.exec);
-      std::fputs(result.output().c_str(), stdout);
-      if (opts.trace) {
-        for (const auto& line : machine.paris_trace()) {
-          std::fprintf(stderr, "%s\n", line.c_str());
+    // Plain run.  With a durable checkpoint directory, an escalated
+    // transient fault (the in-memory replay budget is exhausted) retries
+    // from the newest intact on-disk snapshot in a fresh machine before
+    // giving up (docs/ROBUSTNESS.md).
+    uc::vm::ExecOptions exec = opts.exec;
+    for (int attempt = 0;; ++attempt) {
+      uc::cm::Machine machine(opts.machine);
+      auto abort_run = [&](const uc::support::UcRuntimeError& e) {
+        // A watchdog timeout, memory-cap hit or unrecovered fault still
+        // reports what the machine did up to the abort (partial stats make
+        // hangs and OOMs diagnosable, docs/ROBUSTNESS.md).
+        std::fprintf(stderr, "runtime error: %s\n", e.what());
+        if (opts.trace) {
+          for (const auto& line : machine.paris_trace()) {
+            std::fprintf(stderr, "%s\n", line.c_str());
+          }
         }
-      }
-      if (opts.stats) {
-        std::fprintf(stderr, "%s\n",
-                     result.stats()
-                         .to_string(opts.machine.cost)
-                         .c_str());
-      }
-      return 0;
-    } catch (const uc::support::UcRuntimeError& e) {
-      // A watchdog timeout, memory-cap hit or unrecovered fault still
-      // reports what the machine did up to the abort (partial stats make
-      // hangs and OOMs diagnosable, docs/ROBUSTNESS.md).
-      std::fprintf(stderr, "runtime error: %s\n", e.what());
-      if (opts.trace) {
-        for (const auto& line : machine.paris_trace()) {
-          std::fprintf(stderr, "%s\n", line.c_str());
+        if (opts.stats) {
+          std::fprintf(stderr, "partial statistics (run aborted):\n%s\n",
+                       machine.stats().to_string(opts.machine.cost).c_str());
         }
+        return 1;
+      };
+      try {
+        auto result = program.run_on(machine, exec);
+        std::fputs(result.output().c_str(), stdout);
+        if (opts.trace) {
+          for (const auto& line : machine.paris_trace()) {
+            std::fprintf(stderr, "%s\n", line.c_str());
+          }
+        }
+        if (opts.stats) {
+          std::fprintf(stderr, "%s\n",
+                       result.stats()
+                           .to_string(opts.machine.cost)
+                           .c_str());
+        }
+        return 0;
+      } catch (const uc::support::EscalatedFault& e) {
+        if (exec.checkpoint_dir.empty() || attempt >= 3) {
+          return abort_run(e);
+        }
+        std::fprintf(stderr, "runtime error: %s\n", e.what());
+        std::fprintf(stderr,
+                     "ucc: in-memory replay budget exhausted; restoring "
+                     "from durable checkpoints in '%s' (attempt %d of 3)\n",
+                     exec.checkpoint_dir.c_str(), attempt + 1);
+        exec.resume = true;
+        exec.fresh_replay_budget = true;
+      } catch (const uc::support::UcRuntimeError& e) {
+        return abort_run(e);
       }
-      if (opts.stats) {
-        std::fprintf(stderr, "partial statistics (run aborted):\n%s\n",
-                     machine.stats().to_string(opts.machine.cost).c_str());
-      }
-      return 1;
     }
   } catch (const uc::support::UcCompileError& e) {
     std::fputs(e.what(), stderr);
