@@ -1,15 +1,21 @@
 // VM engine comparison: tree-walk vs bytecode lane kernels vs fused
-// bytecode kernels on the paper workloads (Figs 6-8).  Each program runs
-// a few times per engine on fresh simulated machines (best-of-N wall
-// clock, to shrug off scheduler noise); we report host wall-clock and
-// modeled cycles and fail (nonzero exit) if the engines disagree on
-// output in any repetition, if walk and unfused bytecode disagree on
-// cycles, or if fusion ever costs more modeled cycles than it saves.
+// bytecode kernels vs native compiled kernels on the paper workloads
+// (Figs 6-8).  Each program runs a few times per engine on fresh
+// simulated machines (best-of-N wall clock, to shrug off scheduler
+// noise); we report host wall-clock and modeled cycles and fail (nonzero
+// exit) if the engines disagree on output in any repetition, if walk and
+// unfused bytecode disagree on cycles, or if fusion ever costs more
+// modeled cycles than it saves.
 //
-//   vm_engine [--smoke] [--json=PATH]
+//   vm_engine [--smoke] [--json=PATH] [--only=SUBSTR] [--rows=engines]
 //
 // --smoke shrinks the problem sizes (for CI); --json writes the rows as a
 // JSON array (tools/bench.sh uses this to produce BENCH_vm.json).
+// --only runs just the workloads whose name contains SUBSTR, and
+// --rows=engines keeps only the engine-comparison rows (walk, bytecode,
+// fused, native) — tools/ci.sh combines the two for its native
+// performance gate.  Hosts without a working C++ toolchain skip the
+// native rows with a loud notice instead of failing.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,6 +36,7 @@ struct Row {
   double host_ms = 0.0;
   std::uint64_t cycles = 0;
   std::string output;
+  bool skipped = false;  // native: no working toolchain at runtime
 };
 
 Row run_one(const std::string& name, const std::string& source,
@@ -37,9 +44,10 @@ Row run_one(const std::string& name, const std::string& source,
   auto program = uc::Program::compile(name + ".uc", source);
   Row row;
   row.program = name;
-  row.engine = engine == uc::vm::ExecEngine::kWalk ? "walk"
-               : fuse                              ? "bytecode-fused"
-                                                   : "bytecode";
+  row.engine = engine == uc::vm::ExecEngine::kWalk     ? "walk"
+               : engine == uc::vm::ExecEngine::kNative ? "bytecode-native"
+               : fuse                                  ? "bytecode-fused"
+                                                       : "bytecode";
   for (int r = 0; r < reps; ++r) {
     uc::cm::Machine machine;
     uc::vm::ExecOptions eopts;
@@ -48,6 +56,14 @@ Row run_one(const std::string& name, const std::string& source,
     uc::bench::WallTimer timer;
     auto result = program.run_on(machine, eopts);
     const double ms = timer.elapsed_ms();
+    if (engine == uc::vm::ExecEngine::kNative &&
+        result.native_dispatches() == 0) {
+      // Nothing ran natively — no toolchain, or every statement was
+      // declined.  Mark the row skipped rather than reporting bytecode
+      // timings under the native label.
+      row.skipped = true;
+      return row;
+    }
     if (r == 0 || ms < row.host_ms) row.host_ms = ms;
     row.cycles = result.stats().cycles;
     row.output = result.output();
@@ -199,12 +215,18 @@ Row run_one_optmap(const std::string& name, const std::string& source,
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool engines_only = false;
   std::string json_path;
+  std::string only;
   for (int k = 1; k < argc; ++k) {
     if (std::strcmp(argv[k], "--smoke") == 0) {
       smoke = true;
     } else if (std::strncmp(argv[k], "--json=", 7) == 0) {
       json_path = argv[k] + 7;
+    } else if (std::strncmp(argv[k], "--only=", 7) == 0) {
+      only = argv[k] + 7;
+    } else if (std::strcmp(argv[k], "--rows=engines") == 0) {
+      engines_only = true;
     } else {
       std::fprintf(stderr, "vm_engine: unknown option '%s'\n", argv[k]);
       return 2;
@@ -231,48 +253,25 @@ int main(int argc, char** argv) {
   const int reps = smoke ? 1 : 3;
   std::vector<Row> rows;
   bool all_agree = true;
+  bool native_skipped = false;
   for (const auto& w : workloads) {
+    if (!only.empty() && w.name.find(only) == std::string::npos) continue;
     Row walk = run_one(w.name, w.source, uc::vm::ExecEngine::kWalk,
                        /*fuse=*/false, reps);
     Row byte = run_one(w.name, w.source, uc::vm::ExecEngine::kBytecode,
                        /*fuse=*/false, reps);
     Row fused = run_one(w.name, w.source, uc::vm::ExecEngine::kBytecode,
                         /*fuse=*/true, reps);
-    Row prof = run_one_profiled(w.name, w.source, reps);
-    Row ckpt = run_one_robust(w.name, w.source, /*with_faults=*/false, reps);
-    Row durable = run_one_durable(w.name, w.source, reps);
-    Row faulted = run_one_robust(w.name, w.source, /*with_faults=*/true, reps);
-    Row optmap = run_one_optmap(w.name, w.source, reps);
-    Row shard1 = run_one_sharded(w.name, w.source, 1, reps);
-    Row shard2 = run_one_sharded(w.name, w.source, 2, reps);
-    Row shard4 = run_one_sharded(w.name, w.source, 4, reps);
-    // Checkpoint captures and fault recovery cost extra modeled cycles by
-    // design, so those rows are held only to output equality.  Fusion and
-    // plan caching lower modeled cycles by design, so the fused row must
-    // match on output and never exceed the unfused cycle count.
-    const bool agree = walk.output == byte.output &&
-                       walk.cycles == byte.cycles &&
-                       fused.output == byte.output &&
-                       fused.cycles <= byte.cycles &&
-                       prof.output == byte.output &&
-                       prof.cycles == byte.cycles &&
-                       ckpt.output == byte.output &&
-                       // Durable persistence is host-side I/O only: same
-                       // modeled cycles as the in-memory checkpoint row.
-                       durable.output == byte.output &&
-                       durable.cycles == ckpt.cycles &&
-                       faulted.output == byte.output &&
-                       optmap.output == byte.output &&
-                       optmap.cycles <= byte.cycles &&
-                       // Sharding must be invisible in both output and
-                       // modeled cycles at every shard count.
-                       shard1.output == fused.output &&
-                       shard1.cycles == fused.cycles &&
-                       shard2.output == shard1.output &&
-                       shard2.cycles == shard1.cycles &&
-                       shard4.output == shard1.output &&
-                       shard4.cycles == shard1.cycles;
-    all_agree = all_agree && agree;
+    // Native compiled kernels (docs/VM.md "Native tier"): must reproduce
+    // the fused run bit for bit — same output, same modeled cycles — with
+    // only host_ms allowed to move.
+    Row native = run_one(w.name, w.source, uc::vm::ExecEngine::kNative,
+                         /*fuse=*/true, reps);
+    native_skipped = native_skipped || native.skipped;
+    bool agree = walk.output == byte.output && walk.cycles == byte.cycles &&
+                 fused.output == byte.output && fused.cycles <= byte.cycles &&
+                 (native.skipped || (native.output == fused.output &&
+                                     native.cycles == fused.cycles));
     const double speedup = byte.host_ms > 0 ? walk.host_ms / byte.host_ms : 0;
     const double fspeedup =
         fused.host_ms > 0 ? byte.host_ms / fused.host_ms : 0;
@@ -281,44 +280,94 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(walk.cycles), "", "");
     std::printf("%-26s %-15s %10.2f %16llu %8.2fx  %s\n", w.name.c_str(),
                 "bytecode", byte.host_ms,
-                static_cast<unsigned long long>(byte.cycles), speedup,
-                agree ? "yes" : "NO!");
+                static_cast<unsigned long long>(byte.cycles), speedup, "");
     std::printf("%-26s %-15s %10.2f %16llu %8.2fx  %s\n", w.name.c_str(),
                 "bytecode-fused", fused.host_ms,
                 static_cast<unsigned long long>(fused.cycles), fspeedup, "");
-    std::printf("%-26s %-15s %10.2f %16llu %9s  %s\n", w.name.c_str(),
-                "+profile", prof.host_ms,
-                static_cast<unsigned long long>(prof.cycles), "", "");
-    std::printf("%-26s %-15s %10.2f %16llu %9s  %s\n", w.name.c_str(),
-                "+ckpt", ckpt.host_ms,
-                static_cast<unsigned long long>(ckpt.cycles), "", "");
-    std::printf("%-26s %-15s %10.2f %16llu %9s  %s\n", w.name.c_str(),
-                "+durable-ckpt", durable.host_ms,
-                static_cast<unsigned long long>(durable.cycles), "", "");
-    std::printf("%-26s %-15s %10.2f %16llu %9s  %s\n", w.name.c_str(),
-                "+faults", faulted.host_ms,
-                static_cast<unsigned long long>(faulted.cycles), "", "");
-    std::printf("%-26s %-15s %10.2f %16llu %9s  %s\n", w.name.c_str(),
-                "+optmap", optmap.host_ms,
-                static_cast<unsigned long long>(optmap.cycles), "", "");
-    for (const Row* s : {&shard1, &shard2, &shard4}) {
-      const double sspeedup =
-          s->host_ms > 0 ? shard1.host_ms / s->host_ms : 0;
+    if (native.skipped) {
+      std::printf("%-26s %-15s   (skipped: no native toolchain)\n",
+                  w.name.c_str(), "bytecode-native");
+    } else {
+      const double nspeedup =
+          native.host_ms > 0 ? fused.host_ms / native.host_ms : 0;
       std::printf("%-26s %-15s %10.2f %16llu %8.2fx  %s\n", w.name.c_str(),
-                  s->engine.c_str(), s->host_ms,
-                  static_cast<unsigned long long>(s->cycles), sspeedup, "");
+                  "bytecode-native", native.host_ms,
+                  static_cast<unsigned long long>(native.cycles), nspeedup,
+                  "");
     }
     rows.push_back(walk);
     rows.push_back(byte);
     rows.push_back(fused);
-    rows.push_back(prof);
-    rows.push_back(ckpt);
-    rows.push_back(durable);
-    rows.push_back(faulted);
-    rows.push_back(optmap);
-    rows.push_back(shard1);
-    rows.push_back(shard2);
-    rows.push_back(shard4);
+    if (!native.skipped) rows.push_back(native);
+
+    if (!engines_only) {
+      Row prof = run_one_profiled(w.name, w.source, reps);
+      Row ckpt =
+          run_one_robust(w.name, w.source, /*with_faults=*/false, reps);
+      Row durable = run_one_durable(w.name, w.source, reps);
+      Row faulted =
+          run_one_robust(w.name, w.source, /*with_faults=*/true, reps);
+      Row optmap = run_one_optmap(w.name, w.source, reps);
+      Row shard1 = run_one_sharded(w.name, w.source, 1, reps);
+      Row shard2 = run_one_sharded(w.name, w.source, 2, reps);
+      Row shard4 = run_one_sharded(w.name, w.source, 4, reps);
+      // Checkpoint captures and fault recovery cost extra modeled cycles
+      // by design, so those rows are held only to output equality.
+      agree = agree && prof.output == byte.output &&
+              prof.cycles == byte.cycles && ckpt.output == byte.output &&
+              // Durable persistence is host-side I/O only: same modeled
+              // cycles as the in-memory checkpoint row.
+              durable.output == byte.output &&
+              durable.cycles == ckpt.cycles &&
+              faulted.output == byte.output && optmap.output == byte.output &&
+              optmap.cycles <= byte.cycles &&
+              // Sharding must be invisible in both output and modeled
+              // cycles at every shard count.
+              shard1.output == fused.output &&
+              shard1.cycles == fused.cycles &&
+              shard2.output == shard1.output &&
+              shard2.cycles == shard1.cycles &&
+              shard4.output == shard1.output &&
+              shard4.cycles == shard1.cycles;
+      std::printf("%-26s %-15s %10.2f %16llu %9s  %s\n", w.name.c_str(),
+                  "+profile", prof.host_ms,
+                  static_cast<unsigned long long>(prof.cycles), "", "");
+      std::printf("%-26s %-15s %10.2f %16llu %9s  %s\n", w.name.c_str(),
+                  "+ckpt", ckpt.host_ms,
+                  static_cast<unsigned long long>(ckpt.cycles), "", "");
+      std::printf("%-26s %-15s %10.2f %16llu %9s  %s\n", w.name.c_str(),
+                  "+durable-ckpt", durable.host_ms,
+                  static_cast<unsigned long long>(durable.cycles), "", "");
+      std::printf("%-26s %-15s %10.2f %16llu %9s  %s\n", w.name.c_str(),
+                  "+faults", faulted.host_ms,
+                  static_cast<unsigned long long>(faulted.cycles), "", "");
+      std::printf("%-26s %-15s %10.2f %16llu %9s  %s\n", w.name.c_str(),
+                  "+optmap", optmap.host_ms,
+                  static_cast<unsigned long long>(optmap.cycles), "", "");
+      for (const Row* s : {&shard1, &shard2, &shard4}) {
+        const double sspeedup =
+            s->host_ms > 0 ? shard1.host_ms / s->host_ms : 0;
+        std::printf("%-26s %-15s %10.2f %16llu %8.2fx  %s\n", w.name.c_str(),
+                    s->engine.c_str(), s->host_ms,
+                    static_cast<unsigned long long>(s->cycles), sspeedup, "");
+      }
+      rows.push_back(prof);
+      rows.push_back(ckpt);
+      rows.push_back(durable);
+      rows.push_back(faulted);
+      rows.push_back(optmap);
+      rows.push_back(shard1);
+      rows.push_back(shard2);
+      rows.push_back(shard4);
+    }
+    if (!agree) std::printf("%-26s ENGINES DISAGREE\n", w.name.c_str());
+    all_agree = all_agree && agree;
+  }
+  if (native_skipped) {
+    std::fprintf(stderr,
+                 "vm_engine: NOTICE: native tier unavailable on this host "
+                 "(no working C++ toolchain); bytecode-native rows "
+                 "skipped\n");
   }
 
   if (!json_path.empty()) {

@@ -351,12 +351,14 @@ std::string read_file_bytes(const std::string& path) {
   return bytes;
 }
 
-// Temp file + fsync + rename + directory fsync: after this returns, either
-// the complete new file is durably in place or (on a crash mid-call) the
-// previous directory contents are intact.  A leftover .tmp is ignored by
-// the generation scan.
-void write_file_durably(const std::string& dir, const std::string& path,
-                        const std::string& bytes) {
+// Temp file + rename: after this returns the complete new file is in
+// place under its final name, or (on a crash mid-call) the previous
+// directory contents are intact.  A leftover .tmp is ignored by the
+// generation scan.  Deliberately no fsync — durability is batched at
+// rotation time (sync_file below), so the per-capture cost is one write
+// and one rename; a crash before the next rotation can tear this file,
+// which the CRC detects and the resume scan skips.
+void write_file_atomic(const std::string& path, const std::string& bytes) {
   const std::string tmp = path + ".tmp";
   auto fail = [&](const char* what) {
     throw support::UcRuntimeError(
@@ -375,12 +377,20 @@ void write_file_durably(const std::string& dir, const std::string& path,
     }
     done += static_cast<std::size_t>(n);
   }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    fail("sync");
-  }
   ::close(fd);
   if (::rename(tmp.c_str(), path.c_str()) != 0) fail("commit");
+}
+
+// Makes an already-renamed generation durable: file data first, then the
+// directory entry.  Best-effort (like the directory fsync always was) —
+// an fsync failure degrades durability, not correctness, because the
+// resume scan CRC-validates every generation anyway.
+void sync_file(const std::string& dir, const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
   const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (dfd >= 0) {
     ::fsync(dfd);
@@ -466,7 +476,9 @@ std::vector<std::uint64_t> DurableCheckpoints::list_generations() const {
 }
 
 DurableCheckpoints::DurableCheckpoints(Impl& vm)
-    : vm_(vm), dir_(vm.opts.checkpoint_dir) {
+    : vm_(vm),
+      dir_(vm.opts.checkpoint_dir),
+      keep_(std::max<std::uint64_t>(vm.opts.checkpoint_keep, 1)) {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec) {
@@ -560,18 +572,33 @@ void DurableCheckpoints::write(const Checkpoint& c, std::uint64_t ordinal) {
   out.u64(payload.buf.size());
   out.u32(support::crc32(payload.buf.data(), payload.buf.size()));
   out.buf += payload.buf;
-  write_file_durably(dir_, generation_path(gen), out.buf);
-  // Rotation: keep the newest checkpoint_keep generations.  Deleting only
-  // after the new generation is durably in place means a crash anywhere in
-  // write() never reduces the set of intact fallbacks.
-  const std::uint64_t keep = std::max<std::uint64_t>(vm_.opts.checkpoint_keep,
-                                                     1);
+  write_file_atomic(generation_path(gen), out.buf);
+  wrote_any_ = true;
+  // Batched rotation: let generations accumulate to twice the keep budget
+  // and only then delete the surplus, so the fsync in trim() is amortized
+  // over ~keep captures instead of being paid on every one.  The
+  // destructor performs a final trim down to exactly `keep_`.
   auto gens = list_generations();
+  if (gens.size() > 2 * keep_) trim(gens);
+}
+
+void DurableCheckpoints::trim(std::vector<std::uint64_t>& gens) {
+  if (gens.size() <= keep_) return;
+  // Deletions happen only after the newest generation is durably on disk,
+  // so a crash anywhere in this sequence never reduces the set of intact
+  // fallbacks below one.
+  sync_file(dir_, generation_path(gens.back()));
   std::error_code ec;
-  while (gens.size() > keep) {
+  while (gens.size() > keep_) {
     std::filesystem::remove(generation_path(gens.front()), ec);
     gens.erase(gens.begin());
   }
+}
+
+DurableCheckpoints::~DurableCheckpoints() {
+  if (!wrote_any_) return;
+  auto gens = list_generations();
+  trim(gens);
 }
 
 bool DurableCheckpoints::apply_resume(LaneSpace* space, Frame* frame) {

@@ -5,9 +5,16 @@
 // machine faults; it does not survive the *process*.  This layer persists
 // every in-memory capture as a versioned, CRC-checksummed snapshot file in
 // ExecOptions::checkpoint_dir, rotating the last `checkpoint_keep`
-// generations, each written atomically (temp file + fsync + rename) so a
-// kill mid-write can tear at most the generation being written — never a
-// previously completed one.
+// generations.  Every generation is written atomically (temp file +
+// rename) so a kill mid-write can tear at most the generation being
+// written — never a previously completed one.  fsyncs are batched per
+// rotation rather than paid per capture: generations accumulate to twice
+// `checkpoint_keep` before old ones are deleted, and the newest file (plus
+// the directory) is fsynced once immediately before each deletion batch,
+// so the set of durably intact fallbacks never shrinks.  Captures between
+// rotations ride the page cache — they survive a process kill always, and
+// an OS crash merely falls back to the last fsynced (or otherwise intact)
+// generation, which resumes to the identical final state.
 //
 // Resume model: a snapshot cannot name live pointers, so --resume does not
 // deserialize into a cold VM.  Instead the fresh process re-executes the
@@ -88,6 +95,12 @@ class DurableCheckpoints {
   // unrelated run).
   explicit DurableCheckpoints(Impl& vm);
 
+  // Final rotation: trims the directory down to `checkpoint_keep`
+  // generations (fsyncing the newest first) so a completed run leaves
+  // exactly the configured fallback set behind.  A killed process skips
+  // this; the resume scan simply sees a few extra generations.
+  ~DurableCheckpoints();
+
   bool resume_pending() const { return pending_.has_value(); }
   std::uint64_t resume_ordinal() const { return pending_->scope_ordinal; }
 
@@ -116,10 +129,16 @@ class DurableCheckpoints {
   std::string generation_path(std::uint64_t gen) const;
   // Sorted ascending list of the generation numbers present on disk.
   std::vector<std::uint64_t> list_generations() const;
+  // Deletes all but the newest `keep_` generations, after making the
+  // newest one durable (file fsync + directory fsync) so the deletions
+  // never reduce the set of durably intact fallbacks.
+  void trim(std::vector<std::uint64_t>& gens);
 
   Impl& vm_;
   std::string dir_;
+  std::uint64_t keep_ = 1;  // checkpoint_keep, clamped to >= 1
   std::uint64_t next_generation_ = 1;
+  bool wrote_any_ = false;
   std::optional<DecodedSnapshot> pending_;
 };
 

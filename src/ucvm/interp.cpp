@@ -404,6 +404,14 @@ RunResult Impl::run() {
   RunResult result;
   result.output_ = output;
   result.stats_ = machine.stats();
+  if (kernel_engine_ != nullptr) {
+    if (const auto* nb = kernel_engine_->native_backend()) {
+      result.native_kernels_compiled_ = nb->kernels_compiled();
+      result.native_cache_hits_ = nb->cache_hits();
+      result.native_dispatches_ = nb->dispatches();
+    }
+    result.native_fallbacks_ = kernel_engine_->native_fallbacks();
+  }
   for (const Symbol* g : unit.sema.globals) {
     const auto& slot = globals[static_cast<std::size_t>(g->slot)];
     if (slot.kind == FrameSlot::Kind::kScalar) {

@@ -45,7 +45,12 @@ struct Impl;
 //     run a switch-dispatch loop per lane (docs/VM.md).  Statements the
 //     lowering does not cover transparently fall back to the walk, so the
 //     two engines are observationally identical.
-enum class ExecEngine : std::uint8_t { kWalk, kBytecode };
+//   * kNative    — lower the bytecode further to C++ source, compile it with
+//     the host toolchain into a cached shared object, and dispatch lanes
+//     through the loaded entry point (docs/VM.md "Native tier").  Statements
+//     the emitter does not cover — or hosts without a working toolchain —
+//     transparently fall back to the bytecode tier.
+enum class ExecEngine : std::uint8_t { kWalk, kBytecode, kNative };
 
 struct ExecOptions {
   // Processor optimisation (paper §4): partitionable reductions are charged
@@ -122,6 +127,14 @@ struct ExecOptions {
   // Diagnostic sink for the durable-checkpoint layer (skipped-generation
   // and resume notes).  Null = silent.
   std::function<void(const std::string&)> log;
+  // Native tier (engine == kNative; docs/VM.md "Native tier"): directory
+  // holding the content-hashed compiled .so cache.  Empty: the
+  // UC_NATIVE_CACHE_DIR environment variable, else a per-user directory
+  // under the system temp path.
+  std::string native_cache_dir;
+  // Compiler driver used to build emitted lane kernels.  Empty: the
+  // UC_NATIVE_CC environment variable, else "c++".
+  std::string native_cc;
 };
 
 // Everything a run produces: program output, final machine stats, and a
@@ -147,6 +160,18 @@ class RunResult {
                        std::initializer_list<std::int64_t> indices) const;
   std::vector<Value> global_array(const std::string& name) const;
 
+  // Native-tier introspection (all zero unless engine == kNative): how many
+  // kernels were compiled this run vs loaded from the on-disk cache, how
+  // many chunk dispatches went through native entry points, and how many
+  // statements fell back to the bytecode tier (emitter declined, toolchain
+  // missing, or a per-dispatch assumption failed).
+  std::uint64_t native_kernels_compiled() const {
+    return native_kernels_compiled_;
+  }
+  std::uint64_t native_cache_hits() const { return native_cache_hits_; }
+  std::uint64_t native_dispatches() const { return native_dispatches_; }
+  std::uint64_t native_fallbacks() const { return native_fallbacks_; }
+
  private:
   friend class Interp;
   friend struct detail::Impl;
@@ -154,6 +179,10 @@ class RunResult {
   cm::CostStats stats_;
   std::unordered_map<std::string, Value> scalars_;
   std::unordered_map<std::string, ArraySnapshot> arrays_;
+  std::uint64_t native_kernels_compiled_ = 0;
+  std::uint64_t native_cache_hits_ = 0;
+  std::uint64_t native_dispatches_ = 0;
+  std::uint64_t native_fallbacks_ = 0;
 };
 
 class Interp {

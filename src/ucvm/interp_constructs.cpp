@@ -137,7 +137,7 @@ std::vector<Value> Impl::eval_lanes(const Expr& expr, LaneSpace& space,
     // communication-plan cache: a repeat execution of the same statement
     // signature replays the recorded recipe at the reduced plan issue
     // overhead instead of re-deriving it.
-    if (opts.fuse && opts.engine == ExecEngine::kBytecode) {
+    if (opts.fuse && opts.engine != ExecEngine::kWalk) {
       charge_expr_planned(expr, space, /*rider=*/false);
     } else {
       charge_expr(expr, space.geom_size, /*frontend=*/false, &space);
@@ -146,7 +146,9 @@ std::vector<Value> Impl::eval_lanes(const Expr& expr, LaneSpace& space,
     // Fast path: compile the statement once into lane-kernel bytecode and
     // run it allocation-free; statements the lowering/link does not cover
     // fall through to the reference tree walk below (bit-identical results).
-    if (opts.engine == ExecEngine::kBytecode) {
+    // The native tier rides this same path: run_lanes_pooled diverts the
+    // lane loop to the compiled .so when it can (docs/VM.md "Native tier").
+    if (opts.engine != ExecEngine::kWalk) {
       if (auto fast = kernel_engine().try_run(expr, space, active, frame,
                                               stmt_id, commit,
                                               /*optimize=*/opts.fuse)) {
@@ -411,14 +413,12 @@ bool Impl::exec_fused_group(const lang::CompoundStmt& s, std::size_t begin,
 }
 
 void Impl::commit_begin(std::size_t expected_writes) {
-  commit_seen_.clear();
-  commit_seen_.reserve(expected_writes);
+  commit_seen_.begin(expected_writes);
 }
 
 void Impl::commit_check(const Write& w) {
-  auto [it, inserted] =
-      commit_seen_.try_emplace(w.target, std::make_pair(w.value, w.where));
-  if (!inserted && !(it->second.first == w.value)) {
+  const CommitSeen::Slot* seen = commit_seen_.check_insert(w);
+  if (seen != nullptr && !(seen->value == w.value)) {
     std::string what = "conflicting parallel assignment";
     if (w.target.kind == WriteTarget::Kind::kArray) {
       auto* arr = static_cast<ArrayObj*>(w.target.obj);
@@ -429,7 +429,7 @@ void Impl::commit_check(const Write& w) {
         what += "[" + std::to_string(coords[d]) + "]";
       }
     }
-    what += ": values " + it->second.first.to_string() + " and " +
+    what += ": values " + seen->value.to_string() + " and " +
             w.value.to_string() +
             " (each variable may be assigned at most one value, "
             "paper §3.4)";
@@ -480,7 +480,7 @@ void Impl::exec_parallel_stmt(const Stmt& stmt, LaneSpace& space,
     }
     case StmtKind::kCompound: {
       const auto& s = static_cast<const lang::CompoundStmt&>(stmt);
-      if (opts.fuse && opts.engine == ExecEngine::kBytecode &&
+      if (opts.fuse && opts.engine != ExecEngine::kWalk &&
           s.body.size() > 1) {
         // Fusion (docs/VM.md): runs of provably independent expression
         // statements execute as one kernel; anything the compiler declines

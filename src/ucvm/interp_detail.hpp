@@ -114,6 +114,62 @@ struct Write {
   const Expr* where = nullptr;  // for error messages
 };
 
+// Open-addressing conflict table for one commit's writes.  Every parallel
+// statement funnels its buffered writes through here (paper §3.4: each
+// variable may receive at most one value), so the per-write probe is on
+// the hot commit path; a flat generation-stamped table avoids both the
+// node allocations of std::unordered_map and a per-statement clear of the
+// backing store.
+class CommitSeen {
+ public:
+  struct Slot {
+    WriteTarget target;
+    Value value;
+    const Expr* where = nullptr;
+    std::uint32_t gen = 0;
+  };
+
+  // Sizes the table for one commit's writes (load factor <= 1/2) and
+  // invalidates every surviving entry by bumping the generation stamp.
+  void begin(std::size_t expected_writes) {
+    std::size_t want = 16;
+    while (want < expected_writes * 2) want <<= 1;
+    if (want > slots_.size()) {
+      slots_.assign(want, Slot{});
+      mask_ = want - 1;
+      gen_ = 1;
+      return;
+    }
+    if (++gen_ == 0) {  // stamp wrapped: hard-reset so 0 stays "empty"
+      std::fill(slots_.begin(), slots_.end(), Slot{});
+      gen_ = 1;
+    }
+  }
+
+  // Returns the already-present entry for this target (first writer wins,
+  // as in the sequential walk), or records the write and returns nullptr.
+  Slot* check_insert(const Write& w) {
+    std::size_t pos = WriteTargetHash{}(w.target) & mask_;
+    for (;;) {
+      Slot& s = slots_[pos];
+      if (s.gen != gen_) {
+        s.target = w.target;
+        s.value = w.value;
+        s.where = w.where;
+        s.gen = gen_;
+        return nullptr;
+      }
+      if (s.target == w.target) return &s;
+      pos = (pos + 1) & mask_;
+    }
+  }
+
+ private:
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::uint32_t gen_ = 0;
+};
+
 // Communication classification counters for one statement execution.
 // Summed across lanes; all fields merge commutatively so any host
 // execution order yields identical charges.
@@ -286,9 +342,7 @@ struct Impl {
   cm::PlanCache plan_cache_;
   std::uint64_t plan_epoch_ = 0;
   std::unordered_map<const Stmt*, std::vector<FusionSeg>> fusion_segments_;
-  std::unordered_map<WriteTarget, std::pair<Value, const Expr*>,
-                     WriteTargetHash>
-      commit_seen_;
+  CommitSeen commit_seen_;
 
   // --- expression evaluation (per lane) ---
   Value eval(const Expr& e, EvalCtx& ctx);

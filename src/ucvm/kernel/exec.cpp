@@ -698,6 +698,14 @@ void Engine::run_lanes_pooled(const Kernel& k, LaneSpace& space,
                               const std::vector<std::int64_t>& active,
                               Frame* frame, std::uint64_t stmt_id,
                               std::vector<Value>& results) {
+  // Native tier: both the plain try_run path and fused groups funnel
+  // through here, so one hook covers every dispatch.  A false return
+  // (emitter declined, toolchain missing, assumption mismatch, runtime
+  // error flagged) leaves the arenas reset and falls through to bytecode.
+  if (vm_.opts.engine == ExecEngine::kNative &&
+      run_lanes_native(k, space, active, frame, stmt_id, results)) {
+    return;
+  }
   const auto n = static_cast<std::int64_t>(active.size());
   const std::function<void(unsigned, std::int64_t, std::int64_t)> body =
       [&](unsigned worker, std::int64_t b, std::int64_t e) {

@@ -13,6 +13,7 @@
 
 #include "ucvm/interp_detail.hpp"
 #include "ucvm/kernel/bytecode.hpp"
+#include "ucvm/native/native.hpp"
 
 namespace uc::vm::detail::kernel {
 
@@ -57,6 +58,12 @@ class Engine {
   std::uint64_t fallback_statements() const { return fallback_statements_; }
   std::uint64_t fused_groups() const { return fused_groups_; }
   std::size_t cache_size() const { return cache_.size(); }
+
+  // Native tier (engine == kNative): lazily constructed backend, null
+  // until the first native dispatch attempt.  native_fallbacks counts
+  // statement executions that wanted native but ran on bytecode.
+  const native::Backend* native_backend() const { return native_.get(); }
+  std::uint64_t native_fallbacks() const { return native_fallbacks_; }
 
  private:
   // --- linked (per-execution) operand forms ---
@@ -139,6 +146,12 @@ class Engine {
     // Reused across lanes: kReduceBegin reinitialises every field that is
     // read afterwards, so stale state from a previous lane is never seen.
     ReduceState rs;
+    // Native-tier write staging: the compiled entry point fills this
+    // high-water-sized buffer and only the used prefix is copied into
+    // `writes`, so the per-dispatch cost tracks actual writes instead of
+    // the worst-case capacity (a resize of `writes` itself would
+    // zero-fill the whole worst case every statement).
+    std::vector<Write> native_scratch;
   };
 
   // Deepest ancestor-space chain a kernel may reference.
@@ -149,6 +162,17 @@ class Engine {
   bool link(const Kernel& k, LaneSpace& space, Frame* frame);
   void reset_arenas(const Kernel& k);
   void run_lanes_pooled(const Kernel& k, LaneSpace& space,
+                        const std::vector<std::int64_t>& active, Frame* frame,
+                        std::uint64_t stmt_id, std::vector<Value>& results);
+  // Native-tier dispatch (native_exec.cpp): prepares the kernel through the
+  // backend, validates the emit-time representation assumptions against the
+  // linked state, and runs the lanes through the compiled entry point with
+  // the same chunking/sharding as the pooled bytecode path.  Returns false
+  // (with the arenas reset) when the statement must run on bytecode
+  // instead — not prepared, assumptions failed, or the kernel flagged a
+  // runtime error that the deterministic bytecode rerun will re-raise with
+  // its full message.
+  bool run_lanes_native(const Kernel& k, LaneSpace& space,
                         const std::vector<std::int64_t>& active, Frame* frame,
                         std::uint64_t stmt_id, std::vector<Value>& results);
   void commit_buffered();
@@ -178,6 +202,15 @@ class Engine {
   std::uint64_t compiled_statements_ = 0;
   std::uint64_t fallback_statements_ = 0;
   std::uint64_t fused_groups_ = 0;
+  std::unique_ptr<native::Backend> native_;
+  // Native dispatch tables, mirrored from the linked operand state on
+  // every dispatch.  Engine members (not locals) so their heap capacity
+  // is reused across statements like the link-state vectors above.
+  std::vector<native::NElem> nelems_;
+  std::vector<native::NScalar> nscalars_;
+  std::vector<native::NArray> narrays_;
+  std::vector<native::NReduce> nreduces_;
+  std::uint64_t native_fallbacks_ = 0;
 };
 
 }  // namespace uc::vm::detail::kernel

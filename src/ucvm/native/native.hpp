@@ -1,0 +1,110 @@
+// The native lane-kernel tier (docs/VM.md "Native tier"): lowers bytecode
+// Kernels to C++ source, compiles them out-of-process with the host
+// toolchain into shared objects, and dlopens the result.  The Backend
+// owns the emit -> cache -> compile -> load pipeline and the per-Kernel
+// prepared-program cache; dispatch (building NativeArgs from the link
+// tables and running chunks on the thread pool) stays in kernel::Engine,
+// which is the only code that can see the linked operand state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ucvm/kernel/bytecode.hpp"
+#include "ucvm/native/abi.hpp"
+
+namespace uc::vm::detail::native {
+
+// A kernel lowered, compiled and loaded: the entry point plus the
+// kernel-static metadata the host needs to validate and dispatch.
+struct Prepared {
+  using EntryFn = void (*)(NativeArgs*);
+  EntryFn entry = nullptr;
+  std::uint64_t source_hash = 0;
+  bool cache_hit = false;  // loaded from disk without recompiling
+  // Emit-time assumptions the host re-validates per dispatch; a mismatch
+  // (e.g. a scalar dynamically holding the other representation) falls
+  // back to bytecode for that execution only.
+  std::vector<std::uint8_t> scalar_flt;  // per kernel scalar slot
+  std::vector<std::uint8_t> array_flt;   // per kernel array slot
+  // Inst::where pointers in emission order (indexed by the constants the
+  // emitted code passes back); pointers are process-local, so they travel
+  // via NativeArgs rather than being baked into the cached .so.
+  std::vector<const lang::Expr*> wheres;
+  // Upper bound of buffered writes per lane (count of store instructions).
+  std::size_t max_writes_per_lane = 0;
+  std::uint32_t num_members = 1;
+};
+
+struct BackendOptions {
+  std::string cache_dir;  // empty: $UC_NATIVE_CACHE_DIR or a /tmp default
+  std::string cc;         // empty: $UC_NATIVE_CC or "c++"
+  std::function<void(const std::string&)> log;  // may be null
+};
+
+class Backend {
+ public:
+  explicit Backend(BackendOptions opts);
+  ~Backend();
+  Backend(const Backend&) = delete;
+  Backend& operator=(const Backend&) = delete;
+
+  // Emit + compile + load `k`, cached per Kernel pointer (kernels are
+  // owned by the Engine's caches, so the pointer is stable).  Returns
+  // nullptr when the emitter declines the kernel or the toolchain is
+  // unavailable/broken — the caller then runs the kernel on the bytecode
+  // tier.  Negative results are cached too.
+  const Prepared* prepare(const kernel::Kernel& k);
+
+  bool toolchain_ok() const { return toolchain_ok_; }
+  const std::string& cache_dir() const { return cache_dir_; }
+
+  // Counters for tests, ucc bench and RunResult introspection.
+  std::uint64_t kernels_compiled() const { return kernels_compiled_; }
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t emit_declined() const { return emit_declined_; }
+  std::uint64_t dispatches() const { return dispatches_; }
+  std::uint64_t assume_failures() const { return assume_failures_; }
+  void note_dispatch() { ++dispatches_; }
+  void note_assume_failure() { ++assume_failures_; }
+
+ private:
+  struct Loaded {
+    void* handle = nullptr;
+    Prepared::EntryFn entry = nullptr;
+    bool cache_hit = false;
+  };
+  Loaded load_or_compile(const std::string& source, std::uint64_t hash);
+  bool compile_to(const std::string& src_path, const std::string& so_path,
+                  std::uint64_t hash);
+  void note(const std::string& msg) const;
+
+  std::string cache_dir_;
+  std::string cc_;
+  std::string extra_flags_;
+  std::function<void(const std::string&)> log_;
+  bool cache_dir_ok_ = false;
+  bool toolchain_ok_ = true;       // until a compile fails structurally
+  bool warned_toolchain_ = false;  // loud notice printed once
+  std::unordered_map<const kernel::Kernel*, std::unique_ptr<Prepared>> cache_;
+  std::vector<void*> handles_;  // dlclosed on destruction
+  std::uint64_t kernels_compiled_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t emit_declined_ = 0;
+  std::uint64_t dispatches_ = 0;
+  std::uint64_t assume_failures_ = 0;
+};
+
+// Lowers `k` to a self-contained C++ translation unit implementing
+// uc_native_entry/uc_native_info, filling the kernel-static metadata in
+// `out`.  Returns an empty string when the kernel uses a feature the
+// emitter does not cover (register type conflicts, float-typed arms in an
+// int reduction, ...) — the caller falls back to bytecode.  The source
+// text is a pure function of the kernel, so its hash keys the .so cache.
+std::string emit_source(const kernel::Kernel& k, Prepared& out);
+
+}  // namespace uc::vm::detail::native

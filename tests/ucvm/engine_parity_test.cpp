@@ -1,6 +1,7 @@
-// Differential suite: the tree-walk and bytecode lane-kernel engines must
-// be observationally identical (docs/VM.md).  Every shipped paper program
-// runs under three configurations on fresh machines:
+// Differential suite: the tree-walk, bytecode lane-kernel, and native
+// compiled-kernel engines must be observationally identical (docs/VM.md).
+// Every shipped paper program runs under four configurations on fresh
+// machines:
 //
 //   walk            — the tree-walk reference
 //   bytecode        — lane kernels with fusion/optimisation off; output,
@@ -9,10 +10,17 @@
 //   bytecode-fused  — fusion, CSE, and plan caching on (the default);
 //                     output and globals must still be bit-identical, and
 //                     modeled cycles must never exceed the unfused run
+//   native          — fused programs dispatched through emitted-and-
+//                     dlopened C++ kernels (docs/VM.md "Native tier");
+//                     output, globals, AND modeled cycles must be
+//                     bit-identical to the fused bytecode run
 //
 // Statements the lowering rejects fall back to the walk inside the
-// bytecode engine, so these tests also cover the fallback seams (solve,
-// print, user calls).
+// bytecode engine, and statements the native emitter declines fall back
+// to bytecode, so these tests also cover both fallback seams (solve,
+// print, user calls).  On a host without a working C++ toolchain the
+// native run transparently degrades to bytecode and the assertions still
+// hold.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -72,6 +80,14 @@ void expect_parity(const std::string& src,
   EXPECT_EQ(walk.output(), fused.output());
   expect_globals_equal(walk, fused, globals, "walk/fused");
   EXPECT_LE(fused.stats().cycles, byte.stats().cycles);
+
+  // The native tier replaces the interpreter only; everything the cost
+  // model observes is identical, so cycles must equal the fused run's
+  // exactly (not merely bound it).
+  RunResult native = run_with(src, ExecEngine::kNative, /*fuse=*/true);
+  EXPECT_EQ(walk.output(), native.output());
+  expect_globals_equal(walk, native, globals, "walk/native");
+  expect_stats_equal(fused.stats(), native.stats());
 }
 
 // Both engines must raise the same UcRuntimeError text (the bytecode
@@ -96,8 +112,19 @@ void expect_error_parity(const std::string& src) {
   } catch (const support::UcRuntimeError& e) {
     fused_what = e.what();
   }
+  // A native kernel that hits a runtime error discards its buffered
+  // writes and reruns the statement on bytecode, which raises the
+  // identical deterministic error with its full message.
+  std::string native_what;
+  try {
+    run_with(src, ExecEngine::kNative, /*fuse=*/true);
+    FAIL() << "native engine did not throw";
+  } catch (const support::UcRuntimeError& e) {
+    native_what = e.what();
+  }
   EXPECT_EQ(walk_what, byte_what);
   EXPECT_EQ(walk_what, fused_what);
+  EXPECT_EQ(walk_what, native_what);
 }
 
 TEST(EngineParity, Fig6ShortestPathOn2) {

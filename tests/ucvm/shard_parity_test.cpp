@@ -2,8 +2,11 @@
 // VP set across shards is a host-only knob, so for every shard count the
 // output text, every named global array, and every cost-model counter —
 // including modeled cycles — must be bit-identical to the unsharded
-// (--shards=1) machine, in both execution engines, fused or not, and with
-// fault injection + checkpointing enabled.
+// (--shards=1) machine, in every execution engine (walk, bytecode, native
+// compiled kernels), fused or not, and with fault injection +
+// checkpointing enabled.  On a host without a working C++ toolchain the
+// native configurations transparently degrade to bytecode and the
+// assertions still hold.
 //
 // Shard counts cover the interesting partitions: 2 (one boundary), 4
 // (typical), and 7 (odd count that leaves a short trailing block and, on
@@ -88,6 +91,7 @@ void expect_shard_parity(const std::string& src, const Config& cfg,
 const Config kWalk{ExecEngine::kWalk, false, nullptr, 0};
 const Config kBytecode{ExecEngine::kBytecode, false, nullptr, 0};
 const Config kFused{ExecEngine::kBytecode, true, nullptr, 0};
+const Config kNative{ExecEngine::kNative, true, nullptr, 0};
 
 // ---- clean runs, full paper corpus ----
 
@@ -96,12 +100,14 @@ TEST(ShardParity, Fig6ShortestPathOn2) {
   expect_shard_parity(src, kWalk, {"d"});
   expect_shard_parity(src, kBytecode, {"d"});
   expect_shard_parity(src, kFused, {"d"});
+  expect_shard_parity(src, kNative, {"d"});
 }
 
 TEST(ShardParity, Fig7ShortestPathOn3) {
   const auto src = papers::shortest_path_on3(10);
   expect_shard_parity(src, kWalk, {"d"});
   expect_shard_parity(src, kFused, {"d"});
+  expect_shard_parity(src, kNative, {"d"});
 }
 
 TEST(ShardParity, Fig8GridObstacle) {
@@ -109,6 +115,7 @@ TEST(ShardParity, Fig8GridObstacle) {
   expect_shard_parity(src, kWalk, {"d"});
   expect_shard_parity(src, kBytecode, {"d"});
   expect_shard_parity(src, kFused, {"d"});
+  expect_shard_parity(src, kNative, {"d"});
 }
 
 TEST(ShardParity, StarSolveShortestPath) {
@@ -173,8 +180,9 @@ constexpr const char* kFaultSpec =
 
 TEST(ShardParity, Fig6UnderFaultsAndCheckpoints) {
   const auto src = papers::shortest_path_on2(8);
-  for (const auto engine : {ExecEngine::kWalk, ExecEngine::kBytecode}) {
-    const Config cfg{engine, engine == ExecEngine::kBytecode, kFaultSpec, 8};
+  for (const auto engine : {ExecEngine::kWalk, ExecEngine::kBytecode,
+                            ExecEngine::kNative}) {
+    const Config cfg{engine, engine != ExecEngine::kWalk, kFaultSpec, 8};
     const RunResult base = run_sharded(src, 1, cfg);
     ASSERT_GT(base.stats().faults, 0u)
         << "workload drew no faults; raise p so the test means something";
@@ -185,10 +193,12 @@ TEST(ShardParity, Fig6UnderFaultsAndCheckpoints) {
 
 TEST(ShardParity, Fig8UnderFaultsAndCheckpoints) {
   const auto src = papers::grid_shortest_path(8, 8, true);
-  const Config cfg{ExecEngine::kBytecode, true, kFaultSpec, 8};
-  const RunResult base = run_sharded(src, 1, cfg);
-  ASSERT_GT(base.stats().faults, 0u);
-  expect_shard_parity(src, cfg, {"d"});
+  for (const auto engine : {ExecEngine::kBytecode, ExecEngine::kNative}) {
+    const Config cfg{engine, true, kFaultSpec, 8};
+    const RunResult base = run_sharded(src, 1, cfg);
+    ASSERT_GT(base.stats().faults, 0u);
+    expect_shard_parity(src, cfg, {"d"});
+  }
 }
 
 TEST(ShardParity, RanksortUnderFaults) {

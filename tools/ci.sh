@@ -6,6 +6,7 @@
 #   tools/ci.sh asan     ASan/UBSan build + ctest only
 #   tools/ci.sh tsan     ThreadSanitizer build + concurrency suites
 #   tools/ci.sh bench    Release build + vm_engine --smoke only
+#   tools/ci.sh native   Release build + native-tier fig8 perf gate only
 #
 # The asan configuration re-runs the engine parity suite explicitly (the
 # bytecode/walk differential tests) so a parity regression under the
@@ -177,6 +178,63 @@ run_bench_smoke() {
   "$root/build-release/bench/vm_engine" --smoke
 }
 
+# Native-tier perf gate (docs/VM.md "Native tier"): rerun the fig8 engine
+# rows at full size and compare the bytecode-native row's host time
+# against the checked-in BENCH_vm.json baseline, failing on a >15%
+# regression.  Parity (output + modeled cycles) is already enforced by
+# vm_engine itself, which exits nonzero if the native row deviates from
+# fused bytecode.  A host without a working C++ toolchain records no
+# native row at all (never bytecode timings passed off as native); the
+# gate then skips, loudly.
+run_native_gate() {
+  cmake -B "$root/build-release" -S "$root" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$root/build-release" -j --target vm_engine
+  local tmp; tmp="$(mktemp -d)"
+  # The checked-in baseline is itself a best-of run, so a single noisy
+  # measurement on a loaded host can overshoot the limit without any real
+  # regression.  Up to three attempts; the gate only fails if every one
+  # exceeds the limit (exit 1 = over limit, retryable; exit 2 = broken
+  # configuration, fail immediately).
+  local attempt rc
+  for attempt in 1 2 3; do
+    "$root/build-release/bench/vm_engine" --only=fig8 --rows=engines \
+        --json="$tmp/native.json"
+    rc=0
+    python3 - "$root/BENCH_vm.json" "$tmp/native.json" <<'PYEOF' || rc=$?
+import json, sys
+
+def native_ms(path):
+    for row in json.load(open(path)):
+        if (row["program"] == "fig8_grid_obstacle"
+                and row["engine"] == "bytecode-native"):
+            return row["host_ms"]
+    return None
+
+base = native_ms(sys.argv[1])
+cur = native_ms(sys.argv[2])
+if cur is None:
+    print("ci.sh: NOTICE: no working native toolchain on this host; "
+          "skipping the native-tier perf gate", file=sys.stderr)
+    sys.exit(0)
+if base is None:
+    print("ci.sh: BENCH_vm.json has no fig8 bytecode-native baseline; "
+          "rerun tools/bench.sh", file=sys.stderr)
+    sys.exit(2)
+limit = base * 1.15
+print(f"ci.sh: native gate: fig8 bytecode-native host_ms {cur:.3f} "
+      f"vs baseline {base:.3f} (limit {limit:.3f})")
+sys.exit(1 if cur > limit else 0)
+PYEOF
+    [ "$rc" -eq 0 ] && break
+    [ "$rc" -eq 1 ] && [ "$attempt" -lt 3 ] && continue
+    echo "ci.sh: native tier regressed more than 15% vs the BENCH_vm.json" \
+         "fig8 baseline on every attempt" >&2
+    rm -rf "$tmp"
+    exit 1
+  done
+  rm -rf "$tmp"
+}
+
 case "$mode" in
   plain)
     run_suite "$root/build"
@@ -189,6 +247,7 @@ case "$mode" in
   asan)  run_asan ;;
   tsan)  run_tsan ;;
   bench) run_bench_smoke ;;
+  native) run_native_gate ;;
   all)
     run_suite "$root/build"
     run_profile_smoke "$root/build"
@@ -199,9 +258,10 @@ case "$mode" in
     run_asan
     run_tsan
     run_bench_smoke
+    run_native_gate
     ;;
   *)
-    echo "usage: tools/ci.sh [plain|asan|tsan|bench|all]" >&2
+    echo "usage: tools/ci.sh [plain|asan|tsan|bench|native|all]" >&2
     exit 2
     ;;
 esac

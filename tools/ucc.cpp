@@ -106,9 +106,16 @@ int usage() {
       "options:\n"
       "  --stats               print machine statistics after a run\n"
       "  --trace               print the Paris-style instruction trace\n"
-      "  --engine=<walk|bytecode>  VM execution engine (default bytecode)\n"
+      "  --engine=<walk|bytecode|native>  VM execution engine (default\n"
+      "                        bytecode; native compiles lane kernels to a\n"
+      "                        cached .so with the host toolchain)\n"
+      "  --native-cache-dir=<dir>  native: compiled-kernel cache directory\n"
+      "                        (default $UC_NATIVE_CACHE_DIR or /tmp)\n"
+      "  --native-cc=<cc>      native: compiler driver (default\n"
+      "                        $UC_NATIVE_CC or c++)\n"
       "  --fuse=<on|off>       statement fusion + plan cache (default on)\n"
       "  --repeat=<n>          bench: median of n timed runs + warmup\n"
+      "  --json=<file>         bench: write the per-engine table as JSON\n"
       "  --seed=<n>            machine RNG seed (default 1)\n"
       "  --procs=<n>           physical processors (default 16384)\n"
       "  --threads=<n>         host threads for the runtime\n"
@@ -253,6 +260,10 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.exec.engine = uc::vm::ExecEngine::kWalk;
     } else if (arg == "--engine=bytecode") {
       opts.exec.engine = uc::vm::ExecEngine::kBytecode;
+    } else if (arg == "--engine=native") {
+      opts.exec.engine = uc::vm::ExecEngine::kNative;
+    } else if (str_value("--native-cache-dir=", opts.exec.native_cache_dir)) {
+    } else if (str_value("--native-cc=", opts.exec.native_cc)) {
     } else if (arg == "--fuse=on") {
       opts.exec.fuse = true;
     } else if (arg == "--fuse=off") {
@@ -479,11 +490,13 @@ int main(int argc, char** argv) {
         double ms = 0.0;
         std::uint64_t cycles = 0;
         std::string output;
+        bool skipped = false;  // native: toolchain unavailable
       };
-      Row rows[3] = {
+      Row rows[4] = {
           {"walk", uc::vm::ExecEngine::kWalk, false},
           {"bytecode", uc::vm::ExecEngine::kBytecode, false},
-          {"bytecode-fused", uc::vm::ExecEngine::kBytecode, true}};
+          {"bytecode-fused", uc::vm::ExecEngine::kBytecode, true},
+          {"bytecode-native", uc::vm::ExecEngine::kNative, true}};
       for (auto& row : rows) {
         uc::vm::ExecOptions eopts = opts.exec;
         eopts.engine = row.engine;
@@ -499,6 +512,14 @@ int main(int argc, char** argv) {
           const auto t0 = std::chrono::steady_clock::now();
           auto result = program.run_on(machine, eopts);
           const auto t1 = std::chrono::steady_clock::now();
+          if (row.engine == uc::vm::ExecEngine::kNative &&
+              result.native_dispatches() == 0) {
+            // Nothing actually ran natively (no working toolchain, or the
+            // emitter declined every statement): report the row as skipped
+            // rather than passing off bytecode timings as native.
+            row.skipped = true;
+            break;
+          }
           if (r == 0) continue;  // warmup
           times.push_back(
               std::chrono::duration<double, std::milli>(t1 - t0).count());
@@ -507,12 +528,39 @@ int main(int argc, char** argv) {
         }
         std::sort(times.begin(), times.end());
         const std::size_t n = times.size();
-        row.ms = (n % 2 != 0) ? times[n / 2]
-                              : 0.5 * (times[n / 2 - 1] + times[n / 2]);
+        if (n > 0) {
+          row.ms = (n % 2 != 0) ? times[n / 2]
+                                : 0.5 * (times[n / 2 - 1] + times[n / 2]);
+        }
       }
       for (const auto& row : rows) {
-        std::printf("%-14s %10.3f ms  %12llu cycles\n", row.name, row.ms,
+        if (row.skipped) {
+          std::printf("%-15s    (skipped: no native toolchain)\n", row.name);
+          continue;
+        }
+        std::printf("%-15s %10.3f ms  %12llu cycles\n", row.name, row.ms,
                     static_cast<unsigned long long>(row.cycles));
+      }
+      if (!opts.sites_json.empty()) {
+        std::string json = "[\n";
+        bool first = true;
+        for (const auto& row : rows) {
+          if (row.skipped) continue;
+          char buf[160];
+          std::snprintf(buf, sizeof buf,
+                        "%s  {\"engine\": \"%s\", \"host_ms\": %.3f, "
+                        "\"cycles\": %llu}",
+                        first ? "" : ",\n", row.name, row.ms,
+                        static_cast<unsigned long long>(row.cycles));
+          json += buf;
+          first = false;
+        }
+        json += "\n]\n";
+        if (!write_file(opts.sites_json, json)) {
+          std::fprintf(stderr, "ucc bench: cannot write '%s'\n",
+                       opts.sites_json.c_str());
+          return 1;
+        }
       }
       if (rows[0].output != rows[1].output ||
           rows[0].cycles != rows[1].cycles) {
@@ -533,6 +581,16 @@ int main(int argc, char** argv) {
                      "unfused (%llu)\n",
                      static_cast<unsigned long long>(rows[2].cycles),
                      static_cast<unsigned long long>(rows[1].cycles));
+        return 1;
+      }
+      if (!rows[3].skipped &&
+          (rows[3].output != rows[2].output ||
+           rows[3].cycles != rows[2].cycles)) {
+        std::fprintf(stderr,
+                     "ucc bench: native run differs from fused bytecode "
+                     "(output %s, cycles %s)\n",
+                     rows[3].output == rows[2].output ? "match" : "differ",
+                     rows[3].cycles == rows[2].cycles ? "match" : "differ");
         return 1;
       }
       return 0;
